@@ -1,0 +1,86 @@
+"""Shared machinery for the paper-reproduction benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module regenerates one table or figure of the paper and prints the
+same rows/series the paper reports (plus a ``paper≈`` column wherever
+the paper gives a number).  Absolute throughputs differ from the paper's
+Dell R410 testbed — the *shape* (who wins, by roughly what factor) is
+the reproduction target; EXPERIMENTS.md records both sides.
+
+Timing conventions (see repro.cloud.latency):
+
+* local disk latency is modeled at full scale (15k-RPM HDD);
+* cloud latencies are modeled at full scale (calibrated to Table 3) and
+  slept at CLOUD_TIME_SCALE so a run takes seconds, not minutes;
+* all latencies METERED in reports are unscaled (the paper's units).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import MiB
+from repro.core.config import GinjaConfig
+from repro.harness import StackConfig
+from repro.workloads.tpcc import TPCCConfig
+
+#: Fraction of modeled cloud latency actually slept during runs.
+CLOUD_TIME_SCALE = 0.1
+#: Measured seconds per TPC-C run (the paper runs five minutes).
+RUN_SECONDS = 2.5
+WARMUP_SECONDS = 0.4
+TERMINALS = 4
+
+#: One-warehouse TPC-C at the library's standard scale-down.
+BENCH_TPCC = TPCCConfig(warehouses=1)
+
+
+def ginja_stack_config(dbms: str, batch: int, safety: int, *,
+                       compress: bool = False, encrypt: bool = False,
+                       **extra) -> StackConfig:
+    """A Figure-5-style Ginja setup for one (B, S) cell."""
+    ginja = GinjaConfig(
+        batch=batch,
+        safety=safety,
+        batch_timeout=1.0,
+        safety_timeout=10.0,
+        uploaders=5,  # the paper's best setting
+        compress=compress,
+        encrypt=encrypt,
+        password="bench-password" if encrypt else None,
+        **extra,
+    )
+    return StackConfig(
+        dbms=dbms,
+        fs_mode="ginja",
+        ginja=ginja,
+        wal_segment_size=4 * MiB,
+        cloud_time_scale=CLOUD_TIME_SCALE,
+    )
+
+
+def baseline_stack_config(dbms: str, fs_mode: str) -> StackConfig:
+    return StackConfig(dbms=dbms, fs_mode=fs_mode, wal_segment_size=4 * MiB)
+
+
+@pytest.fixture(scope="session")
+def print_report():
+    """Collects rendered tables and prints them at session end (pytest
+    captures stdout per-test; the summary block is what you read)."""
+    blocks: list[str] = []
+
+    def record(text: str) -> None:
+        blocks.append(text)
+        print("\n" + text + "\n")
+
+    yield record
+    if blocks:
+        print("\n" + "=" * 72)
+        print("PAPER REPRODUCTION SUMMARY")
+        print("=" * 72)
+        for block in blocks:
+            print()
+            print(block)

@@ -1,0 +1,82 @@
+"""Ablation: the 150% dump threshold (Alg. 3, line 9).
+
+Ginja uploads a fresh dump once the cloud-side DB objects exceed 150%
+of the local database size, trading re-upload bandwidth (dumps are big)
+against storage (incremental checkpoints accumulate).  This sweep runs
+the same checkpoint-heavy workload at several thresholds and reports
+dumps taken, bytes uploaded and average cloud storage — the two sides
+of the §7.1 cost trade-off (C_DB_PUT vs C_DB_Storage).
+"""
+
+from __future__ import annotations
+
+from repro.cloud.memory import InMemoryObjectStore
+from repro.cloud.simulated import SimulatedCloud
+from repro.common.units import GB, MiB
+from repro.core.config import GinjaConfig
+from repro.core.ginja import Ginja
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import POSTGRES_PROFILE
+from repro.metrics import TextTable
+from repro.storage.memory import MemoryFileSystem
+from repro.workloads import UpdateStream
+
+THRESHOLDS = (1.1, 1.5, 2.0, 3.0)
+CHECKPOINTS = 12
+UPDATES_PER_CHECKPOINT = 120
+
+
+def run_threshold(threshold: float) -> dict:
+    cloud = SimulatedCloud(backend=InMemoryObjectStore(), time_scale=0.0)
+    disk = MemoryFileSystem()
+    engine_config = EngineConfig(wal_segment_size=1 * MiB,
+                                 auto_checkpoint=False)
+    MiniDB.create(disk, POSTGRES_PROFILE, engine_config).close()
+    config = GinjaConfig(batch=20, safety=400, batch_timeout=0.02,
+                         safety_timeout=10.0, dump_threshold=threshold)
+    ginja = Ginja(disk, cloud, POSTGRES_PROFILE, config)
+    ginja.start(mode="boot")
+    db = MiniDB.open(ginja.fs, POSTGRES_PROFILE, engine_config)
+    stream = UpdateStream(db, keyspace=400, value_bytes=150)
+    for _ in range(CHECKPOINTS):
+        stream.issue(UPDATES_PER_CHECKPOINT)
+        db.checkpoint()
+        ginja.drain(timeout=30.0)
+    stats = ginja.stats.snapshot()
+    meter = cloud.meter
+    elapsed = cloud.elapsed()
+    avg_stored_kb = meter.average_stored_bytes(0.0, elapsed) / 1000
+    ginja.stop()
+    return dict(
+        dumps=stats["dumps"],
+        db_uploaded_mb=stats["db_bytes"] / 1e6,
+        avg_stored_kb=avg_stored_kb,
+        final_db_cloud_kb=ginja.view.total_db_bytes() / 1000,
+    )
+
+
+def test_ablation_dump_threshold(benchmark, print_report):
+    results = benchmark.pedantic(
+        lambda: {t: run_threshold(t) for t in THRESHOLDS},
+        rounds=1, iterations=1,
+    )
+    table = TextTable(
+        ["threshold", "dumps", "DB bytes uploaded (MB)",
+         "avg cloud storage (kB)", "final DB objects (kB)"],
+        title="Ablation — dump threshold sweep "
+              f"({CHECKPOINTS} checkpoints x {UPDATES_PER_CHECKPOINT} updates)",
+    )
+    for threshold in THRESHOLDS:
+        row = results[threshold]
+        table.add(threshold, row["dumps"], row["db_uploaded_mb"],
+                  row["avg_stored_kb"], row["final_db_cloud_kb"])
+    print_report(table.render())
+
+    # The trade-off: an aggressive threshold dumps more often (more
+    # upload traffic); a lax one lets checkpoint data accumulate in the
+    # cloud (more storage).
+    assert results[1.1]["dumps"] >= results[3.0]["dumps"]
+    assert (
+        results[3.0]["final_db_cloud_kb"]
+        >= results[1.1]["final_db_cloud_kb"] * 0.9
+    )

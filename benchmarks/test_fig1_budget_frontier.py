@@ -1,0 +1,50 @@
+"""Figure 1: database size vs. synchronizations/hour for $1/month on S3.
+
+Regenerates the frontier curve and checks the paper's three anchor
+setups: A (35 GB @ 50 sync/h), B (20 GB @ 120/h), C (4.3 GB @ 240/h).
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import BudgetFrontier
+from repro.metrics import TextTable
+
+PAPER_ANCHORS = [
+    # (label, syncs/hour, paper's GB, overhead factor the anchor assumes)
+    ("A", 50.0, 35.0, 1.0),
+    ("B", 120.0, 20.0, 1.25),
+    ("C", 240.0, 4.3, 1.25),
+]
+
+
+def build_figure1() -> TextTable:
+    table = TextTable(
+        ["syncs/hour", "max DB size (GB)", "max size w/ 1.25x overhead (GB)"],
+        title="Figure 1 — $1/month capacity frontier (May-2017 S3)",
+    )
+    plain = BudgetFrontier(1.0)
+    overhead = BudgetFrontier(1.0, storage_overhead=1.25)
+    for rate in (0, 25, 50, 75, 100, 125, 150, 175, 200, 225, 250):
+        table.add(rate, plain.max_db_size_gb(rate),
+                  overhead.max_db_size_gb(rate))
+    return table
+
+
+def test_figure1_frontier(benchmark, print_report):
+    table = benchmark(build_figure1)
+    anchors = TextTable(
+        ["setup", "syncs/hour", "paper GB", "model GB"],
+        title="Figure 1 anchors (paper's setups A/B/C)",
+    )
+    for label, rate, paper_gb, overhead in PAPER_ANCHORS:
+        frontier = BudgetFrontier(1.0, storage_overhead=overhead)
+        model_gb = frontier.max_db_size_gb(rate)
+        anchors.add(label, rate, paper_gb, model_gb)
+        assert abs(model_gb - paper_gb) / paper_gb < 0.15
+    print_report(table.render() + "\n\n" + anchors.render())
+
+    # Qualitative claims of §3.
+    frontier = BudgetFrontier(1.0)
+    assert frontier.affordable(4.3, 220.0)
+    assert not frontier.affordable(43.0, 240.0)
+    assert abs(frontier.business_hours_rate_multiplier(8.0) - 3.0) < 1e-9

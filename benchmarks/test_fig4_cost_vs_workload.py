@@ -1,0 +1,60 @@
+"""Figure 4: Ginja's monthly cost vs. workload for B in {10, 100, 1000}.
+
+Setup exactly as §7.2: 10 GB database on Amazon S3, 8 kB WAL pages with
+75 records, checkpoints every 60 minutes lasting 20, compression ratio
+1.43.  The paper's qualitative findings, asserted below:
+
+* B dominates total cost, and more so under heavier workloads;
+* many configurations stay under $1/month;
+* the 10 GB database pins C_DB_Storage at ~$0.20.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import GinjaCostModel, WorkloadSpec
+from repro.metrics import TextTable
+
+WORKLOADS = (10, 30, 100, 300, 1000)
+BATCHES = (1000, 100, 10)
+
+
+def build_figure4() -> tuple[TextTable, dict]:
+    model = GinjaCostModel()
+    table = TextTable(
+        ["updates/min"] + [f"B={b} ($/mo)" for b in BATCHES],
+        title="Figure 4 — monthly cost vs workload (10GB DB, S3 May-2017)",
+    )
+    series: dict[int, list[float]] = {b: [] for b in BATCHES}
+    for w in WORKLOADS:
+        spec = WorkloadSpec(updates_per_minute=float(w))
+        row = [w]
+        for b in BATCHES:
+            total = model.monthly_cost(spec, b).total
+            series[b].append(total)
+            row.append(total)
+        table.add(*row)
+    return table, series
+
+
+def test_figure4_cost_curves(benchmark, print_report):
+    table, series = benchmark(build_figure4)
+    print_report(table.render())
+
+    # Larger B is never more expensive (B only divides PUT count).
+    for heavier, lighter in ((10, 100), (100, 1000)):
+        assert all(
+            a >= b for a, b in zip(series[heavier], series[lighter])
+        )
+    # Cost grows with workload within a series.
+    for batch in BATCHES:
+        costs = series[batch]
+        assert all(a <= b for a, b in zip(costs, costs[1:]))
+    # Paper anchor: B=10 at 10 updates/min is ~$0.42/month.
+    assert abs(series[10][0] - 0.42) < 0.05
+    # Fixed storage floor: ~$0.20 for the 10 GB database (§7.2).
+    model = GinjaCostModel()
+    floor = model.db_storage_cost(WorkloadSpec())
+    assert abs(floor - 0.20) < 0.01
+    # "plenty of configurations below $1": count them.
+    below = sum(1 for b in BATCHES for cost in series[b] if cost < 1.0)
+    assert below >= 7

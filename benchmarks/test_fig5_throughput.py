@@ -1,0 +1,104 @@
+"""Figure 5: TPC-C throughput under Ginja configurations.
+
+For each DBMS profile, runs TPC-C over: the native file system ("ext4"),
+a plain interposer ("FUSE"), the paper's (B, S) grid, and the No-Loss
+configuration (S = B = 1, synchronous replication).
+
+Absolute Tpm differs from the paper's testbed; the asserted shape is the
+paper's finding set:
+
+* FUSE costs a few percent vs native;
+* with sufficiently high B and S, Ginja's extra loss vs FUSE is small;
+* shrinking S (and B) degrades throughput as the DBMS blocks on the
+  cloud;
+* No-Loss collapses to a small fraction of native throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import build_stack, run_tpcc
+from repro.metrics import TextTable
+
+from benchmarks.conftest import (
+    BENCH_TPCC,
+    RUN_SECONDS,
+    TERMINALS,
+    WARMUP_SECONDS,
+    baseline_stack_config,
+    ginja_stack_config,
+)
+
+#: The paper's Figure-5 x-axis, left to right.
+GRID = [
+    ("ext4", None),
+    ("FUSE", None),
+    ("S=10000 B=1000", (1000, 10000)),
+    ("S=10000 B=100", (100, 10000)),
+    ("S=10000 B=10", (10, 10000)),
+    ("S=1000 B=100", (100, 1000)),
+    ("S=1000 B=10", (10, 1000)),
+    ("S=1000 B=1", (1, 1000)),
+    ("S=100 B=10", (10, 100)),
+    ("S=100 B=1", (1, 100)),
+    ("S=10 B=1", (1, 10)),
+    ("No-Loss (S=B=1)", (1, 1)),
+]
+
+
+def run_grid(dbms: str) -> dict[str, tuple[float, float]]:
+    results: dict[str, tuple[float, float]] = {}
+    for label, bs in GRID:
+        if label == "ext4":
+            stack = build_stack(baseline_stack_config(dbms, "native"))
+        elif label == "FUSE":
+            stack = build_stack(baseline_stack_config(dbms, "fuse"))
+        else:
+            batch, safety = bs
+            stack = build_stack(ginja_stack_config(dbms, batch, safety))
+        report = run_tpcc(
+            stack,
+            duration=RUN_SECONDS,
+            warmup=WARMUP_SECONDS,
+            terminals=TERMINALS,
+            tpcc_config=BENCH_TPCC,
+        )
+        assert not report.tpcc.errors, report.tpcc.errors[:3]
+        results[label] = (report.tpm_c, report.tpm_total)
+    return results
+
+
+@pytest.mark.parametrize("dbms", ["postgres", "mysql"])
+def test_figure5_throughput(benchmark, print_report, dbms):
+    results = benchmark.pedantic(run_grid, args=(dbms,), rounds=1, iterations=1)
+
+    table = TextTable(
+        ["configuration", "Tpm-C", "Tpm-Total", "% of native"],
+        title=f"Figure 5{'a' if dbms == 'postgres' else 'b'} — "
+              f"TPC-C throughput, {dbms} profile "
+              f"(paper: native~{6500 if dbms == 'postgres' else 11000}, "
+              f"No-Loss {248 if dbms == 'postgres' else 348} Tpm-Total)",
+    )
+    native_total = results["ext4"][1]
+    for label, _bs in GRID:
+        tpm_c, tpm_total = results[label]
+        table.add(label, tpm_c, tpm_total,
+                  f"{100 * tpm_total / native_total:.0f}%")
+    print_report(table.render())
+
+    fuse_total = results["FUSE"][1]
+    best_total = results["S=10000 B=1000"][1]
+    no_loss_total = results["No-Loss (S=B=1)"][1]
+    tight_total = results["S=10 B=1"][1]
+
+    # FUSE near native (paper: -7%/-12%); generous noise band.
+    assert fuse_total >= 0.75 * native_total
+    # A well-provisioned Ginja stays close to the FUSE baseline
+    # (paper: -3.7% PG / -1.1% MySQL).
+    assert best_total >= 0.70 * fuse_total
+    # Small S+B degrade throughput vs the best configuration.
+    assert tight_total < best_total
+    # No-Loss collapses (paper: ~4% of native).
+    assert no_loss_total < 0.45 * native_total
+    assert no_loss_total <= tight_total * 1.10

@@ -1,0 +1,83 @@
+"""Figure 6: effect of compression and encryption on TPC-C throughput.
+
+For (B, S) in {(10,100), (100,1000), (1000,10000)} and each codec
+combination {plain, Comp, Crypt, C+C}, per DBMS profile.
+
+Paper findings asserted:
+
+* PostgreSQL: the codecs move throughput only slightly (compression can
+  even help, by shrinking upload latency);
+* MySQL: "basically no changes" — its 512-byte WAL blocks leave little
+  for the codec to bite on;
+* in no case does a codec collapse throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import build_stack, run_tpcc
+from repro.metrics import TextTable
+
+from benchmarks.conftest import (
+    BENCH_TPCC,
+    RUN_SECONDS,
+    TERMINALS,
+    WARMUP_SECONDS,
+    ginja_stack_config,
+)
+
+BS_GRID = [(10, 100), (100, 1000), (1000, 10000)]
+CODECS = [
+    ("plain", dict(compress=False, encrypt=False)),
+    ("Comp", dict(compress=True, encrypt=False)),
+    ("Crypt", dict(compress=False, encrypt=True)),
+    ("C+C", dict(compress=True, encrypt=True)),
+]
+
+
+def run_grid(dbms: str) -> dict[tuple, tuple[float, float]]:
+    results = {}
+    for batch, safety in BS_GRID:
+        for codec_label, codec_kwargs in CODECS:
+            stack = build_stack(
+                ginja_stack_config(dbms, batch, safety, **codec_kwargs)
+            )
+            report = run_tpcc(
+                stack,
+                duration=RUN_SECONDS,
+                warmup=WARMUP_SECONDS,
+                terminals=TERMINALS,
+                tpcc_config=BENCH_TPCC,
+            )
+            assert not report.tpcc.errors, report.tpcc.errors[:3]
+            results[(batch, safety, codec_label)] = (
+                report.tpm_c, report.tpm_total,
+            )
+    return results
+
+
+@pytest.mark.parametrize("dbms", ["postgres", "mysql"])
+def test_figure6_codecs(benchmark, print_report, dbms):
+    results = benchmark.pedantic(run_grid, args=(dbms,), rounds=1, iterations=1)
+    table = TextTable(
+        ["B/S", "codec", "Tpm-C", "Tpm-Total"],
+        title=f"Figure 6{'a' if dbms == 'postgres' else 'b'} — "
+              f"compression/encryption effect, {dbms} profile",
+    )
+    for batch, safety in BS_GRID:
+        for codec_label, _ in CODECS:
+            tpm_c, tpm_total = results[(batch, safety, codec_label)]
+            table.add(f"{batch}/{safety}", codec_label, tpm_c, tpm_total)
+    print_report(table.render())
+
+    # Codecs never collapse throughput (paper: effects are small for PG,
+    # negligible for MySQL).  Generous band for a 1-core CI box.
+    for batch, safety in BS_GRID:
+        plain = results[(batch, safety, "plain")][1]
+        for codec_label, _ in CODECS[1:]:
+            with_codec = results[(batch, safety, codec_label)][1]
+            assert with_codec > 0.5 * plain, (
+                f"{codec_label} at B={batch}/S={safety} collapsed: "
+                f"{with_codec} vs {plain}"
+            )

@@ -1,0 +1,95 @@
+"""Figure 7: recovery time vs. database size (TPC-C warehouses).
+
+After a crash mid-TPC-C, the database is rebuilt from the bucket on
+(a) an on-premises server over WAN, and (b) an EC2 VM in the bucket's
+region.  The modeled recovery time is the sum of the modeled request
+latencies (recovery's GETs are sequential) plus the measured local
+compute time.
+
+Paper findings asserted:
+
+* recovery time grows with the number of warehouses;
+* the same-region VM recovers markedly faster than on-premises
+  (Figure 7's two series);
+* the recovered database serves the TPC-C rows.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.latency import SAME_REGION_LATENCY, WAN_LATENCY
+from repro.harness import build_stack, measure_recovery, run_tpcc
+from repro.metrics import TextTable
+from repro.workloads.tpcc import TPCCConfig
+
+from benchmarks.conftest import TERMINALS, WARMUP_SECONDS, ginja_stack_config
+
+WAREHOUSES = (1, 5, 10)
+
+
+def build_bucket(warehouses: int):
+    """Run TPC-C briefly under Ginja and return the surviving bucket."""
+    config = ginja_stack_config("postgres", 100, 1000)
+    stack = build_stack(config)
+    report = run_tpcc(
+        stack,
+        duration=1.5,
+        warmup=WARMUP_SECONDS,
+        terminals=TERMINALS,
+        tpcc_config=TPCCConfig(warehouses=warehouses),
+        checkpoint_mid_run=True,
+    )
+    assert not report.tpcc.errors, report.tpcc.errors[:3]
+    return stack.cloud.backend, config
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for warehouses in WAREHOUSES:
+        bucket, config = build_bucket(warehouses)
+        measurements = {}
+        for series, network in (
+            ("on-premises", WAN_LATENCY),
+            ("EC2 same-region", SAME_REGION_LATENCY),
+        ):
+            report = measure_recovery(
+                bucket,
+                config.profile,
+                ginja_config=config.ginja,
+                engine_config=config.engine_config(),
+                network=network,
+                row_table="orders",
+            )
+            measurements[series] = report
+        rows.append(dict(warehouses=warehouses, **measurements))
+    return rows
+
+
+def test_figure7_recovery_time(benchmark, print_report):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = TextTable(
+        ["warehouses", "bucket MB", "on-prem recovery (min)",
+         "EC2 recovery (min)", "orders recovered"],
+        title="Figure 7 — recovery time vs database size "
+              "(paper: up to ~3.5 min on-prem at 10 warehouses)",
+    )
+    for row in rows:
+        on_prem = row["on-premises"]
+        ec2 = row["EC2 same-region"]
+        table.add(
+            row["warehouses"],
+            on_prem.bytes_downloaded / 1e6,
+            on_prem.total_minutes,
+            ec2.total_minutes,
+            on_prem.recovered_rows,
+        )
+    print_report(table.render())
+
+    on_prem_times = [row["on-premises"].total_minutes for row in rows]
+    ec2_times = [row["EC2 same-region"].total_minutes for row in rows]
+    # Recovery time grows with database size.
+    assert on_prem_times[0] < on_prem_times[-1]
+    # The same-region VM is markedly faster (paper's second series).
+    for wan, ec2 in zip(on_prem_times, ec2_times):
+        assert ec2 < wan * 0.5
+    # Data actually comes back.
+    assert all(row["on-premises"].recovered_rows > 0 for row in rows)

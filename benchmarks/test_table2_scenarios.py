@@ -1,0 +1,74 @@
+"""Table 2: Ginja vs. EC2 Pilot-Light for the clinical deployments,
+plus §7.3's recovery costs.
+
+Every cell of the paper's Table 2 is regenerated and checked within 5%:
+
+=====================  ====================  ==============
+configuration          Ginja with S3         EC2 VMs
+=====================  ====================  ==============
+Laboratory (10GB)      $0.42 / $1.50         $93.4
+Hospital (1TB)         $20.3 / $21.4         $291.5
+=====================  ====================  ==============
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import (
+    HOSPITAL,
+    LABORATORY,
+    M3_LARGE_PILOT_LIGHT,
+    M3_MEDIUM_PILOT_LIGHT,
+    recovery_cost,
+    scenario_cost,
+)
+from repro.metrics import TextTable
+
+PAPER_CELLS = [
+    (LABORATORY, 1.0, 0.42, M3_MEDIUM_PILOT_LIGHT, 93.4),
+    (LABORATORY, 6.0, 1.50, M3_MEDIUM_PILOT_LIGHT, 93.4),
+    (HOSPITAL, 1.0, 20.3, M3_LARGE_PILOT_LIGHT, 291.5),
+    (HOSPITAL, 6.0, 21.4, M3_LARGE_PILOT_LIGHT, 291.5),
+]
+
+
+def build_table2() -> TextTable:
+    table = TextTable(
+        ["configuration", "Ginja $/mo", "paper", "EC2 $/mo", "paper ",
+         "savings"],
+        title="Table 2 — DR cost: Ginja vs EC2 Pilot Light (AWS, May 2017)",
+    )
+    for scenario, syncs, paper_ginja, vm, paper_vm in PAPER_CELLS:
+        ginja = scenario_cost(scenario, syncs).total
+        table.add(
+            f"{scenario.name} ({syncs:.0f} sync/min)",
+            ginja, paper_ginja, vm.monthly_cost, paper_vm,
+            f"{vm.monthly_cost / ginja:.0f}x",
+        )
+    return table
+
+
+def test_table2_cells(benchmark, print_report):
+    table = benchmark(build_table2)
+
+    recovery = TextTable(
+        ["scenario", "recovery $ (WAN)", "paper", "recovery $ (same region)"],
+        title="§7.3 — cost of recovery",
+    )
+    recovery.add("Laboratory", recovery_cost(LABORATORY), 1.125,
+                 recovery_cost(LABORATORY, same_region=True))
+    recovery.add("Hospital", recovery_cost(HOSPITAL), 112.5,
+                 recovery_cost(HOSPITAL, same_region=True))
+    print_report(table.render() + "\n\n" + recovery.render())
+
+    for scenario, syncs, paper_ginja, vm, paper_vm in PAPER_CELLS:
+        ours = scenario_cost(scenario, syncs).total
+        assert abs(ours - paper_ginja) / paper_ginja < 0.05
+        assert abs(vm.monthly_cost - paper_vm) / paper_vm < 0.01
+    # §7.2's headline factors.
+    assert 200 < M3_MEDIUM_PILOT_LIGHT.monthly_cost / scenario_cost(
+        LABORATORY, 1.0).total < 240
+    assert 13 < M3_LARGE_PILOT_LIGHT.monthly_cost / scenario_cost(
+        HOSPITAL, 1.0).total < 15
+    # §7.3's recovery costs.
+    assert abs(recovery_cost(HOSPITAL) - 112.5) < 2.0
+    assert recovery_cost(HOSPITAL, same_region=True) == 0.0

@@ -1,0 +1,96 @@
+"""Table 3: Ginja's use of the storage cloud during TPC-C.
+
+For each configuration B/S in {10/100, 100/1000, 1000/10000}, plain and
+with compression+encryption (C+C), per DBMS: the number of PUTs, the
+mean object size, and the mean (modeled) PUT latency.
+
+Paper findings asserted:
+
+* growing B by 10x cuts the PUT count steeply (paper: -80% then -70%);
+* object size grows with B, but sublinearly (page coalescing);
+* PUT latency grows with object size, sublinearly;
+* C+C shrinks objects (paper: ~-37% for PG) and with them the latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import build_stack, run_tpcc
+from repro.metrics import TextTable
+
+from benchmarks.conftest import (
+    BENCH_TPCC,
+    RUN_SECONDS,
+    TERMINALS,
+    WARMUP_SECONDS,
+    ginja_stack_config,
+)
+
+CONFIGS = [
+    (10, 100, False),
+    (10, 100, True),
+    (100, 1000, False),
+    (100, 1000, True),
+    (1000, 10000, False),
+    (1000, 10000, True),
+]
+
+
+def run_usage(dbms: str) -> dict[tuple, dict]:
+    results = {}
+    for batch, safety, codec in CONFIGS:
+        stack = build_stack(
+            ginja_stack_config(dbms, batch, safety,
+                               compress=codec, encrypt=codec)
+        )
+        report = run_tpcc(
+            stack,
+            duration=RUN_SECONDS,
+            warmup=WARMUP_SECONDS,
+            terminals=TERMINALS,
+            tpcc_config=BENCH_TPCC,
+        )
+        assert not report.tpcc.errors, report.tpcc.errors[:3]
+        results[(batch, safety, codec)] = dict(
+            puts=report.cloud_puts,
+            mean_object_kb=report.cloud_mean_object_bytes / 1000,
+            mean_put_latency=report.cloud_mean_put_latency,
+            tpm_total=report.tpm_total,
+        )
+    return results
+
+
+@pytest.mark.parametrize("dbms", ["postgres", "mysql"])
+def test_table3_cloud_usage(benchmark, print_report, dbms):
+    results = benchmark.pedantic(run_usage, args=(dbms,), rounds=1,
+                                 iterations=1)
+    table = TextTable(
+        ["configuration", "num PUTs", "object size (kB)", "PUT latency (s)"],
+        title=f"Table 3 — cloud usage during {RUN_SECONDS:.0f}s of TPC-C, "
+              f"{dbms} profile (paper measures 5 min from Lisbon)",
+    )
+    for batch, safety, codec in CONFIGS:
+        row = results[(batch, safety, codec)]
+        label = f"{batch}/{safety} {'C+C' if codec else 'plain'}"
+        table.add(label, row["puts"], row["mean_object_kb"],
+                  row["mean_put_latency"])
+    print_report(table.render())
+
+    plain10 = results[(10, 100, False)]
+    plain100 = results[(100, 1000, False)]
+    plain1000 = results[(1000, 10000, False)]
+    # Bigger batches -> far fewer PUTs (paper: -80%, then -70%).
+    assert plain100["puts"] < plain10["puts"] * 0.65
+    assert plain1000["puts"] < plain100["puts"] * 0.75
+    # Bigger batches -> bigger objects, but sublinearly (coalescing).
+    assert plain100["mean_object_kb"] > plain10["mean_object_kb"]
+    assert plain1000["mean_object_kb"] > plain100["mean_object_kb"]
+    assert plain1000["mean_object_kb"] < plain10["mean_object_kb"] * 100
+    # Latency grows with object size.
+    assert plain1000["mean_put_latency"] > plain10["mean_put_latency"]
+    # C+C shrinks objects.
+    for batch, safety in ((100, 1000), (1000, 10000)):
+        plain = results[(batch, safety, False)]["mean_object_kb"]
+        codec = results[(batch, safety, True)]["mean_object_kb"]
+        assert codec < plain

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a database with Ginja, lose the machine, recover.
+
+This walks the paper's core story in ~60 lines of API:
+
+1. a transactional database (MiniDB with the PostgreSQL I/O profile)
+   runs on a Ginja-mounted file system;
+2. Ginja replicates every commit to a cloud object store under the
+   Batch/Safety model (here B=10, S=100);
+3. the primary site is destroyed;
+4. `Ginja.recover` rebuilds the database files from the bucket and the
+   DBMS's own crash recovery brings the data back.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cloud import InMemoryObjectStore, SimulatedCloud, WAN_LATENCY
+from repro.core import Ginja, GinjaConfig
+from repro.db import EngineConfig, MiniDB, POSTGRES_PROFILE
+from repro.storage import MemoryFileSystem
+
+
+def main() -> None:
+    # --- the cloud: an S3-like bucket with realistic WAN latencies,
+    #     slept at 1% of modeled time so the demo is snappy.
+    bucket = InMemoryObjectStore()
+    cloud = SimulatedCloud(backend=bucket, latency=WAN_LATENCY, time_scale=0.01)
+
+    # --- primary site: a fresh database, then Ginja mounted over it.
+    primary_disk = MemoryFileSystem()
+    engine_config = EngineConfig(wal_segment_size=1024 * 1024)
+    MiniDB.create(primary_disk, POSTGRES_PROFILE, engine_config).close()
+
+    config = GinjaConfig(batch=10, safety=100,
+                         batch_timeout=0.2, safety_timeout=5.0)
+    ginja = Ginja(primary_disk, cloud, POSTGRES_PROFILE, config)
+    ginja.start(mode="boot")          # upload segments + initial dump
+    db = MiniDB.open(ginja.fs, POSTGRES_PROFILE, engine_config)
+
+    # --- normal operation: commits flow to the cloud in batches of B.
+    print("committing 200 account rows through Ginja...")
+    for account in range(200):
+        db.put("accounts", f"acct-{account}", f"balance={account * 10}".encode())
+    db.checkpoint()
+    ginja.drain(timeout=30.0)
+    health = ginja.health()
+    print(f"  cloud now holds {len(cloud.list())} objects, "
+          f"confirmed ts={health['confirmed_ts']}, "
+          f"pending updates={health['pending_updates']}")
+
+    # --- disaster: the primary machine is gone.  Only `bucket` survives.
+    ginja.stop()
+    del db, primary_disk
+    print("disaster! primary site lost; recovering from the bucket...")
+
+    secondary_disk = MemoryFileSystem()
+    ginja2, report = Ginja.recover(cloud, secondary_disk,
+                                   POSTGRES_PROFILE, config)
+    recovered = MiniDB.open(ginja2.fs, POSTGRES_PROFILE, engine_config)
+    print(f"  restored {report.files_restored} files from dump ts="
+          f"{report.dump_ts}, replayed {report.wal_objects_applied} WAL "
+          f"objects, redo applied {recovered.recovered_ops} ops")
+
+    # --- verify every row came back.
+    missing = [
+        account for account in range(200)
+        if recovered.get("accounts", f"acct-{account}")
+        != f"balance={account * 10}".encode()
+    ]
+    assert not missing, f"lost rows: {missing[:5]}"
+    print(f"  all {recovered.row_count('accounts')} rows recovered "
+          "— RPO respected.")
+    ginja2.stop()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

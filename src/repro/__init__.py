@@ -1,0 +1,37 @@
+"""Ginja reproduction: one-dollar cloud-based disaster recovery for databases.
+
+A full reimplementation of Alcântara, Oliveira & Bessani's Middleware'17
+system and every substrate it needs:
+
+* :mod:`repro.core` — the Ginja middleware (the paper's contribution);
+* :mod:`repro.db` — MiniDB, the transactional engine with PostgreSQL and
+  MySQL/InnoDB I/O profiles;
+* :mod:`repro.storage` — the file-system interposition seam (FUSE stand-in);
+* :mod:`repro.cloud` — object-store substrate with latency models,
+  metering, pricing and multi-cloud replication;
+* :mod:`repro.costmodel` — the §7 analytic cost model;
+* :mod:`repro.workloads` — TPC-C and update-stream generators;
+* :mod:`repro.baselines` — the DR alternatives the paper compares
+  against (continuous WAL archiving, Backup & Restore);
+* :mod:`repro.harness` / :mod:`repro.metrics` — experiment machinery;
+* :mod:`repro.cli` — the ``ginja-repro`` command line.
+
+Quickstart::
+
+    from repro.cloud import InMemoryObjectStore
+    from repro.core import Ginja, GinjaConfig
+    from repro.db import MiniDB, POSTGRES_PROFILE
+    from repro.storage import MemoryFileSystem
+
+    disk, bucket = MemoryFileSystem(), InMemoryObjectStore()
+    MiniDB.create(disk, POSTGRES_PROFILE).close()
+    ginja = Ginja(disk, bucket, POSTGRES_PROFILE,
+                  GinjaConfig(batch=10, safety=100))
+    ginja.start(mode="boot")
+    db = MiniDB.open(ginja.fs, POSTGRES_PROFILE)
+    db.put("t", "k", b"v")          # replicated to the bucket
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,26 @@
+"""DR baselines the paper positions Ginja against (§2, §9).
+
+* :mod:`~repro.baselines.archiver` — PostgreSQL-style *continuous
+  archiving*: a base backup plus completed WAL segments shipped to the
+  cloud.  §9: "the archiver process only operates over completed WAL
+  segments, and thus it does not provide any fine-grained control over
+  the RPO" — a disaster loses everything in the in-progress segment.
+* :mod:`~repro.baselines.snapshots` — *Backup & Restore* (§2, the
+  Zmanda-style approach): periodic full snapshots; a disaster loses
+  everything since the last snapshot.
+
+Both write to the same :class:`~repro.cloud.interface.ObjectStore`
+abstraction as Ginja, so the benchmark in
+``benchmarks/test_baseline_rpo_cost.py`` can compare data loss and
+monthly cost head-to-head on identical workloads.
+"""
+
+from repro.baselines.archiver import ArchiveRecovery, ContinuousArchiver
+from repro.baselines.snapshots import SnapshotBackup, restore_latest_snapshot
+
+__all__ = [
+    "ContinuousArchiver",
+    "ArchiveRecovery",
+    "SnapshotBackup",
+    "restore_latest_snapshot",
+]

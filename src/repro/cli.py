@@ -1,0 +1,265 @@
+"""Command-line interface: ``ginja-repro``.
+
+Subcommands:
+
+* ``cost``    — price a deployment with the §7 cost model;
+* ``frontier``— print the Figure-1 $budget capacity frontier;
+* ``demo``    — run the protect → disaster → recover story end to end;
+* ``recover`` — rebuild database files from a directory-backed bucket;
+* ``verify``  — §5.4 backup verification against a directory bucket.
+
+The ``recover``/``verify`` commands operate on
+:class:`~repro.cloud.DirectoryObjectStore` buckets (one file per
+object), which is what the examples and the demo write when given
+``--bucket-dir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cloud.directory import DirectoryObjectStore
+from repro.cloud.memory import InMemoryObjectStore
+from repro.cloud.pricing import (
+    AZURE_BLOB_2017,
+    GOOGLE_STORAGE_2017,
+    PriceBook,
+    S3_STANDARD_2017,
+)
+from repro.common.units import parse_bytes
+from repro.core.config import GinjaConfig
+from repro.core.ginja import Ginja
+from repro.core.verification import verify_backup
+from repro.costmodel.budget import BudgetFrontier
+from repro.costmodel.model import GinjaCostModel, WorkloadSpec
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import MYSQL_PROFILE, POSTGRES_PROFILE
+from repro.metrics.tables import TextTable
+from repro.storage.local import LocalDirectoryFS
+from repro.storage.memory import MemoryFileSystem
+
+_PROVIDERS: dict[str, PriceBook] = {
+    "s3": S3_STANDARD_2017,
+    "azure": AZURE_BLOB_2017,
+    "gcs": GOOGLE_STORAGE_2017,
+}
+
+_PROFILES = {"postgres": POSTGRES_PROFILE, "mysql": MYSQL_PROFILE}
+
+
+def _profile(name: str):
+    return _PROFILES[name]
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+
+
+def cmd_cost(args: argparse.Namespace) -> int:
+    """Price a deployment with the §7 cost model."""
+    model = GinjaCostModel(_PROVIDERS[args.provider])
+    spec = WorkloadSpec(
+        db_size_gb=args.db_gb,
+        updates_per_minute=args.updates_per_minute,
+        checkpoint_period_min=args.checkpoint_minutes,
+        compression_ratio=args.compression_ratio,
+    )
+    breakdown = model.monthly_cost(spec, args.batch)
+    table = TextTable(["component", "$/month"],
+                      title=f"Ginja monthly cost ({model.prices.name})")
+    for name, value in breakdown.as_row().items():
+        table.add(name, value)
+    if args.snapshots:
+        table.add(f"PITR x{args.snapshots} snapshots",
+                  model.pitr_storage_cost(spec, args.snapshots))
+    print(table)
+    return 0
+
+
+def cmd_frontier(args: argparse.Namespace) -> int:
+    """Print the Figure-1 capacity frontier for a budget."""
+    frontier = BudgetFrontier(
+        args.budget, _PROVIDERS[args.provider],
+        storage_overhead=1.25,
+    )
+    table = TextTable(
+        ["syncs/hour", "max DB size (GB)"],
+        title=f"${args.budget:.2f}/month capacity frontier "
+              f"({_PROVIDERS[args.provider].name})",
+    )
+    for point in frontier.curve(max_rate_per_hour=args.max_rate, steps=11):
+        table.add(f"{point.syncs_per_hour:.0f}", point.max_db_size_gb)
+    print(table)
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Run the protect -> disaster -> recover story end to end."""
+    profile = _profile(args.profile)
+    if args.bucket_dir:
+        bucket = DirectoryObjectStore(args.bucket_dir)
+        if bucket.list():
+            print(f"error: bucket directory {args.bucket_dir!r} is not empty",
+                  file=sys.stderr)
+            return 2
+    else:
+        bucket = InMemoryObjectStore()
+    engine_config = EngineConfig(wal_segment_size=parse_bytes(args.segment_size))
+    disk = MemoryFileSystem()
+    MiniDB.create(disk, profile, engine_config).close()
+    config = GinjaConfig(batch=args.batch, safety=args.safety,
+                         batch_timeout=0.2, safety_timeout=5.0)
+    ginja = Ginja(disk, bucket, profile, config)
+    ginja.start(mode="boot")
+    db = MiniDB.open(ginja.fs, profile, engine_config)
+    print(f"committing {args.rows} rows through Ginja "
+          f"(B={args.batch}, S={args.safety})...")
+    for i in range(args.rows):
+        db.put("demo", f"row-{i}", f"value-{i}".encode())
+    db.checkpoint()
+    ginja.drain(timeout=60.0)
+    print(f"  bucket: {len(bucket.list())} objects; "
+          f"health: {ginja.health()}")
+    ginja.stop()
+    print("simulating a disaster and recovering...")
+    target = MemoryFileSystem()
+    ginja2, report = Ginja.recover(bucket, target, profile, config)
+    recovered = MiniDB.open(ginja2.fs, profile, engine_config)
+    ok = sum(1 for i in range(args.rows)
+             if recovered.get("demo", f"row-{i}") == f"value-{i}".encode())
+    print(f"  recovered {ok}/{args.rows} rows "
+          f"({report.files_restored} files, "
+          f"{report.wal_objects_applied} WAL objects)")
+    ginja2.stop()
+    return 0 if ok == args.rows else 1
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Rebuild database files from a directory-backed bucket."""
+    bucket = DirectoryObjectStore(args.bucket_dir)
+    if not bucket.list():
+        print(f"error: no objects under {args.bucket_dir!r}", file=sys.stderr)
+        return 2
+    target = LocalDirectoryFS(args.data_dir)
+    if target.files():
+        print(f"error: target directory {args.data_dir!r} is not empty",
+              file=sys.stderr)
+        return 2
+    config = GinjaConfig(
+        compress=args.compress, encrypt=bool(args.password),
+        password=args.password,
+    )
+    ginja, report = Ginja.recover(bucket, target, _profile(args.profile),
+                                  config)
+    ginja.stop()
+    print(f"restored {report.files_restored} files from dump ts="
+          f"{report.dump_ts}; applied {report.checkpoints_applied} "
+          f"checkpoints and {report.wal_objects_applied} WAL objects "
+          f"({report.bytes_downloaded} bytes downloaded)")
+    return 0
+
+
+def cmd_ls(args: argparse.Namespace) -> int:
+    """Summarize a bucket's Ginja contents and health."""
+    from repro.core.inspect import bucket_inventory
+
+    bucket = DirectoryObjectStore(args.bucket_dir)
+    inventory = bucket_inventory(bucket)
+    print(inventory.summary())
+    return 0 if inventory.recoverable else 1
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Run §5.4 backup verification against a bucket."""
+    bucket = DirectoryObjectStore(args.bucket_dir)
+    config = GinjaConfig(
+        compress=args.compress, encrypt=bool(args.password),
+        password=args.password,
+    )
+    engine_config = EngineConfig(
+        wal_segment_size=parse_bytes(args.segment_size)
+    )
+    report = verify_backup(bucket, _profile(args.profile), config,
+                           engine_config=engine_config)
+    print(report.summary())
+    for error in report.errors:
+        print(f"  error: {error}")
+    return 0 if report.ok else 1
+
+
+# ---------------------------------------------------------------------------
+# argument parsing
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ginja-repro argument parser (used by tests and main)."""
+    parser = argparse.ArgumentParser(
+        prog="ginja-repro",
+        description="Ginja (Middleware'17) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cost = sub.add_parser("cost", help="price a deployment (§7 model)")
+    cost.add_argument("--db-gb", type=float, default=10.0)
+    cost.add_argument("--updates-per-minute", type=float, default=100.0)
+    cost.add_argument("--batch", type=int, default=100)
+    cost.add_argument("--checkpoint-minutes", type=float, default=60.0)
+    cost.add_argument("--compression-ratio", type=float, default=1.43)
+    cost.add_argument("--snapshots", type=int, default=0)
+    cost.add_argument("--provider", choices=sorted(_PROVIDERS), default="s3")
+    cost.set_defaults(func=cmd_cost)
+
+    frontier = sub.add_parser("frontier",
+                              help="budget capacity frontier (Figure 1)")
+    frontier.add_argument("--budget", type=float, default=1.0)
+    frontier.add_argument("--max-rate", type=float, default=250.0)
+    frontier.add_argument("--provider", choices=sorted(_PROVIDERS),
+                          default="s3")
+    frontier.set_defaults(func=cmd_frontier)
+
+    demo = sub.add_parser("demo", help="protect → disaster → recover demo")
+    demo.add_argument("--profile", choices=sorted(_PROFILES),
+                      default="postgres")
+    demo.add_argument("--rows", type=int, default=200)
+    demo.add_argument("--batch", type=int, default=10)
+    demo.add_argument("--safety", type=int, default=100)
+    demo.add_argument("--segment-size", default="1MB")
+    demo.add_argument("--bucket-dir", default="",
+                      help="persist the bucket as files here")
+    demo.set_defaults(func=cmd_demo)
+
+    recover = sub.add_parser("recover",
+                             help="rebuild database files from a bucket")
+    recover.add_argument("bucket_dir")
+    recover.add_argument("data_dir")
+    recover.add_argument("--profile", choices=sorted(_PROFILES),
+                         default="postgres")
+    recover.add_argument("--compress", action="store_true")
+    recover.add_argument("--password", default=None)
+    recover.set_defaults(func=cmd_recover)
+
+    ls = sub.add_parser("ls", help="inspect a bucket's Ginja contents")
+    ls.add_argument("bucket_dir")
+    ls.set_defaults(func=cmd_ls)
+
+    verify = sub.add_parser("verify", help="backup verification (§5.4)")
+    verify.add_argument("bucket_dir")
+    verify.add_argument("--profile", choices=sorted(_PROFILES),
+                        default="postgres")
+    verify.add_argument("--segment-size", default="1MB")
+    verify.add_argument("--compress", action="store_true")
+    verify.add_argument("--password", default=None)
+    verify.set_defaults(func=cmd_verify)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

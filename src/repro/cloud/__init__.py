@@ -1,0 +1,56 @@
+"""Cloud object-storage substrate.
+
+Ginja only needs the four REST verbs every storage cloud exposes —
+PUT, GET, LIST, DELETE (§5 of the paper).  This package provides:
+
+* :class:`~repro.cloud.interface.ObjectStore` — the verb interface;
+* in-memory and on-disk backends;
+* :class:`~repro.cloud.simulated.SimulatedCloud` — wraps a backend with a
+  calibrated latency model, fault injection and request metering, so the
+  paper's experiments run offline with realistic timing and exact billing;
+* :mod:`~repro.cloud.pricing` — the May-2017 price books (S3, Azure, GCS)
+  the paper's cost analysis uses;
+* :class:`~repro.cloud.multi.MultiCloudStore` — replicates objects across
+  several stores to tolerate provider-scale outages (§6);
+* :class:`~repro.cloud.s3.BotoS3Store` — a thin adapter for real S3.
+"""
+
+from repro.cloud.directory import DirectoryObjectStore
+from repro.cloud.faults import FaultPolicy, Outage
+from repro.cloud.interface import ObjectInfo, ObjectStore
+from repro.cloud.latency import (
+    LatencyModel,
+    LOCAL_LATENCY,
+    SAME_REGION_LATENCY,
+    WAN_LATENCY,
+)
+from repro.cloud.memory import InMemoryObjectStore
+from repro.cloud.metering import RequestMeter
+from repro.cloud.multi import MultiCloudStore
+from repro.cloud.pricing import (
+    AZURE_BLOB_2017,
+    GOOGLE_STORAGE_2017,
+    PriceBook,
+    S3_STANDARD_2017,
+)
+from repro.cloud.simulated import SimulatedCloud
+
+__all__ = [
+    "ObjectStore",
+    "ObjectInfo",
+    "InMemoryObjectStore",
+    "DirectoryObjectStore",
+    "SimulatedCloud",
+    "LatencyModel",
+    "LOCAL_LATENCY",
+    "SAME_REGION_LATENCY",
+    "WAN_LATENCY",
+    "FaultPolicy",
+    "Outage",
+    "RequestMeter",
+    "MultiCloudStore",
+    "PriceBook",
+    "S3_STANDARD_2017",
+    "AZURE_BLOB_2017",
+    "GOOGLE_STORAGE_2017",
+]

@@ -1,0 +1,115 @@
+"""Fault injection for the simulated cloud.
+
+Lets tests and ablation benchmarks exercise the failure paths the paper
+motivates (provider outages [28], transient request errors) without a
+real misbehaving provider.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.common.errors import CloudUnavailable
+
+
+@dataclass(frozen=True, slots=True)
+class Outage:
+    """A closed interval of store time during which every request fails."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("outage ends before it starts")
+
+    def covers(self, t: float) -> bool:
+        return self.start <= t <= self.end
+
+
+@dataclass(frozen=True)
+class Throttle:
+    """Token-bucket request limit — S3's 503 SlowDown behaviour.
+
+    ``rate`` tokens accrue per store-clock second up to ``burst``; each
+    request spends one.  An empty bucket raises
+    :class:`CloudUnavailable`, which Ginja's uploaders absorb with
+    retries and backoff.
+    """
+
+    rate: float
+    burst: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.burst < 1:
+            raise ValueError("throttle rate must be > 0 and burst >= 1")
+
+
+class _TokenBucket:
+    def __init__(self, throttle: Throttle):
+        self._throttle = throttle
+        self._tokens = throttle.burst
+        self._last = None  # type: float | None
+
+    def take(self, now: float) -> bool:
+        if self._last is not None:
+            self._tokens = min(
+                self._throttle.burst,
+                self._tokens + (now - self._last) * self._throttle.rate,
+            )
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass
+class FaultPolicy:
+    """Decides whether a given request should fail.
+
+    Attributes:
+        error_rate: i.i.d. probability that any request raises
+            :class:`CloudUnavailable` (models transient 5xx).
+        outages: scheduled windows (in store-clock seconds) during which
+            *all* requests fail — models a regional outage.
+        throttle: optional request-rate limit (S3 SlowDown).
+    """
+
+    error_rate: float = 0.0
+    outages: list[Outage] = field(default_factory=list)
+    throttle: Throttle | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError("error_rate must be within [0, 1]")
+        self._forced_failures = 0
+        self._lock = threading.Lock()
+        self._bucket = _TokenBucket(self.throttle) if self.throttle else None
+
+    def fail_next(self, count: int = 1) -> None:
+        """Force the next ``count`` requests to fail (deterministic tests)."""
+        with self._lock:
+            self._forced_failures += count
+
+    def check(self, op: str, now: float, rng: random.Random) -> None:
+        """Raise :class:`CloudUnavailable` if this request must fail."""
+        with self._lock:
+            if self._forced_failures > 0:
+                self._forced_failures -= 1
+                raise CloudUnavailable(f"{op}: injected failure")
+            if self._bucket is not None and not self._bucket.take(now):
+                raise CloudUnavailable(f"{op}: SlowDown (throttled)")
+        for outage in self.outages:
+            if outage.covers(now):
+                raise CloudUnavailable(
+                    f"{op}: provider outage ({outage.start:.0f}s-{outage.end:.0f}s)"
+                )
+        if self.error_rate > 0 and rng.random() < self.error_rate:
+            raise CloudUnavailable(f"{op}: transient error (rate={self.error_rate})")
+
+
+#: Policy that never fails anything.
+NO_FAULTS = FaultPolicy()

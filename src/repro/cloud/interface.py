@@ -1,0 +1,63 @@
+"""The object-store verb interface shared by every backend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectInfo:
+    """Metadata returned by LIST: one row per stored object."""
+
+    key: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"negative object size for {self.key!r}")
+
+
+class ObjectStore:
+    """A cloud storage bucket: PUT / GET / LIST / DELETE.
+
+    The interface is intentionally the lowest common denominator of
+    Amazon S3, Azure Blob Storage and Google Storage, which is all Ginja
+    assumes of its secondary site (§5).  Implementations must be
+    thread-safe: Ginja uploads from several Uploader threads in parallel.
+
+    Keys are opaque UTF-8 strings; Ginja's namespace convention
+    (``WAL/...`` and ``DB/...``) lives in :mod:`repro.core.data_model`,
+    not here.
+    """
+
+    def put(self, key: str, data: bytes) -> None:
+        """Store ``data`` under ``key``, replacing any previous object."""
+        raise NotImplementedError
+
+    def get(self, key: str) -> bytes:
+        """Return the object body.
+
+        Raises:
+            CloudObjectNotFound: if ``key`` does not exist.
+        """
+        raise NotImplementedError
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        """Return info for every object whose key starts with ``prefix``,
+        sorted by key (the lexicographic order S3 guarantees)."""
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        """Remove an object.  Deleting a missing key is a no-op, matching
+        S3's idempotent DELETE semantics."""
+        raise NotImplementedError
+
+    # Convenience helpers shared by all backends ---------------------------
+
+    def exists(self, key: str) -> bool:
+        """True if ``key`` currently names an object."""
+        return any(info.key == key for info in self.list(prefix=key))
+
+    def total_bytes(self, prefix: str = "") -> int:
+        """Sum of object sizes under ``prefix`` (used by the 150% rule)."""
+        return sum(info.size for info in self.list(prefix=prefix))

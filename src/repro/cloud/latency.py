@@ -1,0 +1,93 @@
+"""Latency models for simulated cloud access.
+
+The models are calibrated against the paper's Table 3, which reports the
+PUT latencies the authors observed from Lisbon to S3 US-East:
+
+======================  ==============  ===========
+object size             PUT latency     implied rate
+======================  ==============  ===========
+386 kB  (PG, B=10)      692 ms          —
+3 018 kB (PG, B=100)    2 880 ms        ~1.3 MB/s
+10 081 kB (PG, B=1000)  7 707 ms        ~1.4 MB/s
+======================  ==============  ===========
+
+A linear fit gives ≈400 ms of base latency plus ≈0.72 ms/kB of transfer
+(≈1.4 MB/s), which :data:`WAN_LATENCY` encodes.  Download is asymmetric:
+§8.3's recovery of a 1.5 GB database in "a few minutes" over WAN implies
+roughly 8 MB/s down.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Latency = base + size/throughput, with lognormal jitter.
+
+    Attributes:
+        put_base: fixed per-request seconds for PUT (TLS + request setup).
+        put_bytes_per_sec: sustained upload throughput.
+        get_base: fixed per-request seconds for GET.
+        get_bytes_per_sec: sustained download throughput.
+        list_base: seconds for a LIST request.
+        delete_base: seconds for a DELETE request.
+        jitter_sigma: sigma of the multiplicative lognormal jitter
+            (0 disables jitter and makes the model deterministic).
+    """
+
+    put_base: float = 0.0
+    put_bytes_per_sec: float = math.inf
+    get_base: float = 0.0
+    get_bytes_per_sec: float = math.inf
+    list_base: float = 0.0
+    delete_base: float = 0.0
+    jitter_sigma: float = 0.0
+
+    def _jitter(self, rng: random.Random | None) -> float:
+        if self.jitter_sigma <= 0 or rng is None:
+            return 1.0
+        return rng.lognormvariate(0.0, self.jitter_sigma)
+
+    def put_latency(self, nbytes: int, rng: random.Random | None = None) -> float:
+        """Modeled seconds for a PUT of ``nbytes``."""
+        return (self.put_base + nbytes / self.put_bytes_per_sec) * self._jitter(rng)
+
+    def get_latency(self, nbytes: int, rng: random.Random | None = None) -> float:
+        """Modeled seconds for a GET of ``nbytes``."""
+        return (self.get_base + nbytes / self.get_bytes_per_sec) * self._jitter(rng)
+
+    def list_latency(self, rng: random.Random | None = None) -> float:
+        return self.list_base * self._jitter(rng)
+
+    def delete_latency(self, rng: random.Random | None = None) -> float:
+        return self.delete_base * self._jitter(rng)
+
+
+#: No latency at all — unit tests.
+LOCAL_LATENCY = LatencyModel()
+
+#: Lisbon → S3 US-East, the paper's experimental setup (see module doc).
+WAN_LATENCY = LatencyModel(
+    put_base=0.40,
+    put_bytes_per_sec=1.4e6,
+    get_base=0.20,
+    get_bytes_per_sec=8e6,
+    list_base=0.25,
+    delete_base=0.08,
+    jitter_sigma=0.15,
+)
+
+#: EC2 VM in the same region as the bucket (§8.3, Figure 7's second series).
+SAME_REGION_LATENCY = LatencyModel(
+    put_base=0.020,
+    put_bytes_per_sec=60e6,
+    get_base=0.010,
+    get_bytes_per_sec=80e6,
+    list_base=0.015,
+    delete_base=0.008,
+    jitter_sigma=0.10,
+)

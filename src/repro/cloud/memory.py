@@ -1,0 +1,61 @@
+"""In-memory object store — the default backend for tests and benchmarks."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.common.errors import CloudObjectNotFound
+from repro.cloud.interface import ObjectInfo, ObjectStore
+
+
+class InMemoryObjectStore(ObjectStore):
+    """A dict-backed bucket with S3 semantics.
+
+    Objects are immutable snapshots: ``put`` stores a private copy of the
+    payload so later mutation of the caller's buffer cannot corrupt the
+    "cloud".
+    """
+
+    def __init__(self) -> None:
+        self._objects: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    def put(self, key: str, data: bytes) -> None:
+        snapshot = bytes(data)
+        with self._lock:
+            self._objects[key] = snapshot
+
+    def get(self, key: str) -> bytes:
+        with self._lock:
+            try:
+                return self._objects[key]
+            except KeyError:
+                raise CloudObjectNotFound(key) from None
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        with self._lock:
+            return [
+                ObjectInfo(key=key, size=len(body))
+                for key, body in sorted(self._objects.items())
+                if key.startswith(prefix)
+            ]
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._objects.pop(key, None)
+
+    # Test/diagnostic helpers ----------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._objects)
+
+    def clear(self) -> None:
+        """Drop every object — simulates losing the bucket."""
+        with self._lock:
+            self._objects.clear()
+
+    def snapshot(self) -> dict[str, bytes]:
+        """A point-in-time copy of the bucket, for assertions in tests."""
+        with self._lock:
+            return dict(self._objects)

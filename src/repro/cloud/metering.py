@@ -1,0 +1,129 @@
+"""Request and storage metering.
+
+Everything the cost model (§7) and Table 3 need is collected here: how
+many requests of each verb ran, how many bytes moved, the latency of
+each PUT, and the integral of stored bytes over time (for $/GB-month
+billing).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpStats:
+    """Aggregate statistics for one verb."""
+
+    count: int = 0
+    bytes: int = 0
+    latency_total: float = 0.0
+    latency_max: float = 0.0
+
+    def record(self, nbytes: int, latency: float) -> None:
+        self.count += 1
+        self.bytes += nbytes
+        self.latency_total += latency
+        if latency > self.latency_max:
+            self.latency_max = latency
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency_total / self.count if self.count else 0.0
+
+    @property
+    def mean_bytes(self) -> float:
+        return self.bytes / self.count if self.count else 0.0
+
+
+@dataclass
+class RequestMeter:
+    """Thread-safe meter a :class:`~repro.cloud.simulated.SimulatedCloud`
+    feeds on every request.
+
+    Storage is integrated over *store time* (the modeled clock the store
+    passes in), producing ``byte_seconds`` from which GB-month charges
+    follow directly.
+    """
+
+    puts: OpStats = field(default_factory=OpStats)
+    gets: OpStats = field(default_factory=OpStats)
+    lists: OpStats = field(default_factory=OpStats)
+    deletes: OpStats = field(default_factory=OpStats)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stored_bytes = 0
+        self._byte_seconds = 0.0
+        self._last_change: float | None = None
+        self._peak_stored = 0
+
+    # -- storage integral ---------------------------------------------------
+
+    def _accrue(self, now: float) -> None:
+        if self._last_change is not None and now > self._last_change:
+            self._byte_seconds += self._stored_bytes * (now - self._last_change)
+        self._last_change = now
+
+    def _adjust_storage(self, delta: int, now: float) -> None:
+        self._accrue(now)
+        self._stored_bytes += delta
+        if self._stored_bytes > self._peak_stored:
+            self._peak_stored = self._stored_bytes
+
+    # -- recording ----------------------------------------------------------
+
+    def record_put(self, nbytes: int, latency: float, now: float,
+                   replaced_bytes: int = 0) -> None:
+        with self._lock:
+            self.puts.record(nbytes, latency)
+            self._adjust_storage(nbytes - replaced_bytes, now)
+
+    def record_get(self, nbytes: int, latency: float, now: float) -> None:
+        with self._lock:
+            self.gets.record(nbytes, latency)
+            self._accrue(now)
+
+    def record_list(self, latency: float, now: float) -> None:
+        with self._lock:
+            self.lists.record(0, latency)
+            self._accrue(now)
+
+    def record_delete(self, removed_bytes: int, latency: float, now: float) -> None:
+        with self._lock:
+            self.deletes.record(removed_bytes, latency)
+            self._adjust_storage(-removed_bytes, now)
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes currently stored (as tracked through this meter)."""
+        with self._lock:
+            return self._stored_bytes
+
+    @property
+    def peak_stored_bytes(self) -> int:
+        with self._lock:
+            return self._peak_stored
+
+    def byte_seconds(self, now: float) -> float:
+        """Integral of stored bytes over store time up to ``now``."""
+        with self._lock:
+            self._accrue(now)
+            return self._byte_seconds
+
+    def average_stored_bytes(self, start: float, now: float) -> float:
+        """Mean stored bytes over the window ``[start, now]``."""
+        if now <= start:
+            return float(self.stored_bytes)
+        return self.byte_seconds(now) / (now - start)
+
+    def reset(self) -> None:
+        """Zero the request counters (storage tracking continues)."""
+        with self._lock:
+            self.puts = OpStats()
+            self.gets = OpStats()
+            self.lists = OpStats()
+            self.deletes = OpStats()

@@ -1,0 +1,130 @@
+"""Multi-cloud replicated object store.
+
+§6 of the paper: "our system supports the replication of objects in
+multiple clouds, for tolerating provider-scale failures [19]" (the
+DepSky line of work).  This store fans every PUT/DELETE out to all
+replicas and serves GET/LIST from the first replica that answers,
+tolerating up to ``len(stores) - 1`` unavailable providers.
+
+Writes are considered durable once ``write_quorum`` replicas confirm;
+the remaining replicas are still attempted (and an error there is
+reported but not fatal), matching the asynchronous flavour the paper's
+cost model assumes.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.common.errors import CloudError, CloudUnavailable
+from repro.cloud.interface import ObjectInfo, ObjectStore
+
+
+class MultiCloudStore(ObjectStore):
+    """Replicate objects across several providers.
+
+    Args:
+        stores: the replica stores, in preference order for reads.
+        write_quorum: confirmations required before a PUT returns
+            (default: all replicas).
+    """
+
+    def __init__(self, stores: list[ObjectStore], write_quorum: int | None = None):
+        if not stores:
+            raise ValueError("MultiCloudStore needs at least one replica store")
+        quorum = len(stores) if write_quorum is None else write_quorum
+        if not 1 <= quorum <= len(stores):
+            raise ValueError(
+                f"write_quorum must be in [1, {len(stores)}], got {quorum}"
+            )
+        self._stores = list(stores)
+        self._quorum = quorum
+        # One worker per replica: a PUT fans out fully in parallel.
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(stores), thread_name_prefix="multicloud"
+        )
+        self._lock = threading.Lock()
+        self.replica_errors = 0  # non-fatal failures beyond the quorum
+
+    @property
+    def stores(self) -> list[ObjectStore]:
+        return list(self._stores)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def put(self, key: str, data: bytes) -> None:
+        futures = [self._pool.submit(s.put, key, data) for s in self._stores]
+        confirmed = 0
+        errors: list[BaseException] = []
+        for future in futures:
+            try:
+                future.result()
+                confirmed += 1
+            except CloudError as exc:
+                errors.append(exc)
+        if confirmed < self._quorum:
+            raise CloudUnavailable(
+                f"PUT {key!r}: only {confirmed}/{self._quorum} replicas confirmed "
+                f"(first error: {errors[0] if errors else 'none'})"
+            )
+        if errors:
+            with self._lock:
+                self.replica_errors += len(errors)
+
+    def get(self, key: str) -> bytes:
+        last: CloudError | None = None
+        for store in self._stores:
+            try:
+                return store.get(key)
+            except CloudError as exc:
+                last = exc
+        assert last is not None
+        raise last
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        last: CloudError | None = None
+        for store in self._stores:
+            try:
+                return store.list(prefix)
+            except CloudError as exc:
+                last = exc
+        assert last is not None
+        raise last
+
+    def delete(self, key: str) -> None:
+        futures = [self._pool.submit(s.delete, key) for s in self._stores]
+        errors = 0
+        for future in futures:
+            try:
+                future.result()
+            except CloudError:
+                errors += 1
+        if errors:
+            with self._lock:
+                self.replica_errors += errors
+
+    def repair(self) -> int:
+        """Re-replicate objects missing from some replicas.
+
+        Run after a provider outage ends.  Returns the number of object
+        copies written.
+        """
+        union: dict[str, ObjectStore] = {}
+        listings: list[set[str]] = []
+        for store in self._stores:
+            try:
+                keys = {info.key for info in store.list()}
+            except CloudError:
+                keys = set()
+            listings.append(keys)
+            for key in keys:
+                union.setdefault(key, store)
+        copies = 0
+        for i, store in enumerate(self._stores):
+            for key, source in union.items():
+                if key not in listings[i]:
+                    store.put(key, source.get(key))
+                    copies += 1
+        return copies

@@ -1,0 +1,109 @@
+"""Cloud storage price books (May 2017) and billing.
+
+Prices come straight from §3 of the paper for S3 ("$0.023 per GB/month,
+$0.005 per 1000 file uploads, and free upload bandwidth and delete
+operations") and §7.3 ("downloading one GB of data is almost 4x higher
+than the cost of storing it for a month").  Azure and Google books are
+included because the paper notes "G INJA can be used with any of them";
+their May-2017 list prices are encoded for the same region class.
+
+All prices use *decimal* GB, as providers bill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import GB
+from repro.cloud.metering import RequestMeter
+
+SECONDS_PER_MONTH = 30 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """Billing rates of one provider's object storage tier."""
+
+    name: str
+    storage_gb_month: float  # $ per GB stored per month
+    put_per_1000: float      # $ per 1000 PUT/LIST requests
+    get_per_10000: float     # $ per 10000 GET requests
+    egress_per_gb: float     # $ per GB downloaded to the internet
+    #: Downloads to a VM in the same region are free on AWS (§7.3).
+    egress_same_region_per_gb: float = 0.0
+
+    # -- primitive charges ----------------------------------------------------
+
+    def storage_cost(self, gb: float, months: float = 1.0) -> float:
+        """Charge for keeping ``gb`` stored for ``months``."""
+        return gb * months * self.storage_gb_month
+
+    def put_cost(self, count: int) -> float:
+        return count * self.put_per_1000 / 1000.0
+
+    def get_cost(self, count: int) -> float:
+        return count * self.get_per_10000 / 10000.0
+
+    def egress_cost(self, gb: float, same_region: bool = False) -> float:
+        rate = self.egress_same_region_per_gb if same_region else self.egress_per_gb
+        return gb * rate
+
+    # -- metered billing -------------------------------------------------------
+
+    def bill_window(self, meter: RequestMeter, elapsed: float) -> float:
+        """Actual charge for a metered window of ``elapsed`` store-seconds.
+
+        LIST requests bill at PUT rates, as on S3.
+        """
+        storage_gb_months = meter.byte_seconds(elapsed) / GB / SECONDS_PER_MONTH
+        return (
+            self.storage_cost(1.0, storage_gb_months)
+            + self.put_cost(meter.puts.count + meter.lists.count)
+            + self.get_cost(meter.gets.count)
+            + self.egress_cost(meter.gets.bytes / GB)
+        )
+
+    def monthly_run_rate(self, meter: RequestMeter, elapsed: float) -> float:
+        """Extrapolate a metered window to a 30-day month.
+
+        Request counts scale linearly with time; storage bills at the
+        window's *average* stored volume.
+        """
+        if elapsed <= 0:
+            return 0.0
+        scale = SECONDS_PER_MONTH / elapsed
+        avg_gb = meter.average_stored_bytes(0.0, elapsed) / GB
+        return (
+            self.storage_cost(avg_gb, 1.0)
+            + self.put_cost(int((meter.puts.count + meter.lists.count) * scale))
+            + self.get_cost(int(meter.gets.count * scale))
+            + self.egress_cost(meter.gets.bytes / GB * scale)
+        )
+
+
+#: Amazon S3 Standard, US-East, May 2017 (§3 and [4]).
+S3_STANDARD_2017 = PriceBook(
+    name="Amazon S3 Standard (May 2017)",
+    storage_gb_month=0.023,
+    put_per_1000=0.005,
+    get_per_10000=0.004,
+    egress_per_gb=0.090,
+)
+
+#: Azure Blob Storage (Hot, LRS), May 2017.
+AZURE_BLOB_2017 = PriceBook(
+    name="Azure Blob Hot LRS (May 2017)",
+    storage_gb_month=0.0184,
+    put_per_1000=0.0036,
+    get_per_10000=0.0036,
+    egress_per_gb=0.087,
+)
+
+#: Google Cloud Storage (Standard, multi-region US), May 2017.
+GOOGLE_STORAGE_2017 = PriceBook(
+    name="Google Storage Standard (May 2017)",
+    storage_gb_month=0.026,
+    put_per_1000=0.005,
+    get_per_10000=0.004,
+    egress_per_gb=0.120,
+)

@@ -1,0 +1,54 @@
+"""Shared utilities: clocks, unit parsing/formatting, errors.
+
+These are the leaf dependencies of every other subpackage; nothing in
+:mod:`repro.common` imports from the rest of the library.
+"""
+
+from repro.common.clock import Clock, ManualClock, MonotonicClock, SYSTEM_CLOCK
+from repro.common.errors import (
+    CloudError,
+    CloudObjectNotFound,
+    CloudUnavailable,
+    ConfigError,
+    DatabaseError,
+    FileSystemError,
+    GinjaError,
+    IntegrityError,
+    RecoveryError,
+    ReproError,
+    TransactionAborted,
+)
+from repro.common.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    format_duration,
+    parse_bytes,
+    parse_duration,
+)
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "MonotonicClock",
+    "SYSTEM_CLOCK",
+    "ReproError",
+    "CloudError",
+    "CloudObjectNotFound",
+    "CloudUnavailable",
+    "ConfigError",
+    "DatabaseError",
+    "FileSystemError",
+    "GinjaError",
+    "IntegrityError",
+    "RecoveryError",
+    "TransactionAborted",
+    "KiB",
+    "MiB",
+    "GiB",
+    "parse_bytes",
+    "format_bytes",
+    "parse_duration",
+    "format_duration",
+]

@@ -1,0 +1,91 @@
+"""Clock abstraction.
+
+Two implementations are provided:
+
+* :class:`MonotonicClock` — wall time, used when running the real threaded
+  pipeline (the default everywhere).
+* :class:`ManualClock` — a hand-advanced clock for deterministic unit
+  tests of timeout logic, and for the analytic parts of the benchmark
+  harness where *modeled* time (unscaled cloud latencies) is accounted
+  without sleeping through it.
+
+The Ginja pipeline itself runs on real threads; simulated components
+(cloud latency, disk latency) sleep for ``modeled_latency * time_scale``
+but *meter* the full modeled latency, so experiments can report the
+paper's time units while executing quickly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Interface: a source of seconds plus a sleep primitive."""
+
+    def now(self) -> float:
+        """Return the current time in seconds (arbitrary epoch)."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block the calling thread for ``seconds``."""
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """Real time, via :func:`time.monotonic` / :func:`time.sleep`."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to.
+
+    ``sleep`` advances the clock instead of blocking, which makes it safe
+    to use from a single-threaded test.  ``advance`` may be called from
+    another thread; waiters blocked in :meth:`wait_until` are woken.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+        self._cond = threading.Condition()
+
+    def now(self) -> float:
+        with self._cond:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        with self._cond:
+            self._now += seconds
+            self._cond.notify_all()
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward, waking any :meth:`wait_until` callers."""
+        self.sleep(seconds)
+
+    def wait_until(self, deadline: float, timeout: float = 5.0) -> bool:
+        """Block (in real time) until the manual clock reaches ``deadline``.
+
+        Returns ``False`` if ``timeout`` real seconds elapse first.  Used
+        by tests coordinating with pipeline threads.
+        """
+        end = time.monotonic() + timeout
+        with self._cond:
+            while self._now < deadline:
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+
+#: Process-wide default clock.
+SYSTEM_CLOCK = MonotonicClock()

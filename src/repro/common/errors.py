@@ -1,0 +1,75 @@
+"""Exception hierarchy for the whole library.
+
+Every exception raised on purpose by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors (``TypeError`` and friends).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+# --------------------------------------------------------------------------
+# Cloud storage
+
+
+class CloudError(ReproError):
+    """Base class for failures of a cloud object store."""
+
+
+class CloudObjectNotFound(CloudError, KeyError):
+    """A GET or DELETE referenced an object key that does not exist."""
+
+    def __init__(self, key: str):
+        super().__init__(key)
+        self.key = key
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable.
+        return f"no such cloud object: {self.key!r}"
+
+
+class CloudUnavailable(CloudError):
+    """The store refused the request (simulated outage or throttling)."""
+
+
+# --------------------------------------------------------------------------
+# Local file system substrate
+
+
+class FileSystemError(ReproError, OSError):
+    """Base class for virtual file system failures."""
+
+
+# --------------------------------------------------------------------------
+# Database substrate
+
+
+class DatabaseError(ReproError):
+    """Base class for failures of the MiniDB storage engine."""
+
+
+class TransactionAborted(DatabaseError):
+    """The transaction was rolled back and its effects discarded."""
+
+
+# --------------------------------------------------------------------------
+# Ginja core
+
+
+class GinjaError(ReproError):
+    """Base class for failures inside the Ginja middleware itself."""
+
+
+class IntegrityError(GinjaError):
+    """A downloaded object failed MAC verification or is malformed."""
+
+
+class RecoveryError(GinjaError):
+    """Cloud state is insufficient or inconsistent for recovery."""

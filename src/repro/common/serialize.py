@@ -1,0 +1,83 @@
+"""Tiny framed binary codec used across the library.
+
+No third-party serializers are available offline, and ``pickle`` is
+unacceptable for data that crosses a trust boundary (objects come back
+from a cloud), so everything that goes on disk or into the cloud is
+encoded with this explicit, length-prefixed format:
+
+* ``pack_bytes``/``take_bytes`` — u32 length + payload;
+* ``pack_str``/``take_str`` — UTF-8 via the bytes framing;
+* record/object composition is done by concatenation in the callers.
+
+``take_*`` functions return ``(value, next_offset)`` so callers can walk
+a buffer without slicing copies.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import IntegrityError
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+def pack_u32(value: int) -> bytes:
+    return _U32.pack(value)
+
+
+def take_u32(buf: bytes, offset: int) -> tuple[int, int]:
+    if offset + 4 > len(buf):
+        raise IntegrityError("truncated u32")
+    return _U32.unpack_from(buf, offset)[0], offset + 4
+
+
+def pack_u64(value: int) -> bytes:
+    return _U64.pack(value)
+
+
+def take_u64(buf: bytes, offset: int) -> tuple[int, int]:
+    if offset + 8 > len(buf):
+        raise IntegrityError("truncated u64")
+    return _U64.unpack_from(buf, offset)[0], offset + 8
+
+
+def pack_bytes(data: bytes) -> bytes:
+    return _U32.pack(len(data)) + data
+
+
+def take_bytes(buf: bytes, offset: int) -> tuple[bytes, int]:
+    length, offset = take_u32(buf, offset)
+    end = offset + length
+    if end > len(buf):
+        raise IntegrityError("truncated byte field")
+    return bytes(buf[offset:end]), end
+
+
+def pack_str(text: str) -> bytes:
+    return pack_bytes(text.encode("utf-8"))
+
+
+def take_str(buf: bytes, offset: int) -> tuple[str, int]:
+    raw, offset = take_bytes(buf, offset)
+    return raw.decode("utf-8"), offset
+
+
+def pack_kv_pairs(pairs: list[tuple[str, bytes]]) -> bytes:
+    """Encode a list of (name, payload) pairs — e.g. the files of a dump."""
+    out = [pack_u32(len(pairs))]
+    for name, payload in pairs:
+        out.append(pack_str(name))
+        out.append(pack_bytes(payload))
+    return b"".join(out)
+
+
+def take_kv_pairs(buf: bytes, offset: int = 0) -> tuple[list[tuple[str, bytes]], int]:
+    count, offset = take_u32(buf, offset)
+    pairs: list[tuple[str, bytes]] = []
+    for _ in range(count):
+        name, offset = take_str(buf, offset)
+        payload, offset = take_bytes(buf, offset)
+        pairs.append((name, payload))
+    return pairs, offset

@@ -1,0 +1,117 @@
+"""Byte-size and duration helpers.
+
+The paper mixes binary page sizes (8 kB pages, 16 MB segments) with the
+decimal GB used by cloud pricing.  To keep that distinction honest the
+library uses:
+
+* ``KiB``/``MiB``/``GiB`` binary constants for on-disk structures, and
+* plain floats of *decimal* gigabytes for pricing (see
+  :mod:`repro.cloud.pricing`, which converts explicitly).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import ConfigError
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Decimal gigabyte, the unit cloud providers bill in.
+GB = 1000**3
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[a-zA-Z]*)\s*$",
+)
+
+_SIZE_UNITS = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+    "t": 1024 * GiB,
+    "tb": 1024 * GiB,
+    "tib": 1024 * GiB,
+}
+
+_DURATION_UNITS = {
+    "": 1.0,
+    "s": 1.0,
+    "sec": 1.0,
+    "ms": 1e-3,
+    "us": 1e-6,
+    "m": 60.0,
+    "min": 60.0,
+    "h": 3600.0,
+    "d": 86400.0,
+}
+
+
+def parse_bytes(text: str | int) -> int:
+    """Parse a human-readable size (``"16MB"``, ``"8k"``, ``4096``) to bytes.
+
+    Suffixes are case-insensitive and binary (``1k == 1024``); a bare
+    number is taken as bytes.
+
+    >>> parse_bytes("16MB")
+    16777216
+    """
+    if isinstance(text, int):
+        return text
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ConfigError(f"unparseable size: {text!r}")
+    unit = match.group("unit").lower()
+    if unit not in _SIZE_UNITS:
+        raise ConfigError(f"unknown size unit {unit!r} in {text!r}")
+    value = float(match.group("num")) * _SIZE_UNITS[unit]
+    return int(value)
+
+
+def format_bytes(nbytes: float) -> str:
+    """Render a byte count with a binary suffix (``"16.0MiB"``)."""
+    value = float(nbytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024 or suffix == "TiB":
+            if suffix == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{suffix}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def parse_duration(text: str | float | int) -> float:
+    """Parse a duration (``"5m"``, ``"200ms"``, ``1.5``) to seconds."""
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ConfigError(f"unparseable duration: {text!r}")
+    unit = match.group("unit").lower()
+    if unit not in _DURATION_UNITS:
+        raise ConfigError(f"unknown duration unit {unit!r} in {text!r}")
+    return float(match.group("num")) * _DURATION_UNITS[unit]
+
+
+def format_duration(seconds: float) -> str:
+    """Render seconds compactly (``"1.5ms"``, ``"2.0m"``, ``"3.1h"``)."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120:
+        return f"{seconds:.1f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"

@@ -1,0 +1,252 @@
+"""Algorithm 1: Boot, Reboot and Recovery.
+
+One deliberate deviation from the paper's pseudo-code is documented
+here: Algorithm 1 Boot gives both the first WAL object *and* the dump
+the timestamp 0, but its own Recovery applies only WAL objects *newer*
+than the dump's ts — which would drop the first segment.  We start Boot
+WAL timestamps at 1 and give the dump ts 0, so recovery applies every
+boot segment.  (DESIGN.md lists this under substitutions.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import RecoveryError
+from repro.core.cloud_view import CloudView
+from repro.core.codec import ObjectCodec
+from repro.core.config import GinjaConfig
+from repro.core.data_model import (
+    CHECKPOINT,
+    DBObjectMeta,
+    DUMP,
+    WALObjectMeta,
+    decode_checkpoint_payload,
+    decode_dump_payload,
+    decode_wal_payload,
+    encode_dump_payload,
+    encode_wal_payload,
+    parse_any,
+)
+from repro.core.stats import GinjaStats
+from repro.cloud.interface import ObjectStore
+from repro.db.profiles import DBMSProfile
+from repro.storage.interface import FileSystem
+
+
+def _split_content(content: bytes, max_bytes: int) -> list[tuple[int, bytes]]:
+    """Slice a file's content into (offset, piece) runs of <= max_bytes."""
+    if not content:
+        return [(0, b"")]
+    return [
+        (pos, content[pos:pos + max_bytes])
+        for pos in range(0, len(content), max_bytes)
+    ]
+
+
+def boot(
+    fs: FileSystem,
+    cloud: ObjectStore,
+    codec: ObjectCodec,
+    view: CloudView,
+    profile: DBMSProfile,
+    config: GinjaConfig,
+    stats: GinjaStats | None = None,
+) -> None:
+    """Upload an existing local database to an empty bucket (Alg. 1, Boot).
+
+    One WAL object per local segment (split at the object cap), then a
+    full dump.  Must complete before the DBMS starts on the mounted FS.
+    """
+    stats = stats or GinjaStats()
+    existing = cloud.list()
+    if any(parse_any(info.key) is not None for info in existing):
+        raise RecoveryError(
+            "bucket already contains Ginja objects; use reboot or recovery"
+        )
+    ts = 1  # see module docstring for why boot WAL starts at 1
+    wal_paths = sorted(
+        (p for p in fs.files() if profile.is_wal_path(p)),
+        key=lambda p: profile.wal_index(p),
+    )
+    for path in wal_paths:
+        content = fs.read_all(path)
+        for offset, piece in _split_content(content, config.max_object_bytes):
+            blob = codec.encode(encode_wal_payload([(offset, piece)]))
+            meta = WALObjectMeta(ts=ts, filename=path, offset=offset)
+            cloud.put(meta.key, blob)
+            view.add_wal(meta)
+            stats.add(wal_objects=1, wal_bytes=len(blob))
+            ts += 1
+    view.force_frontier(ts - 1)
+    db_files = [
+        (path, fs.read_all(path)) for path in fs.files() if profile.is_db_file(path)
+    ]
+    parts = _pack_dump_parts(db_files, config.max_object_bytes)
+    blobs = [codec.encode(encode_dump_payload(group)) for group in parts]
+    for part, blob in enumerate(blobs):
+        meta = DBObjectMeta(
+            ts=0, type=DUMP, size=len(blob), part=part, nparts=len(blobs)
+        )
+        cloud.put(meta.key, blob)
+        view.add_db(meta)
+        stats.add(db_objects=1, db_bytes=len(blob))
+    stats.add(dumps=1)
+
+
+def _pack_dump_parts(
+    files: list[tuple[str, bytes]], max_bytes: int
+) -> list[list[tuple[str, bytes]]]:
+    groups: list[list[tuple[str, bytes]]] = []
+    current: list[tuple[str, bytes]] = []
+    size = 0
+    for path, content in files:
+        if current and size + len(content) > max_bytes:
+            groups.append(current)
+            current, size = [], 0
+        current.append((path, content))
+        size += len(content)
+    if current:
+        groups.append(current)
+    return groups or [[]]
+
+
+def reboot(cloud: ObjectStore, view: CloudView) -> int:
+    """Rebuild the cloudView from a LIST (Alg. 1, Reboot).
+
+    Assumes the cloud is synchronized with the local files (a safe stop).
+    Returns the number of Ginja objects found.
+    """
+    count = 0
+    for info in cloud.list():
+        meta = parse_any(info.key)
+        if meta is None:
+            continue
+        view.add_listed(info.key)
+        count += 1
+    wal = view.wal_objects()
+    if wal:
+        # After GC the remaining WAL timestamps form one contiguous run;
+        # everything below its start was superseded by checkpoints.
+        view.force_frontier(wal[0].ts - 1)
+    return count
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover_files` restored, for logs and assertions."""
+
+    dump_ts: int = -1
+    dump_parts: int = 0
+    checkpoints_applied: int = 0
+    wal_objects_applied: int = 0
+    last_applied_wal_ts: int = -1
+    files_restored: int = 0
+    bytes_downloaded: int = 0
+    #: Object keys present in the bucket but unusable (timestamp gaps or
+    #: incomplete multi-part groups) — candidates for cleanup.
+    stale_keys: list[str] = field(default_factory=list)
+
+
+def recover_files(
+    cloud: ObjectStore,
+    codec: ObjectCodec,
+    fs: FileSystem,
+    *,
+    upto_ts: int | None = None,
+) -> RecoveryReport:
+    """Rebuild the database files from the cloud (Alg. 1, Recovery).
+
+    Applies the newest *complete* dump, then complete incremental
+    checkpoints in timestamp order, then WAL objects with consecutive
+    timestamps.  ``upto_ts`` restores a retained PITR snapshot instead of
+    the latest state: only DB objects with ts <= upto_ts are applied and
+    no WAL is replayed beyond them.
+
+    The target file system should be empty; restored files are written
+    from scratch.
+    """
+    report = RecoveryReport()
+    wal_metas: dict[int, WALObjectMeta] = {}
+    db_groups: dict[tuple[int, int, str], list[DBObjectMeta]] = {}
+    for info in cloud.list():
+        meta = parse_any(info.key)
+        if meta is None:
+            continue
+        if isinstance(meta, WALObjectMeta):
+            wal_metas[meta.ts] = meta
+        else:
+            db_groups.setdefault(meta.group, []).append(meta)
+
+    complete_groups: dict[tuple[int, int, str], list[DBObjectMeta]] = {}
+    for group_key, metas in db_groups.items():
+        metas.sort(key=lambda m: m.part)
+        if len(metas) == metas[0].nparts and [m.part for m in metas] == list(
+            range(metas[0].nparts)
+        ):
+            complete_groups[group_key] = metas
+        else:
+            report.stale_keys.extend(m.key for m in metas)
+
+    dumps = sorted(
+        ((ts, seq) for (ts, seq, type_) in complete_groups if type_ == DUMP),
+        reverse=True,
+    )
+    if upto_ts is not None:
+        dumps = [(ts, seq) for ts, seq in dumps if ts <= upto_ts]
+    if not dumps:
+        raise RecoveryError("no complete dump found in the cloud")
+    dump_order = dumps[0]
+    dump_ts = dump_order[0]
+    report.dump_ts = dump_ts
+
+    # 1. Restore the dump (Alg. 1, lines 27-29).
+    for meta in complete_groups[(dump_order[0], dump_order[1], DUMP)]:
+        blob = cloud.get(meta.key)
+        report.bytes_downloaded += len(blob)
+        for path, content in decode_dump_payload(codec.decode(blob)):
+            fs.write_all(path, content)
+            report.files_restored += 1
+        report.dump_parts += 1
+
+    # 2. Apply incremental checkpoints in (ts, seq) order (lines 30-36).
+    max_ckpt_ts = dump_ts
+    ckpt_orders = sorted(
+        (ts, seq)
+        for (ts, seq, type_) in complete_groups
+        if type_ == CHECKPOINT and (ts, seq) > dump_order
+    )
+    if upto_ts is not None:
+        ckpt_orders = [(ts, seq) for ts, seq in ckpt_orders if ts <= upto_ts]
+    for ts, seq in ckpt_orders:
+        for meta in complete_groups[(ts, seq, CHECKPOINT)]:
+            blob = cloud.get(meta.key)
+            report.bytes_downloaded += len(blob)
+            for path, offset, data in decode_checkpoint_payload(codec.decode(blob)):
+                fs.write(path, offset, data)
+        report.checkpoints_applied += 1
+        max_ckpt_ts = ts
+
+    # 3. Replay WAL objects with consecutive timestamps (lines 37-40).
+    if upto_ts is None:
+        expected = max_ckpt_ts + 1
+        while expected in wal_metas:
+            meta = wal_metas[expected]
+            blob = cloud.get(meta.key)
+            report.bytes_downloaded += len(blob)
+            for offset, data in decode_wal_payload(codec.decode(blob)):
+                fs.write(meta.filename, offset, data)
+            report.wal_objects_applied += 1
+            report.last_applied_wal_ts = expected
+            expected += 1
+        report.stale_keys.extend(
+            wal_metas[ts].key
+            for ts in sorted(wal_metas)
+            if ts >= expected or ts <= max_ckpt_ts
+        )
+        if report.last_applied_wal_ts < 0:
+            report.last_applied_wal_ts = max_ckpt_ts
+    else:
+        report.last_applied_wal_ts = max_ckpt_ts
+        report.stale_keys.extend(wal_metas[ts].key for ts in sorted(wal_metas))
+    return report

@@ -1,0 +1,392 @@
+"""Algorithm 3: checkpoint capture, upload and garbage collection.
+
+Two halves, decoupled by a queue exactly as §5.3 prescribes ("we
+decouple as much as possible the (local) DBMS checkpoints from the
+writing of checkpoints to the cloud"):
+
+* :class:`CheckpointCollector` runs *on the DBMS's checkpointing
+  thread*, inside the interposer hooks.  It snapshots the WAL frontier
+  at the begin event, accumulates the checkpoint's page writes
+  (coalescing overwrites), and at the end event decides dump vs.
+  incremental — a dump whenever the cloud-side DB objects reach
+  ``dump_threshold`` (150%) of the local database size — then enqueues
+  the finished object.
+* :class:`CheckpointUploader` is the Checkpointer thread: it uploads DB
+  objects (split at 20 MB), registers them in the cloud view, deletes
+  WAL objects up to the object's timestamp and, after a dump,
+  superseded DB objects (subject to the PITR retention policy).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+
+from repro.common.clock import Clock, SYSTEM_CLOCK
+from repro.common.errors import CloudError, GinjaError
+from repro.core.cloud_view import CloudView
+from repro.core.codec import ObjectCodec
+from repro.core.config import GinjaConfig
+from repro.core.data_model import (
+    CHECKPOINT,
+    DBObjectMeta,
+    DUMP,
+    encode_checkpoint_payload,
+    encode_dump_payload,
+)
+from repro.core.stats import GinjaStats
+from repro.cloud.interface import ObjectStore
+from repro.db.profiles import DBMSProfile
+from repro.storage.interface import FileSystem
+
+
+@dataclass
+class _PendingObject:
+    """One finished checkpoint/dump awaiting upload."""
+
+    ts: int
+    type: str                 # DUMP or CHECKPOINT
+    payloads: list[bytes]     # encoded parts, each <= max_object_bytes
+
+
+_STOP = object()
+
+
+class CheckpointCollector:
+    """DBMS-thread half: gathers a checkpoint's writes (Alg. 3, 3-16)."""
+
+    def __init__(
+        self,
+        config: GinjaConfig,
+        codec: ObjectCodec,
+        view: CloudView,
+        fs: FileSystem,
+        profile: DBMSProfile,
+        out_queue: "queue.Queue",
+        stats: GinjaStats,
+    ):
+        self._config = config
+        self._codec = codec
+        self._view = view
+        self._fs = fs
+        self._profile = profile
+        self._queue = out_queue
+        self._stats = stats
+        self._active = False
+        self._ts = -1
+        self._writes: dict[tuple[str, int], bytes] = {}
+        self._order: list[tuple[str, int]] = []
+        # Dump freeze: while a dump is being assembled, concurrent DB-file
+        # writes must block so the dump is internally consistent (§5.3).
+        self._freeze = threading.Condition()
+        self._frozen = False
+
+    @property
+    def in_checkpoint(self) -> bool:
+        return self._active
+
+    # -- events from the processor ------------------------------------------------
+
+    def begin(self) -> None:
+        """Checkpoint-begin event: snapshot the WAL frontier (Alg. 3 l.5).
+
+        We use the *confirmed* (gap-free uploaded) timestamp rather than
+        the last assigned one: every WAL object at or below it exists in
+        the cloud and its content is guaranteed to be reflected in the
+        pages this checkpoint will flush, so GC at this ts is safe.
+        """
+        self._active = True
+        self._ts = self._view.confirmed_ts()
+        self._writes.clear()
+        self._order.clear()
+
+    def add_write(self, path: str, offset: int, data: bytes) -> None:
+        key = (path, offset)
+        if key not in self._writes:
+            self._order.append(key)
+        self._writes[key] = bytes(data)
+
+    def end(self) -> None:
+        """Checkpoint-end event: build and enqueue the DB object."""
+        self._active = False
+        self._stats.add(checkpoints_seen=1)
+        local_db_size = self._local_db_bytes()
+        cloud_db_size = self._view.total_db_bytes()
+        if cloud_db_size >= self._config.dump_threshold * local_db_size:
+            pending = self._build_dump()
+        else:
+            pending = self._build_incremental()
+        self._writes.clear()
+        self._order.clear()
+        self._queue.put(pending)
+
+    # -- freeze protocol ---------------------------------------------------------------
+
+    def wait_if_frozen(self) -> None:
+        """Called from ``before_write`` for DB files: blocks while a dump
+        snapshot is being assembled."""
+        with self._freeze:
+            while self._frozen:
+                self._freeze.wait()
+
+    def _set_frozen(self, value: bool) -> None:
+        with self._freeze:
+            self._frozen = value
+            if not value:
+                self._freeze.notify_all()
+
+    # -- object builders ------------------------------------------------------------------
+
+    def _local_db_bytes(self) -> int:
+        total = 0
+        for path in self._fs.files():
+            if self._profile.is_db_file(path):
+                total += self._fs.size(path)
+        return total
+
+    def _db_files(self) -> list[str]:
+        return [p for p in self._fs.files() if self._profile.is_db_file(p)]
+
+    def _build_incremental(self) -> _PendingObject:
+        writes = [
+            (path, offset, self._writes[(path, offset)])
+            for path, offset in self._order
+        ]
+        parts: list[bytes] = []
+        for group in _split_writes(writes, self._config.max_object_bytes):
+            payload = encode_checkpoint_payload(group)
+            self._stats.add(codec_bytes_in=len(payload))
+            parts.append(self._codec.encode(payload))
+        if not parts:
+            parts.append(self._codec.encode(encode_checkpoint_payload([])))
+        return _PendingObject(ts=self._ts, type=CHECKPOINT, payloads=parts)
+
+    def _build_dump(self) -> _PendingObject:
+        """Alg. 3 lines 9-11: full dump from the local files, with DB-file
+        writes frozen for consistency."""
+        self._set_frozen(True)
+        try:
+            files: list[tuple[str, bytes]] = []
+            for path in self._db_files():
+                files.append((path, self._fs.read_all(path)))
+            if self._profile.ring_wal:
+                # InnoDB's checkpoint pointer lives in the ib_logfile0
+                # header, which is not a DB file; a dump must still carry
+                # it or the restored engine has no recovery start point.
+                header = self._fs.read(
+                    self._profile.wal_path(0), 0, self._profile.wal_header_size
+                )
+                files.append((self._profile.wal_path(0), header))
+        finally:
+            self._set_frozen(False)
+        parts: list[bytes] = []
+        for group in _split_files(files, self._config.max_object_bytes):
+            payload = encode_dump_payload(group)
+            self._stats.add(codec_bytes_in=len(payload))
+            parts.append(self._codec.encode(payload))
+        if not parts:
+            parts.append(self._codec.encode(encode_dump_payload([])))
+        return _PendingObject(ts=self._ts, type=DUMP, payloads=parts)
+
+
+class CheckpointUploader:
+    """The Checkpointer thread (Alg. 3, lines 17-29) plus PITR retention."""
+
+    def __init__(
+        self,
+        config: GinjaConfig,
+        cloud: ObjectStore,
+        view: CloudView,
+        stats: GinjaStats,
+        clock: Clock = SYSTEM_CLOCK,
+    ):
+        self._config = config
+        self._cloud = cloud
+        self._view = view
+        self._stats = stats
+        self._clock = clock
+        self.queue: "queue.Queue" = queue.Queue()
+        self._thread: threading.Thread | None = None
+        self._fatal: Exception | None = None
+        #: Monotonic checkpoint sequence; disambiguates DB objects whose
+        #: WAL frontier ts coincides.  Continue from the cloud's max after
+        #: reboot/recovery via :meth:`seed_sequence`.
+        self._next_seq = 1  # seq 0 is the boot dump
+        #: Retained PITR generations, oldest first.  Each generation is
+        #: the list of DB objects (one dump + its incremental
+        #: checkpoints) that restores one superseded snapshot.
+        self.snapshots: list[list[DBObjectMeta]] = []
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise GinjaError("checkpoint uploader already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="ginja-checkpointer", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, drain_timeout: float = 30.0) -> None:
+        self.drain(timeout=drain_timeout)
+        self.queue.put(_STOP)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait until the queue is empty AND no upload is in progress.
+
+        ``unfinished_tasks`` only drops when the worker calls
+        ``task_done`` *after* finishing an upload, so there is no window
+        where a dequeued-but-in-flight object looks drained.
+        """
+        deadline = self._clock.now() + timeout
+        while self.queue.unfinished_tasks > 0:
+            if self._clock.now() >= deadline or self._fatal is not None:
+                return False
+            self._clock.sleep(0.01)
+        return True
+
+    @property
+    def failed(self) -> Exception | None:
+        return self._fatal
+
+    # -- worker ---------------------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is _STOP:
+                self.queue.task_done()
+                return
+            try:
+                self._upload(item)
+            except CloudError as exc:
+                self._fatal = exc
+                return
+            finally:
+                self.queue.task_done()
+
+    def seed_sequence(self, next_seq: int) -> None:
+        self._next_seq = next_seq
+
+    def _upload(self, pending: _PendingObject) -> None:
+        nparts = len(pending.payloads)
+        seq = self._next_seq
+        self._next_seq += 1
+        metas: list[DBObjectMeta] = []
+        for part, blob in enumerate(pending.payloads):
+            meta = DBObjectMeta(
+                ts=pending.ts,
+                type=pending.type,
+                size=len(blob),
+                part=part,
+                nparts=nparts,
+                seq=seq,
+            )
+            self._put_with_retries(meta.key, blob)
+            metas.append(meta)
+            self._stats.add(db_objects=1, db_bytes=len(blob))
+        for meta in metas:
+            self._view.add_db(meta)
+        if pending.type == DUMP:
+            self._stats.add(dumps=1)
+        # GC: WAL objects at or below the object's ts are redundant.
+        for wal_meta in self._view.wal_objects_upto(pending.ts):
+            self._delete_with_retries(wal_meta.key)
+            self._view.remove_wal(wal_meta.ts)
+        if pending.type == DUMP:
+            self._gc_after_dump((pending.ts, seq))
+
+    def _gc_after_dump(self, dump_order: tuple[int, int]) -> None:
+        """Alg. 3 lines 26-29, with §5.4's PITR modification."""
+        superseded = self._view.db_objects_before(dump_order)
+        for meta in superseded:
+            self._view.remove_db(meta)
+        if not superseded:
+            return
+        if self._config.retention.enabled:
+            self.snapshots.append(superseded)
+            while len(self.snapshots) > self._config.retention.generations:
+                for meta in self.snapshots.pop(0):
+                    self._delete_with_retries(meta.key)
+        else:
+            for meta in superseded:
+                self._delete_with_retries(meta.key)
+
+    def _put_with_retries(self, key: str, blob: bytes) -> None:
+        attempts = 0
+        while True:
+            try:
+                self._cloud.put(key, blob)
+                return
+            except CloudError:
+                attempts += 1
+                if attempts > self._config.max_retries:
+                    raise
+                self._stats.add(upload_retries=1)
+                backoff = self._config.retry_backoff * (2 ** (attempts - 1))
+                self._clock.sleep(min(backoff, 2.0))
+
+    def _delete_with_retries(self, key: str) -> bool:
+        """GC delete with retries.  Unlike an upload, a delete that
+        exhausts its retries is skipped, not fatal: an orphaned object
+        wastes a few bytes of storage and is ignored by recovery (its
+        timestamp lies below the live checkpoint), whereas killing the
+        checkpointer would stop all future checkpoint replication."""
+        attempts = 0
+        while True:
+            try:
+                self._cloud.delete(key)
+                self._stats.add(gc_deletes=1)
+                return True
+            except CloudError:
+                attempts += 1
+                if attempts > self._config.max_retries:
+                    self._stats.add(gc_delete_failures=1)
+                    return False
+                self._stats.add(upload_retries=1)
+                backoff = self._config.retry_backoff * (2 ** (attempts - 1))
+                self._clock.sleep(min(backoff, 2.0))
+
+
+def _split_writes(
+    writes: list[tuple[str, int, bytes]], max_bytes: int
+) -> list[list[tuple[str, int, bytes]]]:
+    """Group checkpoint writes into <= max_bytes parts (whole writes;
+    individual pages are far below the 20 MB cap)."""
+    groups: list[list[tuple[str, int, bytes]]] = []
+    current: list[tuple[str, int, bytes]] = []
+    size = 0
+    for path, offset, data in writes:
+        if current and size + len(data) > max_bytes:
+            groups.append(current)
+            current, size = [], 0
+        current.append((path, offset, data))
+        size += len(data)
+    if current:
+        groups.append(current)
+    return groups
+
+
+def _split_files(
+    files: list[tuple[str, bytes]], max_bytes: int
+) -> list[list[tuple[str, bytes]]]:
+    """Group dump files into <= max_bytes parts, slicing oversized files
+    into (path, offset-tagged) pieces is not needed: dump parts carry
+    whole files, and a file bigger than the cap becomes its own part
+    (clouds accept it; the cap is a latency optimization, not a limit)."""
+    groups: list[list[tuple[str, bytes]]] = []
+    current: list[tuple[str, bytes]] = []
+    size = 0
+    for path, content in files:
+        if current and size + len(content) > max_bytes:
+            groups.append(current)
+            current, size = [], 0
+        current.append((path, content))
+        size += len(content)
+    if current:
+        groups.append(current)
+    return groups

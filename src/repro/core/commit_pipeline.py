@@ -1,0 +1,388 @@
+"""Algorithm 2: the commit replication pipeline.
+
+Thread anatomy (the paper's Figure 3):
+
+* DBMS threads call :meth:`CommitPipeline.submit` from the interposer's
+  ``after_write`` hook.  The write is already durable locally; submit
+  enqueues it and blocks the caller while more than S updates are
+  unconfirmed or the oldest unconfirmed update is older than T_S.
+* The **Aggregator** thread claims batches of up to B queued updates
+  (without removing them), coalesces overwritten pages, splits the
+  result into WAL objects of at most ``max_object_bytes``, assigns
+  timestamps, encodes (compress/encrypt/MAC) and hands the objects to
+  the upload queue.
+* **Uploader** threads PUT objects in parallel, with bounded retries.
+* The **Unlocker** thread receives batch-completion acks and removes
+  entries from the queue head strictly in batch order — the
+  "consecutive timestamps" rule that makes S a true bound on loss even
+  when parallel uploads complete out of order (§5.3).
+
+A PUT that exhausts its retries poisons the pipeline: subsequent
+submits raise, because silently dropping a WAL object would leave a
+permanent timestamp gap that recovery stops at.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common.clock import Clock, SYSTEM_CLOCK
+from repro.common.errors import CloudError, GinjaError
+from repro.core.cloud_view import CloudView
+from repro.core.codec import ObjectCodec
+from repro.core.config import GinjaConfig
+from repro.core.data_model import WALObjectMeta, encode_wal_payload
+from repro.core.stats import GinjaStats
+from repro.cloud.interface import ObjectStore
+
+
+@dataclass(slots=True)
+class _Entry:
+    path: str
+    offset: int
+    data: bytes
+    enqueued_at: float
+
+
+@dataclass(slots=True)
+class _UploadTask:
+    batch_id: int
+    meta: WALObjectMeta
+    blob: bytes
+
+
+_STOP = object()
+
+
+class CommitPipeline:
+    """The running Algorithm-2 machinery for one Ginja instance."""
+
+    def __init__(
+        self,
+        config: GinjaConfig,
+        cloud: ObjectStore,
+        codec: ObjectCodec,
+        view: CloudView,
+        stats: GinjaStats,
+        clock: Clock = SYSTEM_CLOCK,
+    ):
+        self._config = config
+        self._cloud = cloud
+        self._codec = codec
+        self._view = view
+        self._stats = stats
+        self._clock = clock
+
+        self._cond = threading.Condition()
+        self._entries: deque[_Entry] = deque()
+        self._claimed = 0                      # head entries inside claimed batches
+        self._batch_sizes: dict[int, int] = {}
+        self._inflight_objects: dict[int, int] = {}
+        self._acked: set[int] = set()
+        self._next_batch_id = 0
+        self._next_batch_to_remove = 0
+        self._last_sync_end = clock.now()
+        # T_B anchor: advanced both when a batch is *claimed* (Alg. 2
+        # resets TaskTB right after triggering an upload) and when one
+        # completes.  Without the claim-time reset, a single timeout
+        # would let the aggregator spin out partial batches continuously
+        # while the first upload is still in flight.
+        self._tb_anchor = self._last_sync_end
+        self._fatal: Exception | None = None
+        self._stop = False
+
+        self._upload_q: queue.Queue = queue.Queue()
+        self._ack_q: queue.Queue = queue.Queue()
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            raise GinjaError("pipeline already started")
+        self._threads.append(
+            threading.Thread(target=self._aggregator_loop, name="ginja-aggregator",
+                             daemon=True)
+        )
+        for index in range(self._config.uploaders):
+            self._threads.append(
+                threading.Thread(target=self._uploader_loop,
+                                 name=f"ginja-uploader-{index}", daemon=True)
+            )
+        self._threads.append(
+            threading.Thread(target=self._unlocker_loop, name="ginja-unlocker",
+                             daemon=True)
+        )
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self, drain_timeout: float = 30.0) -> None:
+        """Flush pending updates (best effort), then stop all threads."""
+        self.drain(timeout=drain_timeout)
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        for _ in range(self._config.uploaders):
+            self._upload_q.put(_STOP)
+        self._ack_q.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        self._threads.clear()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Block until every queued update is confirmed (or timeout).
+
+        Returns True when the queue fully drained.
+        """
+        deadline = self._clock.now() + timeout
+        with self._cond:
+            while self._entries and self._fatal is None:
+                remaining = deadline - self._clock.now()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(timeout=min(remaining, 0.05))
+            return not self._entries
+
+    @property
+    def failed(self) -> Exception | None:
+        return self._fatal
+
+    def pending_updates(self) -> int:
+        with self._cond:
+            return len(self._entries)
+
+    # -- DBMS-side entry point ---------------------------------------------------------
+
+    def submit(self, path: str, offset: int, data: bytes) -> None:
+        """Enqueue one intercepted WAL write; blocks per S and T_S."""
+        now = self._clock.now()
+        entry = _Entry(path=path, offset=offset, data=bytes(data), enqueued_at=now)
+        blocked_since: float | None = None
+        with self._cond:
+            if self._fatal is not None:
+                raise GinjaError("commit pipeline failed") from self._fatal
+            self._entries.append(entry)
+            self._cond.notify_all()
+            while True:
+                if self._fatal is not None:
+                    raise GinjaError("commit pipeline failed") from self._fatal
+                over_safety = len(self._entries) > self._config.safety
+                ts_deadline = None
+                if self._entries:
+                    ts_deadline = (
+                        self._entries[0].enqueued_at + self._config.safety_timeout
+                    )
+                now = self._clock.now()
+                ts_expired = ts_deadline is not None and now >= ts_deadline and (
+                    len(self._entries) > 0
+                )
+                if not over_safety and not ts_expired:
+                    break
+                if blocked_since is None:
+                    blocked_since = now
+                    self._stats.add(blocks=1)
+                wait = 0.05
+                if not over_safety and ts_deadline is not None:
+                    wait = min(wait, max(ts_deadline - now, 0.001))
+                self._cond.wait(timeout=wait)
+        if blocked_since is not None:
+            self._stats.add(blocked_seconds=self._clock.now() - blocked_since)
+
+    # -- Aggregator ---------------------------------------------------------------------
+
+    def _aggregator_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stop:
+                    available = len(self._entries) - self._claimed
+                    if available >= self._config.batch:
+                        break
+                    timed_out = (
+                        available > 0
+                        and self._clock.now() - self._tb_anchor
+                        >= self._config.effective_batch_timeout()
+                    )
+                    if timed_out:
+                        break
+                    self._cond.wait(timeout=0.02)
+                if self._stop:
+                    return
+                available = len(self._entries) - self._claimed
+                count = min(self._config.batch, available)
+                self._tb_anchor = self._clock.now()
+                start = self._claimed
+                batch = [self._entries[start + i] for i in range(count)]
+                batch_id = self._next_batch_id
+                self._next_batch_id += 1
+                self._claimed += count
+                self._batch_sizes[batch_id] = count
+            objects = self._aggregate(batch_id, batch)
+            self._stats.add(wal_batches=1)
+            if not objects:
+                # Cannot happen for count > 0, but never leave a batch
+                # that the unlocker would wait on forever.
+                with self._cond:
+                    self._acked.add(batch_id)
+                    self._remove_completed_prefix_locked()
+                continue
+            with self._cond:
+                self._inflight_objects[batch_id] = len(objects)
+            for task in objects:
+                self._upload_q.put(task)
+
+    def _aggregate(self, batch_id: int, batch: list[_Entry]) -> list[_UploadTask]:
+        """Coalesce page overwrites and build WAL objects (Alg. 2 line 12).
+
+        Repeated writes to the same (file, offset) — the partially-filled
+        WAL page being rewritten as it fills — collapse to the latest
+        content, which is the main source of Ginja's PUT savings.
+        """
+        by_file: dict[str, list[tuple[int, bytes]]] = {}
+        if self._config.coalesce_writes:
+            latest: dict[tuple[str, int], bytes] = {}
+            order: list[tuple[str, int]] = []
+            for entry in batch:
+                key = (entry.path, entry.offset)
+                if key not in latest:
+                    order.append(key)
+                latest[key] = entry.data
+            for path, offset in order:
+                by_file.setdefault(path, []).append((offset, latest[(path, offset)]))
+        else:
+            # Ablation mode: ship every write verbatim.  Recovery applies
+            # chunks in order, so last-write-wins still holds — only the
+            # upload volume inflates.
+            for entry in batch:
+                by_file.setdefault(entry.path, []).append((entry.offset, entry.data))
+        tasks: list[_UploadTask] = []
+        for path in sorted(by_file):
+            if self._config.coalesce_writes:
+                chunks = _merge_chunks(sorted(by_file[path]))
+            else:
+                chunks = by_file[path]
+            for group in _split_chunks(chunks, self._config.max_object_bytes):
+                if not group:
+                    continue
+                payload = encode_wal_payload(group)
+                blob = self._codec.encode(payload)
+                self._stats.add(codec_bytes_in=len(payload))
+                meta = WALObjectMeta(
+                    ts=self._view.next_wal_ts(),
+                    filename=path,
+                    offset=group[0][0],
+                )
+                tasks.append(_UploadTask(batch_id=batch_id, meta=meta, blob=blob))
+        return tasks
+
+    # -- Uploaders -----------------------------------------------------------------------
+
+    def _uploader_loop(self) -> None:
+        while True:
+            item = self._upload_q.get()
+            if item is _STOP:
+                return
+            try:
+                self._put_with_retries(item.meta.key, item.blob)
+            except CloudError as exc:
+                with self._cond:
+                    self._fatal = exc
+                    self._cond.notify_all()
+                continue
+            self._view.add_wal(item.meta)
+            self._stats.add(wal_objects=1, wal_bytes=len(item.blob))
+            self._ack_q.put(item.batch_id)
+
+    def _put_with_retries(self, key: str, blob: bytes) -> None:
+        attempts = 0
+        while True:
+            try:
+                self._cloud.put(key, blob)
+                return
+            except CloudError:
+                attempts += 1
+                if attempts > self._config.max_retries:
+                    raise
+                self._stats.add(upload_retries=1)
+                backoff = self._config.retry_backoff * (2 ** (attempts - 1))
+                self._clock.sleep(min(backoff, 2.0))
+
+    # -- Unlocker -------------------------------------------------------------------------
+
+    def _unlocker_loop(self) -> None:
+        while True:
+            item = self._ack_q.get()
+            if item is _STOP:
+                return
+            batch_id = item
+            with self._cond:
+                remaining = self._inflight_objects.get(batch_id)
+                if remaining is None:
+                    continue
+                remaining -= 1
+                if remaining > 0:
+                    self._inflight_objects[batch_id] = remaining
+                    continue
+                del self._inflight_objects[batch_id]
+                self._acked.add(batch_id)
+                self._remove_completed_prefix_locked()
+
+    def _remove_completed_prefix_locked(self) -> None:
+        """Pop acked batches from the queue head strictly in order — the
+        consecutive-timestamp unlock rule (Alg. 2 lines 20-22)."""
+        while self._next_batch_to_remove in self._acked:
+            batch_id = self._next_batch_to_remove
+            self._acked.remove(batch_id)
+            count = self._batch_sizes.pop(batch_id)
+            for _ in range(count):
+                self._entries.popleft()
+            self._claimed -= count
+            self._next_batch_to_remove += 1
+            self._last_sync_end = self._clock.now()
+            self._tb_anchor = self._last_sync_end
+        self._cond.notify_all()
+
+
+def _merge_chunks(chunks: list[tuple[int, bytes]]) -> list[tuple[int, bytes]]:
+    """Join adjacent/overlapping (offset, data) runs, later data winning."""
+    merged: list[tuple[int, bytearray]] = []
+    for offset, data in chunks:
+        if merged:
+            last_offset, last_data = merged[-1]
+            last_end = last_offset + len(last_data)
+            if offset <= last_end:
+                overlap_from = offset - last_offset
+                del last_data[overlap_from:]
+                last_data.extend(data)
+                continue
+        merged.append((offset, bytearray(data)))
+    return [(offset, bytes(data)) for offset, data in merged]
+
+
+def _split_chunks(
+    chunks: list[tuple[int, bytes]], max_bytes: int
+) -> list[list[tuple[int, bytes]]]:
+    """Partition runs into groups whose payload stays under ``max_bytes``.
+
+    A single run larger than the cap is sliced across groups.
+    """
+    groups: list[list[tuple[int, bytes]]] = []
+    current: list[tuple[int, bytes]] = []
+    current_bytes = 0
+    for offset, data in chunks:
+        position = 0
+        while position < len(data):
+            room = max_bytes - current_bytes
+            if room <= 0:
+                groups.append(current)
+                current, current_bytes = [], 0
+                room = max_bytes
+            piece = data[position:position + room]
+            current.append((offset + position, piece))
+            current_bytes += len(piece)
+            position += len(piece)
+    if current:
+        groups.append(current)
+    return groups

@@ -1,0 +1,105 @@
+"""Ginja configuration — the paper's control knobs (§5.1, §5.4, §6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.units import MiB
+from repro.core.pitr import RetentionPolicy
+from repro.core.schedule import SyncSchedule
+
+
+@dataclass
+class GinjaConfig:
+    """All tunables of the middleware.
+
+    The two headline parameters trade cost vs. performance vs. data loss
+    (§5.1):
+
+    * ``batch`` (B) — how many database updates each cloud
+      synchronization carries at most;
+    * ``safety`` (S) — how many updates may be lost to a disaster; the
+      DBMS blocks once more than S updates are unconfirmed.
+
+    Their time-domain twins ``batch_timeout`` (T_B) and
+    ``safety_timeout`` (T_S) bound staleness under light workloads: a
+    pending batch is pushed after T_B seconds, and writes block if the
+    oldest unconfirmed update is older than T_S seconds.
+    """
+
+    # -- §5.1: the cost/durability/performance model -------------------------
+    batch: int = 100
+    safety: int = 1000
+    batch_timeout: float = 1.0
+    safety_timeout: float = 10.0
+
+    # -- §6: pipeline shape ---------------------------------------------------
+    #: Parallel Uploader threads (the paper's evaluation uses five).
+    uploaders: int = 5
+    #: Objects are split at this size to optimize upload latency
+    #: (footnote 3: 20 MB default).
+    max_object_bytes: int = 20 * 1000 * 1000
+    #: PUT retry budget before the pipeline declares itself failed.
+    max_retries: int = 5
+    #: Coalesce repeated writes to the same WAL page before upload
+    #: (§5.3's aggregation).  Disable only for the ablation benchmark.
+    coalesce_writes: bool = True
+    #: Base backoff between retries, in seconds (doubles per attempt).
+    retry_backoff: float = 0.1
+
+    # -- §5.4: compression / encryption / integrity ---------------------------
+    compress: bool = False
+    encrypt: bool = False
+    #: Password for the AES/MAC keys when ``encrypt`` is on (§5.4).
+    password: str | None = None
+    #: MAC key seed used when encryption is off ("a default string").
+    mac_default_key: str = "ginja-default-mac-key"
+
+    # -- §5.3: checkpoints -----------------------------------------------------
+    #: A new dump replaces incremental checkpoints once cloud DB objects
+    #: exceed this multiple of the local database size (paper: 150%).
+    dump_threshold: float = 1.5
+
+    # -- §5.4: point-in-time recovery ------------------------------------------
+    retention: RetentionPolicy = field(default_factory=RetentionPolicy.none)
+
+    # -- §3 extension: business-hours scheduling ---------------------------------
+    #: When set, overrides ``batch_timeout`` by hour of day so business
+    #: hours sync more often for the same monthly PUT budget.
+    sync_schedule: SyncSchedule | None = None
+
+    def effective_batch_timeout(self) -> float:
+        """T_B right now (the schedule wins when configured)."""
+        if self.sync_schedule is not None:
+            return self.sync_schedule.current_timeout()
+        return self.batch_timeout
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ConfigError("batch (B) must be >= 1")
+        if self.safety < 1:
+            raise ConfigError("safety (S) must be >= 1")
+        if self.batch > self.safety:
+            # §5.1: "Ideally, B should be substantially lower than S";
+            # B > S would deadlock the pipeline (a full batch could never
+            # form without blocking the DBMS first).
+            raise ConfigError("batch (B) must not exceed safety (S)")
+        if self.batch_timeout <= 0 or self.safety_timeout <= 0:
+            raise ConfigError("timeouts must be positive")
+        if self.uploaders < 1:
+            raise ConfigError("need at least one uploader thread")
+        if self.max_object_bytes < 64 * 1024:
+            raise ConfigError("max_object_bytes unreasonably small")
+        if self.encrypt and not self.password:
+            raise ConfigError("encryption requires a password")
+        if self.dump_threshold < 1.0:
+            raise ConfigError("dump_threshold below 1.0 would dump constantly")
+
+    @classmethod
+    def no_loss(cls, **overrides) -> "GinjaConfig":
+        """The synchronous-replication configuration (S = B = 1), the
+        paper's 'No-Loss' column in Figure 5."""
+        overrides.setdefault("batch", 1)
+        overrides.setdefault("safety", 1)
+        return cls(**overrides)

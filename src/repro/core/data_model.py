@@ -1,0 +1,235 @@
+"""Ginja's cloud data model (§5.2): object names and payload formats.
+
+Two object families live in the bucket:
+
+* ``WAL/<ts>_<filename>_<offset>`` — aggregated WAL segment writes.
+  ``ts`` totally orders WAL objects; ``filename`` is the local segment
+  the content belongs to; ``offset`` is the position of the object's
+  first byte within that segment.
+* ``DB/<ts>_<type>_<size>`` — database-file data, either a full
+  ``dump`` or an incremental ``checkpoint``; ``ts`` is the timestamp of
+  the last uploaded WAL object before the checkpoint began.
+
+Timestamps are zero-padded to 12 digits so lexicographic key order (the
+only order a LIST guarantees) matches numeric order.  File names are
+percent-encoded inside the key because they contain ``/`` and ``_``.
+
+Payload formats (before the codec is applied):
+
+* WAL object — ``chunks``: a framed list of ``(offset, bytes)`` runs
+  within the one segment (aggregation occasionally produces
+  non-adjacent page runs; the name's offset is the first run's).
+* checkpoint DB object — a framed list of ``(path, offset, bytes)``.
+* dump DB object — a framed list of ``(path, full_content)``.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from dataclasses import dataclass
+
+from repro.common.errors import GinjaError
+from repro.common.serialize import (
+    pack_bytes,
+    pack_str,
+    pack_u32,
+    pack_u64,
+    take_bytes,
+    take_str,
+    take_u32,
+    take_u64,
+)
+
+_TS_DIGITS = 12
+
+DUMP = "dump"
+CHECKPOINT = "checkpoint"
+
+
+def _encode_name(filename: str) -> str:
+    # quote() never escapes "_" (it is in the always-safe set), but the
+    # key format delimits fields with "_" — and real WAL files are named
+    # ``ib_logfile0``.  Escape it explicitly.
+    return urllib.parse.quote(filename, safe="").replace("_", "%5F")
+
+
+def _decode_name(token: str) -> str:
+    return urllib.parse.unquote(token)
+
+
+# ---------------------------------------------------------------------------
+# WAL objects
+
+
+@dataclass(frozen=True, slots=True)
+class WALObjectMeta:
+    """Identity of one WAL object, as encoded in its key."""
+
+    ts: int
+    filename: str
+    offset: int
+
+    @property
+    def key(self) -> str:
+        return f"WAL/{self.ts:0{_TS_DIGITS}d}_{_encode_name(self.filename)}_{self.offset}"
+
+    @classmethod
+    def parse(cls, key: str) -> "WALObjectMeta":
+        if not key.startswith("WAL/"):
+            raise GinjaError(f"not a WAL object key: {key!r}")
+        rest = key[len("WAL/"):]
+        try:
+            # The filename token cannot contain "_" (it is percent-encoded
+            # with no safe characters), so a plain 3-way split is safe.
+            ts_token, name_token, offset_token = rest.split("_")
+            return cls(
+                ts=int(ts_token),
+                filename=_decode_name(name_token),
+                offset=int(offset_token),
+            )
+        except ValueError as exc:
+            raise GinjaError(f"malformed WAL object key: {key!r}") from exc
+
+
+def encode_wal_payload(chunks: list[tuple[int, bytes]]) -> bytes:
+    """Serialize the (offset, data) runs of one WAL object."""
+    out = [pack_u32(len(chunks))]
+    for offset, data in chunks:
+        out.append(pack_u64(offset))
+        out.append(pack_bytes(data))
+    return b"".join(out)
+
+
+def decode_wal_payload(payload: bytes) -> list[tuple[int, bytes]]:
+    count, pos = take_u32(payload, 0)
+    chunks: list[tuple[int, bytes]] = []
+    for _ in range(count):
+        offset, pos = take_u64(payload, pos)
+        data, pos = take_bytes(payload, pos)
+        chunks.append((offset, data))
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+# DB objects
+
+
+@dataclass(frozen=True, slots=True)
+class DBObjectMeta:
+    """Identity of one DB object (dump or incremental checkpoint).
+
+    The paper caps cloud objects at 20 MB (footnote 3) and its cost model
+    counts "DB objects split in files of up to 20MB", so one checkpoint or
+    dump may span several objects.  The paper's name format does not say
+    how parts are distinguished; we extend the size token to
+    ``<size>.<part>.<nparts>.<seq>``:
+
+    * ``part``/``nparts`` let recovery detect an incomplete (crashed
+      mid-upload) dump or checkpoint and fall back;
+    * ``seq`` is the checkpoint sequence number, which disambiguates two
+      checkpoints whose WAL frontier ``ts`` is identical (possible when
+      no WAL upload completed between them — the paper's ts-only naming
+      would collide).  Ordering of DB objects is by ``(ts, seq)``.
+    """
+
+    ts: int
+    type: str  # DUMP or CHECKPOINT
+    size: int
+    part: int = 0
+    nparts: int = 1
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.type not in (DUMP, CHECKPOINT):
+            raise GinjaError(f"unknown DB object type: {self.type!r}")
+        if not 0 <= self.part < self.nparts:
+            raise GinjaError(f"invalid part {self.part}/{self.nparts}")
+
+    @property
+    def is_dump(self) -> bool:
+        return self.type == DUMP
+
+    @property
+    def order(self) -> tuple[int, int]:
+        """DB objects totally order by (WAL frontier ts, checkpoint seq)."""
+        return (self.ts, self.seq)
+
+    @property
+    def group(self) -> tuple[int, int, str]:
+        """Identity of the multi-part group this object belongs to."""
+        return (self.ts, self.seq, self.type)
+
+    @property
+    def key(self) -> str:
+        return (
+            f"DB/{self.ts:0{_TS_DIGITS}d}_{self.type}_"
+            f"{self.size}.{self.part}.{self.nparts}.{self.seq}"
+        )
+
+    @classmethod
+    def parse(cls, key: str) -> "DBObjectMeta":
+        if not key.startswith("DB/"):
+            raise GinjaError(f"not a DB object key: {key!r}")
+        rest = key[len("DB/"):]
+        try:
+            ts_token, type_token, size_token = rest.split("_")
+            size_str, part_str, nparts_str, seq_str = size_token.split(".")
+            return cls(
+                ts=int(ts_token),
+                type=type_token,
+                size=int(size_str),
+                part=int(part_str),
+                nparts=int(nparts_str),
+                seq=int(seq_str),
+            )
+        except ValueError as exc:
+            raise GinjaError(f"malformed DB object key: {key!r}") from exc
+
+
+def encode_checkpoint_payload(writes: list[tuple[str, int, bytes]]) -> bytes:
+    """Serialize the (path, offset, data) page writes of a checkpoint."""
+    out = [pack_u32(len(writes))]
+    for path, offset, data in writes:
+        out.append(pack_str(path))
+        out.append(pack_u64(offset))
+        out.append(pack_bytes(data))
+    return b"".join(out)
+
+
+def decode_checkpoint_payload(payload: bytes) -> list[tuple[str, int, bytes]]:
+    count, pos = take_u32(payload, 0)
+    writes: list[tuple[str, int, bytes]] = []
+    for _ in range(count):
+        path, pos = take_str(payload, pos)
+        offset, pos = take_u64(payload, pos)
+        data, pos = take_bytes(payload, pos)
+        writes.append((path, offset, data))
+    return writes
+
+
+def encode_dump_payload(files: list[tuple[str, bytes]]) -> bytes:
+    """Serialize the (path, content) files of a full dump."""
+    out = [pack_u32(len(files))]
+    for path, content in files:
+        out.append(pack_str(path))
+        out.append(pack_bytes(content))
+    return b"".join(out)
+
+
+def decode_dump_payload(payload: bytes) -> list[tuple[str, bytes]]:
+    count, pos = take_u32(payload, 0)
+    files: list[tuple[str, bytes]] = []
+    for _ in range(count):
+        path, pos = take_str(payload, pos)
+        content, pos = take_bytes(payload, pos)
+        files.append((path, content))
+    return files
+
+
+def parse_any(key: str) -> WALObjectMeta | DBObjectMeta | None:
+    """Parse a bucket key into metadata; ``None`` for foreign keys."""
+    if key.startswith("WAL/"):
+        return WALObjectMeta.parse(key)
+    if key.startswith("DB/"):
+        return DBObjectMeta.parse(key)
+    return None

@@ -1,0 +1,201 @@
+"""The Ginja facade: wire the pipelines together and mount over a FS.
+
+Typical lifecycle (mirrors §5.3's modes)::
+
+    inner = MemoryFileSystem()
+    db = MiniDB.create(inner, POSTGRES_PROFILE)   # or an existing DB
+    db.close()
+
+    ginja = Ginja(inner, cloud, POSTGRES_PROFILE, GinjaConfig(batch=100,
+                                                              safety=1000))
+    ginja.start(mode="boot")           # upload segments + dump, then mount
+    db = MiniDB.open(ginja.fs, POSTGRES_PROFILE)  # run the DBMS on Ginja
+    ...
+    ginja.stop()                        # drain and unmount
+
+After a disaster::
+
+    ginja, report = Ginja.recover(cloud, fresh_fs, POSTGRES_PROFILE, config)
+    db = MiniDB.open(ginja.fs, POSTGRES_PROFILE)  # DBMS crash recovery
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import Clock, SYSTEM_CLOCK
+from repro.common.errors import GinjaError
+from repro.core.bootstrap import RecoveryReport, boot, reboot, recover_files
+from repro.core.checkpointer import CheckpointCollector, CheckpointUploader
+from repro.core.cloud_view import CloudView
+from repro.core.codec import ObjectCodec
+from repro.core.commit_pipeline import CommitPipeline
+from repro.core.config import GinjaConfig
+from repro.core.processors import DatabaseProcessor
+from repro.core.stats import GinjaStats
+from repro.cloud.interface import ObjectStore
+from repro.db.profiles import DBMSProfile
+from repro.storage.interface import FileSystem
+from repro.storage.interposer import InterposedFS
+
+
+class Ginja:
+    """One mounted Ginja instance protecting one database directory."""
+
+    def __init__(
+        self,
+        inner_fs: FileSystem,
+        cloud: ObjectStore,
+        profile: DBMSProfile,
+        config: GinjaConfig | None = None,
+        *,
+        clock: Clock = SYSTEM_CLOCK,
+        fuse_overhead: float = 0.0,
+        time_scale: float = 1.0,
+    ):
+        self.config = config or GinjaConfig()
+        self.profile = profile
+        self.cloud = cloud
+        self.clock = clock
+        self.stats = GinjaStats()
+        self.view = CloudView()
+        self.codec = ObjectCodec(
+            compress=self.config.compress,
+            encrypt=self.config.encrypt,
+            password=self.config.password,
+            mac_default_key=self.config.mac_default_key,
+        )
+        #: The file system to hand the DBMS.  Interception activates at
+        #: :meth:`start` — Algorithm 1 mounts only after initialization.
+        self.fs = InterposedFS(
+            inner_fs,
+            None,
+            per_call_overhead=fuse_overhead,
+            time_scale=time_scale,
+            clock=clock,
+        )
+        self.pipeline = CommitPipeline(
+            self.config, cloud, self.codec, self.view, self.stats, clock=clock
+        )
+        self.checkpointer = CheckpointUploader(
+            self.config, cloud, self.view, self.stats, clock=clock
+        )
+        self.collector = CheckpointCollector(
+            self.config,
+            self.codec,
+            self.view,
+            inner_fs,
+            profile,
+            self.checkpointer.queue,
+            self.stats,
+        )
+        self.processor = DatabaseProcessor(profile, self.pipeline, self.collector)
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self, mode: str = "boot") -> None:
+        """Initialize per Algorithm 1 and activate interception.
+
+        ``mode`` is ``"boot"`` (fresh bucket: upload everything first) or
+        ``"reboot"`` (bucket already synchronized with local files).
+        """
+        if self._running:
+            raise GinjaError("Ginja already started")
+        if mode == "boot":
+            boot(
+                self.fs.inner,
+                self.cloud,
+                self.codec,
+                self.view,
+                self.profile,
+                self.config,
+                self.stats,
+            )
+        elif mode == "reboot":
+            if reboot(self.cloud, self.view) == 0:
+                raise GinjaError("reboot mode found no Ginja objects in the bucket")
+            self.checkpointer.seed_sequence(self.view.max_db_seq() + 1)
+        elif mode == "attached":
+            pass  # view already initialized (the recover() path)
+        else:
+            raise GinjaError(f"unknown start mode: {mode!r}")
+        self.pipeline.start()
+        self.checkpointer.start()
+        self.fs.set_interceptor(self.processor)
+        self._running = True
+
+    def stop(self, drain_timeout: float = 30.0) -> None:
+        """Drain both pipelines and deactivate interception."""
+        if not self._running:
+            return
+        self.fs.set_interceptor(None)
+        self.pipeline.stop(drain_timeout=drain_timeout)
+        self.checkpointer.stop(drain_timeout=drain_timeout)
+        self._running = False
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait until every pending update and checkpoint is in the cloud."""
+        ok = self.pipeline.drain(timeout=timeout)
+        return self.checkpointer.drain(timeout=timeout) and ok
+
+    # -- observability ----------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def pending_updates(self) -> int:
+        """Updates not yet confirmed in the cloud — the current exposure
+        (bounded by S + in-flight batch)."""
+        return self.pipeline.pending_updates()
+
+    def health(self) -> dict:
+        """One-glance status for operators and tests."""
+        failure = self.pipeline.failed or self.checkpointer.failed
+        return {
+            "running": self._running,
+            "pending_updates": self.pending_updates(),
+            "confirmed_ts": self.view.confirmed_ts(),
+            "wal_objects": self.view.wal_object_count(),
+            "db_bytes_in_cloud": self.view.total_db_bytes(),
+            "failed": repr(failure) if failure else None,
+        }
+
+    # -- disaster recovery ---------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        cloud: ObjectStore,
+        fresh_fs: FileSystem,
+        profile: DBMSProfile,
+        config: GinjaConfig | None = None,
+        *,
+        upto_ts: int | None = None,
+        clock: Clock = SYSTEM_CLOCK,
+        fuse_overhead: float = 0.0,
+        time_scale: float = 1.0,
+    ) -> tuple["Ginja", RecoveryReport]:
+        """Rebuild the database files from the cloud and return a mounted
+        Ginja ready to protect the recovered database.
+
+        Stale objects (timestamp gaps from in-flight uploads at disaster
+        time, incomplete multi-part groups) are deleted so the new
+        instance's timestamp sequence is contiguous.
+        """
+        ginja = cls(
+            fresh_fs,
+            cloud,
+            profile,
+            config,
+            clock=clock,
+            fuse_overhead=fuse_overhead,
+            time_scale=time_scale,
+        )
+        report = recover_files(cloud, ginja.codec, fresh_fs, upto_ts=upto_ts)
+        for key in report.stale_keys:
+            cloud.delete(key)
+        reboot(cloud, ginja.view)
+        ginja.view.force_frontier(report.last_applied_wal_ts)
+        ginja.checkpointer.seed_sequence(ginja.view.max_db_seq() + 1)
+        ginja.start(mode="attached")
+        return ginja, report

@@ -1,0 +1,167 @@
+"""Bucket inspection: what is in this backup, and is it healthy?
+
+Answers the operator questions §5.4's verification motivates, without
+downloading anything — purely from a LIST:
+
+* how many WAL objects / DB generations, and how big;
+* is the newest dump complete (all parts present)?
+* are the WAL timestamps after the newest checkpoint gap-free (i.e.
+  will recovery replay all of them)?
+* what recovery would restore, and what is stale garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.data_model import (
+    CHECKPOINT,
+    DBObjectMeta,
+    DUMP,
+    WALObjectMeta,
+    parse_any,
+)
+from repro.cloud.interface import ObjectStore
+
+
+@dataclass(frozen=True)
+class GenerationInfo:
+    """One DB-object group (a dump or checkpoint, possibly multi-part)."""
+
+    ts: int
+    seq: int
+    type: str
+    parts_present: int
+    parts_expected: int
+    bytes: int
+
+    @property
+    def complete(self) -> bool:
+        return self.parts_present == self.parts_expected
+
+    @property
+    def is_dump(self) -> bool:
+        return self.type == DUMP
+
+
+@dataclass
+class Inventory:
+    """The bucket's Ginja contents, summarized."""
+
+    wal_objects: int = 0
+    wal_bytes: int = 0
+    wal_ts_min: int = -1
+    wal_ts_max: int = -1
+    #: Timestamps missing inside [wal_ts_min, wal_ts_max].
+    wal_gaps: list[int] = field(default_factory=list)
+    generations: list[GenerationInfo] = field(default_factory=list)
+    foreign_objects: int = 0
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def db_bytes(self) -> int:
+        return sum(g.bytes for g in self.generations)
+
+    @property
+    def latest_complete_dump(self) -> GenerationInfo | None:
+        dumps = [g for g in self.generations if g.is_dump and g.complete]
+        return dumps[-1] if dumps else None
+
+    @property
+    def replayable_wal(self) -> int:
+        """WAL objects recovery will actually apply: the gap-free run
+        starting right after the newest applicable checkpoint."""
+        anchor = self._recovery_anchor_ts()
+        if anchor is None:
+            return 0
+        count = 0
+        ts = anchor + 1
+        present = set(range(self.wal_ts_min, self.wal_ts_max + 1)) - set(
+            self.wal_gaps
+        ) if self.wal_objects else set()
+        while ts in present:
+            count += 1
+            ts += 1
+        return count
+
+    def _recovery_anchor_ts(self) -> int | None:
+        dump = self.latest_complete_dump
+        if dump is None:
+            return None
+        anchor = dump.ts
+        order = (dump.ts, dump.seq)
+        for gen in self.generations:
+            if gen.type == CHECKPOINT and gen.complete and (
+                (gen.ts, gen.seq) > order
+            ):
+                anchor = max(anchor, gen.ts)
+        return anchor
+
+    @property
+    def recoverable(self) -> bool:
+        return self.latest_complete_dump is not None
+
+    def summary(self) -> str:
+        lines = [
+            f"WAL: {self.wal_objects} objects, {self.wal_bytes} bytes"
+            + (f", ts {self.wal_ts_min}..{self.wal_ts_max}"
+               if self.wal_objects else ""),
+        ]
+        if self.wal_gaps:
+            lines.append(f"  gaps at ts: {self.wal_gaps[:10]}"
+                         + (" ..." if len(self.wal_gaps) > 10 else ""))
+        lines.append(f"DB: {len(self.generations)} generation(s), "
+                     f"{self.db_bytes} bytes")
+        for gen in self.generations:
+            status = "ok" if gen.complete else "INCOMPLETE"
+            lines.append(
+                f"  ts={gen.ts} seq={gen.seq} {gen.type} "
+                f"({gen.parts_present}/{gen.parts_expected} parts, "
+                f"{gen.bytes} bytes) [{status}]"
+            )
+        if self.foreign_objects:
+            lines.append(f"foreign objects ignored: {self.foreign_objects}")
+        verdict = "RECOVERABLE" if self.recoverable else "NOT RECOVERABLE"
+        lines.append(f"status: {verdict}; replayable WAL objects: "
+                     f"{self.replayable_wal}")
+        return "\n".join(lines)
+
+
+def bucket_inventory(cloud: ObjectStore) -> Inventory:
+    """Build an :class:`Inventory` from one LIST of the bucket."""
+    inventory = Inventory()
+    wal_ts: list[int] = []
+    groups: dict[tuple[int, int, str], list[tuple[DBObjectMeta, int]]] = {}
+    for info in cloud.list():
+        meta = parse_any(info.key)
+        if meta is None:
+            inventory.foreign_objects += 1
+            continue
+        if isinstance(meta, WALObjectMeta):
+            inventory.wal_objects += 1
+            inventory.wal_bytes += info.size
+            wal_ts.append(meta.ts)
+        else:
+            groups.setdefault(meta.group, []).append((meta, info.size))
+    if wal_ts:
+        wal_ts.sort()
+        inventory.wal_ts_min = wal_ts[0]
+        inventory.wal_ts_max = wal_ts[-1]
+        present = set(wal_ts)
+        inventory.wal_gaps = [
+            ts for ts in range(wal_ts[0], wal_ts[-1] + 1) if ts not in present
+        ]
+    for (ts, seq, type_), members in sorted(groups.items()):
+        expected = members[0][0].nparts
+        inventory.generations.append(
+            GenerationInfo(
+                ts=ts,
+                seq=seq,
+                type=type_,
+                parts_present=len({m.part for m, _size in members}),
+                parts_expected=expected,
+                bytes=sum(size for _m, size in members),
+            )
+        )
+    return inventory

@@ -1,0 +1,49 @@
+"""Point-in-time recovery retention (§5.4).
+
+The default garbage collector (Algorithm 3, lines 23–29) deletes every
+object made redundant by a new checkpoint or dump.  §5.4 notes the GC
+"can be modified to delete only certain objects and keep others to allow
+the recovery of the system to a certain point in time".
+
+This module implements that modification at *dump-generation*
+granularity: every time a new dump supersedes the previous one, the
+superseded generation (its dump plus the incremental checkpoints built
+on it) can be retained as a restorable snapshot instead of being
+deleted.  Each retained generation restores the database to the state of
+its newest checkpoint.  As the paper warns, retention multiplies storage
+cost roughly by the number of snapshots kept — the cost model accounts
+for this (``snapshots`` parameter of :mod:`repro.costmodel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """How many superseded dump generations to keep for PITR.
+
+    ``generations = 0`` reproduces the paper's base algorithm (delete
+    everything superseded).
+    """
+
+    generations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.generations < 0:
+            raise ValueError("generations must be >= 0")
+
+    @classmethod
+    def none(cls) -> "RetentionPolicy":
+        """The base Algorithm 3 behaviour: no snapshots kept."""
+        return cls(generations=0)
+
+    @classmethod
+    def keep(cls, generations: int) -> "RetentionPolicy":
+        """Keep the last ``generations`` superseded dump generations."""
+        return cls(generations=generations)
+
+    @property
+    def enabled(self) -> bool:
+        return self.generations > 0

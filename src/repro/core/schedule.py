@@ -1,0 +1,89 @@
+"""Business-hours synchronization schedules (an extension of §3).
+
+§3 observes that "an organization whose activity happens mostly from
+9AM to 5PM ... can have roughly three times more synchronizations per
+hour during this period" for the same monthly budget.  This module makes
+that actionable: a :class:`SyncSchedule` maps the hour of day to a
+batch-timeout (T_B) value, so Ginja synchronizes aggressively during
+business hours and coasts overnight, keeping the PUT count — and the
+bill — constant.
+
+Wire it through :attr:`repro.core.config.GinjaConfig.sync_schedule`; the
+commit pipeline consults it each time it evaluates the T_B timeout.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import ConfigError
+
+
+def _local_hour() -> int:
+    return time.localtime().tm_hour
+
+
+@dataclass(frozen=True)
+class SyncSchedule:
+    """Hour-of-day -> T_B seconds.
+
+    Attributes:
+        business_timeout: T_B during business hours.
+        off_hours_timeout: T_B outside them.
+        business_start/business_end: the busy window, [start, end) hours.
+        hour_fn: injectable clock for tests (returns 0-23).
+    """
+
+    business_timeout: float = 10.0
+    off_hours_timeout: float = 60.0
+    business_start: int = 9
+    business_end: int = 17
+    hour_fn: Callable[[], int] = field(default=_local_hour, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.business_timeout <= 0 or self.off_hours_timeout <= 0:
+            raise ConfigError("timeouts must be positive")
+        if not 0 <= self.business_start < 24 or not 0 < self.business_end <= 24:
+            raise ConfigError("hours must be within a day")
+        if self.business_start >= self.business_end:
+            raise ConfigError("business window must have positive length")
+
+    def in_business_hours(self, hour: int | None = None) -> bool:
+        hour = self.hour_fn() if hour is None else hour
+        return self.business_start <= hour < self.business_end
+
+    def current_timeout(self) -> float:
+        """The T_B to apply right now."""
+        if self.in_business_hours():
+            return self.business_timeout
+        return self.off_hours_timeout
+
+    def daily_sync_budget(self) -> float:
+        """Synchronizations per day this schedule produces at saturation
+        (one sync per timeout window), for cost planning."""
+        business_hours = self.business_end - self.business_start
+        off_hours = 24 - business_hours
+        return (
+            business_hours * 3600 / self.business_timeout
+            + off_hours * 3600 / self.off_hours_timeout
+        )
+
+    @classmethod
+    def nine_to_five(cls, budget_syncs_per_day: float) -> "SyncSchedule":
+        """Build a 9-17 schedule spending a daily sync budget with §3's
+        ~3x business-hours bias."""
+        if budget_syncs_per_day <= 0:
+            raise ConfigError("budget must be positive")
+        # 8 business hours at 3x the off-hours rate, 16 hours at 1x:
+        # budget = 8*3600/tb_b + 16*3600/tb_o with tb_b = tb_o / 3.
+        # -> budget = (24 + 16) * 3600 / (3 * tb_b) ... solve directly:
+        # rate_b = 3r, rate_o = r (syncs/hour);
+        # budget = 8*3r + 16*r = 40r  ->  r = budget / 40.
+        off_rate_per_hour = budget_syncs_per_day / 40.0
+        off_timeout = 3600.0 / off_rate_per_hour
+        return cls(
+            business_timeout=off_timeout / 3.0,
+            off_hours_timeout=off_timeout,
+        )

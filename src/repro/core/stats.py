@@ -1,0 +1,59 @@
+"""Runtime counters the experiments read off a running Ginja."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GinjaStats:
+    """Thread-safe counters; all byte counts are post-codec (what
+    actually crossed the wire)."""
+
+    wal_objects: int = 0
+    wal_bytes: int = 0
+    wal_batches: int = 0
+    db_objects: int = 0
+    db_bytes: int = 0
+    dumps: int = 0
+    checkpoints_seen: int = 0
+    gc_deletes: int = 0
+    gc_delete_failures: int = 0
+    upload_retries: int = 0
+    #: How many times a DBMS write blocked on the Safety limit, and for
+    #: how long in total.
+    blocks: int = 0
+    blocked_seconds: float = 0.0
+    #: Modeled seconds spent inside codec work (compress/encrypt/MAC),
+    #: for the resource-usage experiment (Table 4).
+    codec_bytes_in: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def add(self, **deltas: float) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                name: getattr(self, name)
+                for name in (
+                    "wal_objects",
+                    "wal_bytes",
+                    "wal_batches",
+                    "db_objects",
+                    "db_bytes",
+                    "dumps",
+                    "checkpoints_seen",
+                    "gc_deletes",
+                    "gc_delete_failures",
+                    "upload_retries",
+                    "blocks",
+                    "blocked_seconds",
+                    "codec_bytes_in",
+                )
+            }

@@ -1,0 +1,39 @@
+"""§7's analytic cost model and the paper's cost experiments.
+
+* :mod:`~repro.costmodel.model` — the four cost components of
+  C_Total = C_DB_Storage + C_DB_PUT + C_WAL_Storage + C_WAL_PUT;
+* :mod:`~repro.costmodel.budget` — the $1/month capacity frontier
+  (Figure 1);
+* :mod:`~repro.costmodel.scenarios` — the Laboratory/Hospital
+  deployments vs. EC2 Pilot-Light VMs (Table 2) and recovery costs
+  (§7.3).
+"""
+
+from repro.costmodel.budget import BudgetFrontier, FrontierPoint
+from repro.costmodel.model import CostBreakdown, GinjaCostModel, WorkloadSpec
+from repro.costmodel.scenarios import (
+    EC2PilotLight,
+    HOSPITAL,
+    LABORATORY,
+    M3_LARGE_PILOT_LIGHT,
+    M3_MEDIUM_PILOT_LIGHT,
+    Scenario,
+    recovery_cost,
+    scenario_cost,
+)
+
+__all__ = [
+    "GinjaCostModel",
+    "WorkloadSpec",
+    "CostBreakdown",
+    "BudgetFrontier",
+    "FrontierPoint",
+    "Scenario",
+    "LABORATORY",
+    "HOSPITAL",
+    "EC2PilotLight",
+    "M3_MEDIUM_PILOT_LIGHT",
+    "M3_LARGE_PILOT_LIGHT",
+    "scenario_cost",
+    "recovery_cost",
+]

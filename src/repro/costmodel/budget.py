@@ -1,0 +1,103 @@
+"""The $1/month capacity frontier (Figure 1, §3).
+
+Given a monthly budget, what combinations of database size and cloud
+synchronization rate fit under it?  §3's arithmetic is the simple form::
+
+    budget >= size_gb x C_Storage + syncs_per_month x C_PUT
+
+Every point below the frontier costs less than the budget.  The paper's
+example anchors: with $1 on May-2017 S3, "a 35GB database synchronized
+once every 72 seconds" (50 syncs/hour) and "4.3GB with four
+synchronizations per minute" (240/hour) both sit on the line — the
+latter only once the ~1.25x average DB-object overhead of the 150% dump
+rule is included, which the ``storage_overhead`` parameter models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.cloud.pricing import PriceBook, S3_STANDARD_2017
+
+HOURS_PER_MONTH = 30 * 24
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One point of the Figure-1 curve."""
+
+    syncs_per_hour: float
+    max_db_size_gb: float
+
+
+class BudgetFrontier:
+    """Computes Figure 1 for any budget and price book."""
+
+    def __init__(
+        self,
+        budget_per_month: float = 1.0,
+        prices: PriceBook = S3_STANDARD_2017,
+        *,
+        storage_overhead: float = 1.0,
+    ):
+        if budget_per_month <= 0:
+            raise ConfigError("budget must be positive")
+        if storage_overhead < 1.0:
+            raise ConfigError("storage_overhead must be >= 1")
+        self._budget = budget_per_month
+        self._prices = prices
+        self._overhead = storage_overhead
+
+    def sync_cost_per_month(self, syncs_per_hour: float) -> float:
+        puts = syncs_per_hour * HOURS_PER_MONTH
+        return self._prices.put_cost(int(puts))
+
+    def max_db_size_gb(self, syncs_per_hour: float) -> float:
+        """Largest database affordable at this synchronization rate
+        (0 when the PUTs alone exceed the budget)."""
+        remaining = self._budget - self.sync_cost_per_month(syncs_per_hour)
+        if remaining <= 0:
+            return 0.0
+        return remaining / (self._prices.storage_gb_month * self._overhead)
+
+    def max_syncs_per_hour(self, db_size_gb: float) -> float:
+        """Highest synchronization rate affordable for this database."""
+        remaining = self._budget - self._prices.storage_cost(
+            db_size_gb * self._overhead
+        )
+        if remaining <= 0:
+            return 0.0
+        puts_per_month = remaining / self._prices.put_per_1000 * 1000
+        return puts_per_month / HOURS_PER_MONTH
+
+    def affordable(self, db_size_gb: float, syncs_per_hour: float) -> bool:
+        """Is this setup below the frontier (< budget per month)?"""
+        cost = (
+            self._prices.storage_cost(db_size_gb * self._overhead)
+            + self.sync_cost_per_month(syncs_per_hour)
+        )
+        return cost < self._budget
+
+    def curve(self, max_rate_per_hour: float = 250.0, steps: int = 26
+              ) -> list[FrontierPoint]:
+        """Sample the frontier like the figure's x-axis (0..250/hour)."""
+        points = []
+        for i in range(steps):
+            rate = max_rate_per_hour * i / (steps - 1)
+            points.append(
+                FrontierPoint(
+                    syncs_per_hour=rate, max_db_size_gb=self.max_db_size_gb(rate)
+                )
+            )
+        return points
+
+    def business_hours_rate_multiplier(
+        self, active_hours_per_day: float = 8.0
+    ) -> float:
+        """§3: an organization active 9AM-5PM "can have roughly three
+        times more synchronizations per hour during this period" for the
+        same budget."""
+        if not 0 < active_hours_per_day <= 24:
+            raise ConfigError("active hours must be in (0, 24]")
+        return 24.0 / active_hours_per_day

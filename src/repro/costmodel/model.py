@@ -1,0 +1,200 @@
+"""The monetary cost model of §7.1.
+
+The monthly operational cost of Ginja is::
+
+    C_Total = C_DB_Storage + C_DB_PUT + C_WAL_Storage + C_WAL_PUT
+
+with the four components computed exactly as the paper's equations:
+
+* ``C_DB_Storage = DB_Size x 1.25 / CR x C_Storage`` — the 150% dump
+  rule keeps cloud DB volume between 100% and 150% of the database, so
+  on average 125%; compression divides by the compression ratio CR.
+* ``C_DB_PUT = (30x24x60 / CkptPeriod) x ceil(CkptSize / 20MB) x C_PUT``
+  — checkpoints per month times DB objects per checkpoint.
+* ``C_WAL_Storage = (W x CkptTime / RecPerPage + 1) x PageSize / CR x
+  C_Storage`` — WAL objects live only until the covering checkpoint
+  uploads, so their volume is bounded by the update rate times the
+  checkpoint cycle time.
+* ``C_WAL_PUT = W x 60x24x30 / B x C_PUT`` — one PUT per batch of B
+  updates (or per synchronization interval when T_B dominates).
+
+All sizes in the model are *decimal* GB/MB (cloud billing units).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.cloud.pricing import PriceBook, S3_STANDARD_2017
+
+MINUTES_PER_MONTH = 30 * 24 * 60
+MB = 1000**2
+GB = 1000**3
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The database/workload parameters the model needs.
+
+    Defaults reproduce the setup of Figure 4: a 10 GB database, 8 kB WAL
+    pages holding 75 records, checkpoints every 60 minutes taking 20
+    minutes, compression ratio 1.43.
+    """
+
+    db_size_gb: float = 10.0
+    updates_per_minute: float = 100.0
+    wal_page_bytes: int = 8192
+    records_per_page: int = 75
+    checkpoint_period_min: float = 60.0
+    checkpoint_duration_min: float = 20.0
+    #: Extra minutes for the checkpoint upload itself.
+    checkpoint_upload_min: float = 0.0
+    compression_ratio: float = 1.43
+    #: Bytes of checkpoint data per update (dirty-page amplification).
+    #: Default: one WAL page's worth of table page per RecPerPage updates,
+    #: i.e. each update dirties 1/RecPerPage of a page on average.
+    checkpoint_bytes_per_update: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.db_size_gb < 0 or self.updates_per_minute < 0:
+            raise ConfigError("sizes and rates must be non-negative")
+        if self.records_per_page < 1:
+            raise ConfigError("records_per_page must be >= 1")
+        if self.compression_ratio < 1.0:
+            raise ConfigError("compression_ratio must be >= 1 (1 = off)")
+
+    @property
+    def checkpoint_cycle_min(self) -> float:
+        """CkptTime: period + duration + upload time (§7.1)."""
+        return (
+            self.checkpoint_period_min
+            + self.checkpoint_duration_min
+            + self.checkpoint_upload_min
+        )
+
+    def checkpoint_size_mb(self) -> float:
+        """Average checkpoint upload size, in MB.
+
+        Unless overridden, every update dirties ``page/RecPerPage`` bytes
+        of table data, coalesced per checkpoint period.
+        """
+        per_update = self.checkpoint_bytes_per_update
+        if per_update is None:
+            per_update = self.wal_page_bytes / self.records_per_page
+        updates = self.updates_per_minute * self.checkpoint_period_min
+        return updates * per_update / self.compression_ratio / MB
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """The four components plus their total, in $/month."""
+
+    db_storage: float
+    db_put: float
+    wal_storage: float
+    wal_put: float
+
+    @property
+    def total(self) -> float:
+        return self.db_storage + self.db_put + self.wal_storage + self.wal_put
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "C_DB_Storage": self.db_storage,
+            "C_DB_PUT": self.db_put,
+            "C_WAL_Storage": self.wal_storage,
+            "C_WAL_PUT": self.wal_put,
+            "C_Total": self.total,
+        }
+
+
+class GinjaCostModel:
+    """Evaluates §7.1's equations against a price book."""
+
+    #: Object size cap used by the DB-PUT equation (paper: 20 MB).
+    OBJECT_CAP_MB = 20.0
+
+    def __init__(self, prices: PriceBook = S3_STANDARD_2017):
+        self._prices = prices
+
+    @property
+    def prices(self) -> PriceBook:
+        return self._prices
+
+    # -- the four components -------------------------------------------------------
+
+    def db_storage_cost(self, spec: WorkloadSpec) -> float:
+        """C_DB_Storage: average cloud DB volume is 125% of the database."""
+        effective_gb = spec.db_size_gb * 1.25 / spec.compression_ratio
+        return self._prices.storage_cost(effective_gb)
+
+    def db_put_cost(self, spec: WorkloadSpec) -> float:
+        """C_DB_PUT: checkpoints/month x objects/checkpoint x price."""
+        if spec.checkpoint_period_min <= 0:
+            return 0.0
+        checkpoints_per_month = MINUTES_PER_MONTH / spec.checkpoint_period_min
+        objects_per_checkpoint = max(
+            1.0, math.ceil(spec.checkpoint_size_mb() / self.OBJECT_CAP_MB)
+        )
+        puts = checkpoints_per_month * objects_per_checkpoint
+        return self._prices.put_cost(int(puts))
+
+    def wal_storage_cost(self, spec: WorkloadSpec) -> float:
+        """C_WAL_Storage: WAL pages alive during one checkpoint cycle."""
+        pages = (
+            spec.updates_per_minute
+            * spec.checkpoint_cycle_min
+            / spec.records_per_page
+            + 1
+        )
+        gb = pages * spec.wal_page_bytes / spec.compression_ratio / GB
+        return self._prices.storage_cost(gb)
+
+    def wal_put_cost(self, spec: WorkloadSpec, batch: int) -> float:
+        """C_WAL_PUT with update-count batching: one PUT per B updates."""
+        if batch < 1:
+            raise ConfigError("batch must be >= 1")
+        puts = spec.updates_per_minute * MINUTES_PER_MONTH / batch
+        return self._prices.put_cost(int(puts))
+
+    def wal_put_cost_rate(self, syncs_per_minute: float) -> float:
+        """C_WAL_PUT with time batching (T_B): one PUT per interval.
+
+        Used for the Table 2 scenarios, which are quoted as "1 (or 6)
+        cloud synchronizations per minute".
+        """
+        puts = syncs_per_minute * MINUTES_PER_MONTH
+        return self._prices.put_cost(int(puts))
+
+    # -- composition -----------------------------------------------------------------
+
+    def monthly_cost(self, spec: WorkloadSpec, batch: int) -> CostBreakdown:
+        """C_Total for update-count batching (Figure 4's curves)."""
+        return CostBreakdown(
+            db_storage=self.db_storage_cost(spec),
+            db_put=self.db_put_cost(spec),
+            wal_storage=self.wal_storage_cost(spec),
+            wal_put=self.wal_put_cost(spec, batch),
+        )
+
+    def monthly_cost_rate(
+        self, spec: WorkloadSpec, syncs_per_minute: float
+    ) -> CostBreakdown:
+        """C_Total for time batching (Table 2's scenarios)."""
+        return CostBreakdown(
+            db_storage=self.db_storage_cost(spec),
+            db_put=self.db_put_cost(spec),
+            wal_storage=self.wal_storage_cost(spec),
+            wal_put=self.wal_put_cost_rate(syncs_per_minute),
+        )
+
+    def pitr_storage_cost(self, spec: WorkloadSpec, snapshots: int) -> float:
+        """§7.1: point-in-time snapshots multiply the stored volume —
+        "approximated by multiplying the storage costs ... by the number
+        of snapshots to be maintained"."""
+        if snapshots < 0:
+            raise ConfigError("snapshots must be >= 0")
+        per_snapshot = self.db_storage_cost(spec) + self.wal_storage_cost(spec)
+        return per_snapshot * snapshots

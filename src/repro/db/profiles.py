@@ -1,0 +1,155 @@
+"""DBMS I/O profiles: how PostgreSQL and MySQL lay out their files.
+
+A profile captures everything Ginja can observe from outside the DBMS —
+file names, page sizes, segment structure and the write patterns that
+signal the three events of the paper's Table 1.  Both the MiniDB engine
+(which *produces* the write stream) and the Ginja processors (which
+*classify* it) are driven by the same profile, so the two sides can
+never drift apart.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.units import KiB, MiB
+
+
+class CheckpointStyle(enum.Enum):
+    """How the engine moves dirty pages to table files."""
+
+    SHARP = "sharp"    # PostgreSQL: periodic, writes everything at once
+    FUZZY = "fuzzy"    # InnoDB: opportunistic small batches
+
+
+class WriteKind(enum.Enum):
+    """Classification of one intercepted file write (Table 1)."""
+
+    WAL_COMMIT = "wal_commit"          # a WAL page/block write
+    CHECKPOINT_BEGIN = "ckpt_begin"    # the write that starts a checkpoint
+    DB_FILE = "db_file"                # a table/data file page write
+    CHECKPOINT_END = "ckpt_end"        # the write that ends a checkpoint
+    OTHER = "other"                    # anything else (ignored by Ginja)
+
+
+@dataclass(frozen=True)
+class DBMSProfile:
+    """On-disk behaviour of one DBMS.
+
+    Sizes are the real engines' defaults; tests shrink ``wal_segment_size``
+    through :class:`~repro.db.engine.EngineConfig` overrides when they need
+    to exercise segment rollover cheaply.
+    """
+
+    name: str
+    wal_page_size: int
+    wal_segment_size: int
+    table_page_size: int
+    checkpoint_style: CheckpointStyle
+    #: Ring WAL (fixed set of files reused circularly) vs. an append-only
+    #: series of segments.
+    ring_wal: bool
+    ring_files: int = 0
+    #: Reserved header bytes at the start of each ring file (InnoDB: 2 KiB,
+    #: with checkpoint slots at offsets 512 and 1536 of file 0).
+    wal_header_size: int = 0
+    checkpoint_slot_offsets: tuple[int, ...] = ()
+
+    # -- file naming ----------------------------------------------------------
+
+    def wal_path(self, index: int) -> str:
+        """Path of WAL segment ``index`` (for a ring, index is modulo)."""
+        if self.ring_wal:
+            return f"ib_logfile{index % self.ring_files}"
+        return f"pg_xlog/{index:024X}"
+
+    def is_wal_path(self, path: str) -> bool:
+        if self.ring_wal:
+            return path.startswith("ib_logfile")
+        return path.startswith("pg_xlog/")
+
+    def wal_index(self, path: str) -> int:
+        """Inverse of :meth:`wal_path` (ring: the file number)."""
+        if self.ring_wal:
+            return int(path.removeprefix("ib_logfile"))
+        return int(path.removeprefix("pg_xlog/"), 16)
+
+    @property
+    def clog_path(self) -> str:
+        """PostgreSQL's transaction-status file (checkpoint-begin marker)."""
+        return "pg_clog/0000"
+
+    @property
+    def control_path(self) -> str:
+        """PostgreSQL's checkpoint pointer file (checkpoint-end marker)."""
+        return "global/pg_control"
+
+    def table_path(self, table: str) -> str:
+        if self.ring_wal:
+            return f"{table}.ibd"
+        return f"base/{table}"
+
+    def is_db_file(self, path: str) -> bool:
+        """Every non-WAL file that belongs in a dump.
+
+        For PostgreSQL that includes ``base/``, ``pg_clog`` and
+        ``pg_control``; for MySQL the ``.ibd``/``.frm``/``ibdata`` files.
+        """
+        return not self.is_wal_path(path)
+
+    # -- Table 1: event classification -----------------------------------------
+
+    def classify_write(self, path: str, offset: int, in_checkpoint: bool) -> WriteKind:
+        """Classify an intercepted write, per the paper's Table 1.
+
+        ``in_checkpoint`` is the observer's current belief of whether a
+        checkpoint is in progress — MySQL's *begin* event is simply "the
+        first data-file write" so classification is stateful for it.
+        """
+        if self.ring_wal:
+            if self.is_wal_path(path):
+                if (
+                    self.wal_index(path) == 0
+                    and offset in self.checkpoint_slot_offsets
+                ):
+                    return WriteKind.CHECKPOINT_END
+                return WriteKind.WAL_COMMIT
+            if not in_checkpoint:
+                return WriteKind.CHECKPOINT_BEGIN
+            return WriteKind.DB_FILE
+        # PostgreSQL
+        if self.is_wal_path(path):
+            return WriteKind.WAL_COMMIT
+        if path.startswith("pg_clog/"):
+            return WriteKind.CHECKPOINT_BEGIN
+        if path == self.control_path:
+            return WriteKind.CHECKPOINT_END
+        return WriteKind.DB_FILE
+
+
+#: PostgreSQL 9.3 defaults: 8 kB pages, 16 MB ``pg_xlog`` segments,
+#: sharp periodic checkpoints (§4 of the paper).
+POSTGRES_PROFILE = DBMSProfile(
+    name="postgres",
+    wal_page_size=8 * KiB,
+    wal_segment_size=16 * MiB,
+    table_page_size=8 * KiB,
+    checkpoint_style=CheckpointStyle.SHARP,
+    ring_wal=False,
+)
+
+#: MySQL 5.7 / InnoDB defaults: 512 B log blocks in two 48 MB
+#: ``ib_logfile`` ring files with checkpoint slots at offsets 512/1536,
+#: 16 kB data pages, fuzzy checkpoints (§4 of the paper).
+MYSQL_PROFILE = DBMSProfile(
+    name="mysql",
+    wal_page_size=512,
+    wal_segment_size=48 * MiB,
+    table_page_size=16 * KiB,
+    checkpoint_style=CheckpointStyle.FUZZY,
+    ring_wal=True,
+    ring_files=2,
+    wal_header_size=2 * KiB,
+    checkpoint_slot_offsets=(512, 1536),
+)

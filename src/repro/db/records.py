@@ -1,0 +1,139 @@
+"""WAL record encoding.
+
+The WAL is a byte stream of self-delimiting records.  Each record is::
+
+    magic(2) | type(1) | txid(8) | lsn(8) | body_len(4) | body | crc32(4)
+
+The CRC covers everything before it, so redo can walk the stream and
+stop at the first frame that fails validation — the torn tail of a
+crashed log, or the point where a partially-replicated cloud WAL ends.
+
+The frame embeds its own LSN (stream position).  That matters for the
+MySQL profile, whose ring WAL physically reuses file space: after a
+wrap, the bytes at a given offset may still hold a *valid* frame from a
+previous lap, and only the LSN mismatch reveals it as stale.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.common.errors import IntegrityError
+from repro.common.serialize import pack_bytes, pack_str, take_bytes, take_str
+
+_HEADER = struct.Struct("<HBQQI")  # magic, type, txid, lsn, body_len
+_CRC = struct.Struct("<I")
+_MAGIC = 0xD81A  # arbitrary; cannot appear in zero-filled page padding
+
+TYPE_PUT = 1
+TYPE_DELETE = 2
+TYPE_COMMIT = 3
+TYPE_CHECKPOINT = 4
+
+#: Frame overhead added to a record body.
+FRAME_OVERHEAD = _HEADER.size + _CRC.size
+
+
+@dataclass(frozen=True, slots=True)
+class OpRecord:
+    """A logical row operation inside a transaction."""
+
+    txid: int
+    op: int          # TYPE_PUT or TYPE_DELETE
+    table: str
+    key: str
+    value: bytes = b""
+
+    def encode(self, lsn: int) -> bytes:
+        body = pack_str(self.table) + pack_str(self.key)
+        if self.op == TYPE_PUT:
+            body += pack_bytes(self.value)
+        return _frame(self.op, self.txid, lsn, body)
+
+
+@dataclass(frozen=True, slots=True)
+class CommitRecord:
+    """Marks ``txid`` as committed; redo applies a txn only past this."""
+
+    txid: int
+
+    def encode(self, lsn: int) -> bytes:
+        return _frame(TYPE_COMMIT, self.txid, lsn, b"")
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointRecord:
+    """The in-WAL checkpoint marker — the 'special record' of §4.
+
+    ``seq`` is the checkpoint sequence number; ``redo_lsn`` is where redo
+    must start for this checkpoint.
+    """
+
+    seq: int
+    redo_lsn: int
+
+    def encode(self, lsn: int) -> bytes:
+        return _frame(TYPE_CHECKPOINT, self.seq, lsn, struct.pack("<Q", self.redo_lsn))
+
+
+WALRecord = OpRecord | CommitRecord | CheckpointRecord
+
+
+def _frame(rtype: int, txid: int, lsn: int, body: bytes) -> bytes:
+    head = _HEADER.pack(_MAGIC, rtype, txid, lsn, len(body))
+    crc = zlib.crc32(head + body)
+    return head + body + _CRC.pack(crc)
+
+
+def decode_record(
+    buf: bytes, offset: int, expected_lsn: int | None = None
+) -> tuple[WALRecord, int] | None:
+    """Decode one record at ``offset`` of ``buf``.
+
+    Returns ``(record, next_offset)``, or ``None`` when the bytes are not
+    a valid frame or (if ``expected_lsn`` is given) the frame's embedded
+    LSN disagrees — i.e. it is stale data from a previous ring lap.
+    """
+    end_header = offset + _HEADER.size
+    if end_header > len(buf):
+        return None
+    magic, rtype, txid, lsn, body_len = _HEADER.unpack_from(buf, offset)
+    if magic != _MAGIC:
+        return None
+    if expected_lsn is not None and lsn != expected_lsn:
+        return None
+    end_body = end_header + body_len
+    end_crc = end_body + _CRC.size
+    if end_crc > len(buf):
+        return None
+    (crc,) = _CRC.unpack_from(buf, end_body)
+    if crc != zlib.crc32(buf[offset:end_body]):
+        return None
+    body = buf[end_header:end_body]
+    try:
+        record = _decode_body(rtype, txid, body)
+    except IntegrityError:
+        return None
+    if record is None:
+        return None
+    return record, end_crc
+
+
+def _decode_body(rtype: int, txid: int, body: bytes) -> WALRecord | None:
+    if rtype == TYPE_PUT:
+        table, pos = take_str(body, 0)
+        key, pos = take_str(body, pos)
+        value, _pos = take_bytes(body, pos)
+        return OpRecord(txid=txid, op=TYPE_PUT, table=table, key=key, value=value)
+    if rtype == TYPE_DELETE:
+        table, pos = take_str(body, 0)
+        key, _pos = take_str(body, pos)
+        return OpRecord(txid=txid, op=TYPE_DELETE, table=table, key=key)
+    if rtype == TYPE_COMMIT:
+        return CommitRecord(txid=txid)
+    if rtype == TYPE_CHECKPOINT:
+        (redo_lsn,) = struct.unpack_from("<Q", body, 0)
+        return CheckpointRecord(seq=txid, redo_lsn=redo_lsn)
+    return None

@@ -1,0 +1,29 @@
+"""Failure detection and failover orchestration (extension).
+
+§5 of the paper scopes this out of Ginja proper: "our system does not
+consider the detection of a failure on the primary infrastructure and
+the switching to a backup", citing SecondSite [40] for the detection
+problem.  This package provides the minimal missing pieces as an
+optional add-on, using the DR bucket itself as the signalling channel
+(no extra infrastructure — in keeping with the paper's
+zero-management-cost philosophy):
+
+* :class:`~repro.failover.heartbeat.HeartbeatWriter` — the primary
+  periodically PUTs a small heartbeat object;
+* :class:`~repro.failover.heartbeat.FailureDetector` — a standby polls
+  it and declares the primary dead after N consecutive stale reads
+  (consecutive-miss hysteresis, as SecondSite's quorums motivate);
+* :class:`~repro.failover.coordinator.FailoverCoordinator` — on
+  detection, runs Ginja recovery into a standby file system and hands
+  the recovered database to a promotion callback.
+"""
+
+from repro.failover.coordinator import FailoverCoordinator, FailoverResult
+from repro.failover.heartbeat import FailureDetector, HeartbeatWriter
+
+__all__ = [
+    "HeartbeatWriter",
+    "FailureDetector",
+    "FailoverCoordinator",
+    "FailoverResult",
+]

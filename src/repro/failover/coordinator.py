@@ -1,0 +1,100 @@
+"""Failover coordination: detect, recover, promote.
+
+Runs on the standby site.  The coordinator polls the failure detector;
+when the primary is declared dead it executes the Ginja recovery flow
+into the standby's file system, opens the database (the DBMS's own
+crash recovery), and calls the user-supplied promotion callback — the
+application-specific part the paper says must come from "the procedures
+defined in the organization disaster recovery plan".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.clock import Clock, SYSTEM_CLOCK
+from repro.common.errors import ReproError
+from repro.core.config import GinjaConfig
+from repro.core.ginja import Ginja
+from repro.cloud.interface import ObjectStore
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import DBMSProfile
+from repro.failover.heartbeat import FailureDetector
+from repro.storage.memory import MemoryFileSystem
+
+#: Called with the recovered database once failover completes.
+PromotionCallback = Callable[[MiniDB, Ginja], None]
+
+
+@dataclass
+class FailoverResult:
+    """What happened during one coordinator run."""
+
+    failed_over: bool = False
+    polls: int = 0
+    recovered_rows: int = 0
+    files_restored: int = 0
+    error: str | None = None
+    #: Set when failover succeeded — the standby's live pieces.
+    ginja: Ginja | None = field(default=None, repr=False)
+    db: MiniDB | None = field(default=None, repr=False)
+
+
+class FailoverCoordinator:
+    """Poll → detect → recover → promote."""
+
+    def __init__(
+        self,
+        cloud: ObjectStore,
+        profile: DBMSProfile,
+        *,
+        ginja_config: GinjaConfig | None = None,
+        engine_config: EngineConfig | None = None,
+        detector: FailureDetector | None = None,
+        poll_interval: float = 5.0,
+        on_promote: PromotionCallback | None = None,
+        clock: Clock = SYSTEM_CLOCK,
+    ):
+        self._cloud = cloud
+        self._profile = profile
+        self._ginja_config = ginja_config
+        self._engine_config = engine_config
+        self._detector = detector or FailureDetector(cloud)
+        self._poll_interval = poll_interval
+        self._on_promote = on_promote
+        self._clock = clock
+
+    def run(self, max_polls: int = 0) -> FailoverResult:
+        """Poll until failure is declared (or ``max_polls`` exhausted),
+        then fail over.  ``max_polls=0`` polls until detection."""
+        result = FailoverResult()
+        while True:
+            result.polls += 1
+            if self._detector.poll():
+                break
+            if max_polls and result.polls >= max_polls:
+                return result
+            self._clock.sleep(self._poll_interval)
+        return self._failover(result)
+
+    def _failover(self, result: FailoverResult) -> FailoverResult:
+        try:
+            standby_fs = MemoryFileSystem()
+            ginja, report = Ginja.recover(
+                self._cloud, standby_fs, self._profile, self._ginja_config
+            )
+            # Open through Ginja's mount: the promoted standby is itself
+            # protected from the moment it starts.
+            db = MiniDB.open(ginja.fs, self._profile, self._engine_config)
+        except ReproError as exc:
+            result.error = f"{type(exc).__name__}: {exc}"
+            return result
+        result.failed_over = True
+        result.files_restored = report.files_restored
+        result.recovered_rows = sum(db.row_count(t) for t in db.tables())
+        result.ginja = ginja
+        result.db = db
+        if self._on_promote is not None:
+            self._on_promote(db, ginja)
+        return result

@@ -1,0 +1,126 @@
+"""Heartbeats through the DR bucket.
+
+The primary writes ``_meta/heartbeat`` (a key outside Ginja's ``WAL/``
+and ``DB/`` namespaces, so it never confuses recovery) carrying a
+sequence number.  A standby polls it: the primary is suspected once the
+sequence stops advancing for ``misses_allowed`` consecutive polls, and
+declared failed after that.  Sequence numbers rather than timestamps
+keep the protocol clock-skew-free.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+
+from repro.common.clock import Clock, SYSTEM_CLOCK
+from repro.common.errors import CloudError, ConfigError
+from repro.cloud.interface import ObjectStore
+
+HEARTBEAT_KEY = "_meta/heartbeat"
+_SEQ = struct.Struct("<Q")
+
+
+class HeartbeatWriter:
+    """Primary-side: bump the heartbeat every ``interval`` seconds."""
+
+    def __init__(
+        self,
+        cloud: ObjectStore,
+        *,
+        interval: float = 5.0,
+        clock: Clock = SYSTEM_CLOCK,
+    ):
+        if interval <= 0:
+            raise ConfigError("heartbeat interval must be positive")
+        self._cloud = cloud
+        self._interval = interval
+        self._clock = clock
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.beats_sent = 0
+        self._seq = 0
+
+    def beat_once(self) -> int:
+        """Write one heartbeat; returns its sequence number."""
+        self._seq += 1
+        self._cloud.put(HEARTBEAT_KEY, _SEQ.pack(self._seq))
+        self.beats_sent += 1
+        return self._seq
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise ConfigError("heartbeat writer already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="ginja-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.beat_once()
+            except CloudError:
+                pass  # the standby's detector is the authority on failure
+            if self._stop.wait(timeout=self._interval * self._time_fraction()):
+                return
+
+    def _time_fraction(self) -> float:
+        # Hook for tests that want scaled waiting; real deployments use 1.
+        return 1.0
+
+
+def read_heartbeat(cloud: ObjectStore) -> int | None:
+    """The current heartbeat sequence, or None if absent/garbled."""
+    try:
+        raw = cloud.get(HEARTBEAT_KEY)
+    except CloudError:
+        return None
+    if len(raw) != _SEQ.size:
+        return None
+    return _SEQ.unpack(raw)[0]
+
+
+class FailureDetector:
+    """Standby-side: polls the heartbeat; N consecutive stale reads
+    (no sequence progress, missing object, or cloud error while the
+    bucket is otherwise reachable) declare the primary failed."""
+
+    def __init__(
+        self,
+        cloud: ObjectStore,
+        *,
+        misses_allowed: int = 3,
+    ):
+        if misses_allowed < 1:
+            raise ConfigError("misses_allowed must be >= 1")
+        self._cloud = cloud
+        self._misses_allowed = misses_allowed
+        self._last_seq: int | None = None
+        self._misses = 0
+        self.polls = 0
+
+    @property
+    def consecutive_misses(self) -> int:
+        return self._misses
+
+    def poll(self) -> bool:
+        """One detection round; returns True when failure is declared."""
+        self.polls += 1
+        seq = read_heartbeat(self._cloud)
+        if seq is not None and (self._last_seq is None or seq > self._last_seq):
+            self._last_seq = seq
+            self._misses = 0
+            return False
+        self._misses += 1
+        return self._misses >= self._misses_allowed
+
+    def reset(self) -> None:
+        self._misses = 0
+        self._last_seq = None

@@ -1,0 +1,138 @@
+"""Stack builder: DBMS + (FUSE) + (Ginja) + simulated cloud.
+
+The three ``fs_mode`` values map to the baselines of the paper's
+Figure 5:
+
+* ``native`` — the DBMS writes straight to the (latency-modeled) local
+  file system, the "ext4" bar;
+* ``fuse``  — an interposer with per-call overhead but no interceptor,
+  the "FUSE" bar;
+* ``ginja`` — the full middleware.
+
+Latencies are modeled at full scale and slept at ``*_time_scale``, so a
+five-minute paper experiment runs in seconds while metering the paper's
+time units (see :mod:`repro.cloud.latency`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.units import MiB
+from repro.cloud.latency import LatencyModel, WAN_LATENCY
+from repro.cloud.memory import InMemoryObjectStore
+from repro.cloud.simulated import SimulatedCloud
+from repro.core.config import GinjaConfig
+from repro.core.ginja import Ginja
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import DBMSProfile, MYSQL_PROFILE, POSTGRES_PROFILE
+from repro.storage.disk import DiskModel, HDD_15K
+from repro.storage.interposer import InterposedFS
+from repro.storage.memory import MemoryFileSystem
+
+#: Per-FS-call overhead of a FUSE mount.  Calibrated so the FUSE bar of
+#: Figure 5 lands ~7-12% below native on this harness's commit path.
+DEFAULT_FUSE_OVERHEAD = 100e-6
+
+
+@dataclass
+class StackConfig:
+    """Everything needed to assemble one experimental setup."""
+
+    dbms: str = "postgres"          # "postgres" | "mysql"
+    fs_mode: str = "ginja"          # "native" | "fuse" | "ginja"
+    ginja: GinjaConfig = field(default_factory=GinjaConfig)
+    #: WAL segment size override (None = the engine profile default;
+    #: benchmarks shrink it so checkpoints recycle segments quickly).
+    wal_segment_size: int | None = 4 * MiB
+    auto_checkpoint_bytes: int = 8 * MiB
+    auto_checkpoint: bool = True
+    disk: DiskModel = HDD_15K
+    disk_time_scale: float = 1.0
+    cloud_latency: LatencyModel = WAN_LATENCY
+    cloud_time_scale: float = 0.1
+    fuse_overhead: float = DEFAULT_FUSE_OVERHEAD
+    seed: int = 0
+
+    @property
+    def profile(self) -> DBMSProfile:
+        if self.dbms == "postgres":
+            return POSTGRES_PROFILE
+        if self.dbms == "mysql":
+            return MYSQL_PROFILE
+        raise ConfigError(f"unknown dbms {self.dbms!r}")
+
+    def engine_config(self) -> EngineConfig:
+        return EngineConfig(
+            wal_segment_size=self.wal_segment_size,
+            auto_checkpoint_bytes=self.auto_checkpoint_bytes,
+            auto_checkpoint=self.auto_checkpoint,
+        )
+
+
+@dataclass
+class Stack:
+    """One assembled setup, ready to create/open a database on."""
+
+    config: StackConfig
+    inner_fs: MemoryFileSystem
+    fs: object                      # what the DBMS writes to
+    cloud: SimulatedCloud | None
+    ginja: Ginja | None
+
+    def create_db(self) -> MiniDB:
+        """Initialize the database and (for ginja mode) boot the cloud."""
+        db = MiniDB.create(self.inner_fs, self.config.profile,
+                           self.config.engine_config())
+        if self.ginja is None:
+            return db
+        db.close()
+        self.ginja.start(mode="boot")
+        return MiniDB.open(self.ginja.fs, self.config.profile,
+                           self.config.engine_config())
+
+    def open_db(self) -> MiniDB:
+        return MiniDB.open(self.fs, self.config.profile,
+                           self.config.engine_config())
+
+    def shutdown(self, drain_timeout: float = 30.0) -> None:
+        if self.ginja is not None:
+            self.ginja.stop(drain_timeout=drain_timeout)
+
+
+def build_stack(config: StackConfig | None = None, **overrides) -> Stack:
+    """Assemble a stack; keyword overrides patch a default StackConfig."""
+    if config is None:
+        config = StackConfig(**overrides)
+    elif overrides:
+        raise ConfigError("pass either a StackConfig or overrides, not both")
+    inner = MemoryFileSystem(
+        disk=config.disk, time_scale=config.disk_time_scale
+    )
+    if config.fs_mode == "native":
+        return Stack(config=config, inner_fs=inner, fs=inner, cloud=None,
+                     ginja=None)
+    if config.fs_mode == "fuse":
+        fs = InterposedFS(
+            inner, None,
+            per_call_overhead=config.fuse_overhead,
+            time_scale=1.0,
+        )
+        return Stack(config=config, inner_fs=inner, fs=fs, cloud=None,
+                     ginja=None)
+    if config.fs_mode == "ginja":
+        cloud = SimulatedCloud(
+            backend=InMemoryObjectStore(),
+            latency=config.cloud_latency,
+            time_scale=config.cloud_time_scale,
+            seed=config.seed,
+        )
+        ginja = Ginja(
+            inner, cloud, config.profile, config.ginja,
+            fuse_overhead=config.fuse_overhead,
+            time_scale=1.0,
+        )
+        return Stack(config=config, inner_fs=inner, fs=ginja.fs, cloud=cloud,
+                     ginja=ginja)
+    raise ConfigError(f"unknown fs_mode {config.fs_mode!r}")

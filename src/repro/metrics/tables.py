@@ -1,0 +1,60 @@
+"""Plain-text tables for benchmark output.
+
+Every benchmark prints the rows/series its paper table or figure
+reports; this keeps that output aligned and copy-pasteable into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+class TextTable:
+    """Fixed set of columns, rows of stringifiable cells."""
+
+    def __init__(self, columns: list[str], title: str = ""):
+        if not columns:
+            raise ConfigError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ConfigError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([_fmt(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)

@@ -1,0 +1,38 @@
+"""Virtual file system substrate — the interception point.
+
+The paper implements Ginja as a FUSE-J file system so it can observe
+every file-system call PostgreSQL/MySQL makes (§5, §6).  FUSE is not
+available here, so this package provides the equivalent seam in-process:
+
+* :class:`~repro.storage.interface.FileSystem` — the call surface a DBMS
+  uses (write/read/fsync/truncate/rename/unlink/...);
+* :class:`~repro.storage.memory.MemoryFileSystem` — RAM-backed files with
+  an optional :class:`~repro.storage.disk.DiskModel` latency;
+* :class:`~repro.storage.local.LocalDirectoryFS` — real files on disk;
+* :class:`~repro.storage.interposer.InterposedFS` — wraps an inner file
+  system and forwards every call to an interceptor, with the same
+  blocking semantics FUSE gives Ginja (an intercepted write can block
+  the calling DBMS thread — that is how Safety back-pressure works).
+
+The design matches the paper's claim that Ginja "only assumes that the
+events of Table 1 are intercepted": the same event stream FUSE would
+deliver is delivered here, minus the kernel round-trip.
+"""
+
+from repro.storage.disk import DiskModel, HDD_15K, NO_DISK_LATENCY, SSD
+from repro.storage.interface import FileSystem
+from repro.storage.interposer import FSInterceptor, InterposedFS
+from repro.storage.local import LocalDirectoryFS
+from repro.storage.memory import MemoryFileSystem
+
+__all__ = [
+    "FileSystem",
+    "MemoryFileSystem",
+    "LocalDirectoryFS",
+    "InterposedFS",
+    "FSInterceptor",
+    "DiskModel",
+    "HDD_15K",
+    "SSD",
+    "NO_DISK_LATENCY",
+]

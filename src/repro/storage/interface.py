@@ -1,0 +1,79 @@
+"""The file system call surface used by the DBMS substrate.
+
+Paths are relative, ``/``-separated strings (``"pg_xlog/000000010000"``),
+rooted at the mount point.  Directories are implicit: writing to a path
+creates its parents, matching how the MiniDB engine lays files out.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import FileSystemError
+
+
+class FileSystem:
+    """Minimal POSIX-flavoured file interface.
+
+    All offsets/sizes are bytes.  Writing past the end of a file extends
+    it with zeros (sparse semantics), as databases rely on when they
+    preallocate WAL segments.
+    """
+
+    # -- data plane ---------------------------------------------------------
+
+    def write(self, path: str, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset``, creating the file if needed."""
+        raise NotImplementedError
+
+    def read(self, path: str, offset: int, size: int) -> bytes:
+        """Read up to ``size`` bytes from ``offset`` (short read at EOF)."""
+        raise NotImplementedError
+
+    def fsync(self, path: str) -> None:
+        """Force the file durable.  A no-op for RAM backends, but always
+        forwarded so interceptors see the DBMS's durability points."""
+        raise NotImplementedError
+
+    def truncate(self, path: str, size: int) -> None:
+        """Cut or zero-extend the file to exactly ``size`` bytes."""
+        raise NotImplementedError
+
+    # -- namespace ----------------------------------------------------------
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically rename ``src`` to ``dst`` (replacing ``dst``)."""
+        raise NotImplementedError
+
+    def unlink(self, path: str) -> None:
+        """Delete a file.
+
+        Raises:
+            FileSystemError: if the file does not exist.
+        """
+        raise NotImplementedError
+
+    def exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def size(self, path: str) -> int:
+        """Current length of the file in bytes."""
+        raise NotImplementedError
+
+    def files(self, prefix: str = "") -> list[str]:
+        """All file paths starting with ``prefix``, sorted."""
+        raise NotImplementedError
+
+    # -- conveniences -------------------------------------------------------
+
+    def read_all(self, path: str) -> bytes:
+        """The whole file."""
+        return self.read(path, 0, self.size(path))
+
+    def write_all(self, path: str, data: bytes) -> None:
+        """Replace the whole file content with ``data``."""
+        self.truncate(path, 0)
+        self.write(path, 0, data)
+
+    def require(self, path: str) -> None:
+        """Raise :class:`FileSystemError` unless ``path`` exists."""
+        if not self.exists(path):
+            raise FileSystemError(f"no such file: {path!r}")

@@ -1,0 +1,107 @@
+"""File system backend over a real directory tree.
+
+Used by examples that want artifacts on disk (and, with the interposer,
+is the closest in-process analogue of the paper's FUSE mount shadowing
+the real database directory).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.common.errors import FileSystemError
+from repro.storage.interface import FileSystem
+
+
+class LocalDirectoryFS(FileSystem):
+    """All paths resolve under ``root``; escapes are rejected."""
+
+    def __init__(self, root: str | os.PathLike[str]):
+        self._root = Path(root).resolve()
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def _resolve(self, path: str) -> Path:
+        candidate = (self._root / path).resolve()
+        if not candidate.is_relative_to(self._root):
+            raise FileSystemError(f"path escapes the mount root: {path!r}")
+        return candidate
+
+    # -- data plane ---------------------------------------------------------
+
+    def write(self, path: str, offset: int, data: bytes) -> None:
+        if offset < 0:
+            raise FileSystemError(f"negative offset {offset} writing {path!r}")
+        target = self._resolve(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        # r+b keeps existing content; fall back to creating the file.
+        mode = "r+b" if target.exists() else "w+b"
+        with open(target, mode) as handle:
+            handle.seek(offset)
+            handle.write(data)
+
+    def read(self, path: str, offset: int, size: int) -> bytes:
+        target = self._resolve(path)
+        try:
+            with open(target, "rb") as handle:
+                handle.seek(offset)
+                return handle.read(size)
+        except FileNotFoundError:
+            raise FileSystemError(f"no such file: {path!r}") from None
+
+    def fsync(self, path: str) -> None:
+        target = self._resolve(path)
+        try:
+            fd = os.open(target, os.O_RDWR)
+        except FileNotFoundError:
+            raise FileSystemError(f"no such file: {path!r}") from None
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def truncate(self, path: str, size: int) -> None:
+        target = self._resolve(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        if not target.exists():
+            target.touch()
+        os.truncate(target, size)
+
+    # -- namespace ----------------------------------------------------------
+
+    def rename(self, src: str, dst: str) -> None:
+        source = self._resolve(src)
+        if not source.exists():
+            raise FileSystemError(f"no such file: {src!r}")
+        dest = self._resolve(dst)
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(source, dest)
+
+    def unlink(self, path: str) -> None:
+        try:
+            self._resolve(path).unlink()
+        except FileNotFoundError:
+            raise FileSystemError(f"no such file: {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        return self._resolve(path).is_file()
+
+    def size(self, path: str) -> int:
+        try:
+            return self._resolve(path).stat().st_size
+        except FileNotFoundError:
+            raise FileSystemError(f"no such file: {path!r}") from None
+
+    def files(self, prefix: str = "") -> list[str]:
+        found = []
+        for dirpath, _dirnames, filenames in os.walk(self._root):
+            for name in filenames:
+                rel = os.path.relpath(os.path.join(dirpath, name), self._root)
+                rel = rel.replace(os.sep, "/")
+                if rel.startswith(prefix):
+                    found.append(rel)
+        return sorted(found)

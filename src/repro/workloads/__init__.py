@@ -1,0 +1,28 @@
+"""Workload generators.
+
+* :mod:`~repro.workloads.tpcc` — a TPC-C implementation against MiniDB:
+  the full nine-table schema, the five transaction profiles with the
+  standard mix, a closed-loop multi-terminal driver, and Tpm-C /
+  Tpm-Total reporting — the workload of the paper's §8 ("we chose this
+  benchmark ... due to its update-heavy workload (~90% of updates)").
+* :mod:`~repro.workloads.simple` — plain key-value update streams for
+  microbenchmarks and the cost experiments.
+"""
+
+from repro.workloads.simple import UpdateStream
+from repro.workloads.tpcc import (
+    TPCCConfig,
+    TPCCDatabase,
+    TPCCDriver,
+    TPCCResult,
+    TransactionMix,
+)
+
+__all__ = [
+    "TPCCConfig",
+    "TPCCDatabase",
+    "TPCCDriver",
+    "TPCCResult",
+    "TransactionMix",
+    "UpdateStream",
+]

@@ -1,0 +1,63 @@
+"""Row codec for workload tables.
+
+Rows are flat ``str -> (int | float | str)`` dictionaries encoded with
+the library's framed format.  A ``_pad`` field carries filler bytes so
+each table's rows match (a scaled version of) their TPC-C widths —
+row size is what drives page dirtying and therefore checkpoint volume.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import IntegrityError
+from repro.common.serialize import pack_str, take_str, pack_u32, take_u32
+
+_INT = "i"
+_FLOAT = "f"
+_STR = "s"
+
+
+def encode_row(fields: dict[str, int | float | str], pad_to: int = 0) -> bytes:
+    """Serialize a row, padding the encoding to at least ``pad_to`` bytes."""
+    parts = [b""]  # placeholder for the count
+    count = 0
+    for name, value in fields.items():
+        if isinstance(value, bool):
+            raise IntegrityError(f"field {name!r}: bool rows are ambiguous")
+        if isinstance(value, int):
+            token = _INT + str(value)
+        elif isinstance(value, float):
+            token = _FLOAT + repr(value)
+        elif isinstance(value, str):
+            token = _STR + value
+        else:
+            raise IntegrityError(f"field {name!r}: unsupported type {type(value)}")
+        parts.append(pack_str(name))
+        parts.append(pack_str(token))
+        count += 1
+    body = b"".join(parts[1:])
+    encoded_len = 4 + len(body)
+    padding = max(0, pad_to - encoded_len - 8 - len("_pad"))
+    if padding:
+        body += pack_str("_pad") + pack_str(_STR + "x" * padding)
+        count += 1
+    return pack_u32(count) + body
+
+
+def decode_row(raw: bytes) -> dict[str, int | float | str]:
+    count, pos = take_u32(raw, 0)
+    fields: dict[str, int | float | str] = {}
+    for _ in range(count):
+        name, pos = take_str(raw, pos)
+        token, pos = take_str(raw, pos)
+        if name == "_pad":
+            continue
+        kind, body = token[0], token[1:]
+        if kind == _INT:
+            fields[name] = int(body)
+        elif kind == _FLOAT:
+            fields[name] = float(body)
+        elif kind == _STR:
+            fields[name] = body
+        else:
+            raise IntegrityError(f"field {name!r}: unknown type tag {kind!r}")
+    return fields

@@ -1,0 +1,63 @@
+"""Plain update streams, for microbenchmarks and cost experiments.
+
+The cost model (§7) reasons in "updates per minute"; this generator
+produces exactly that shape — fixed-size row updates over a keyspace at
+a requested rate — without TPC-C's reads.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.common.errors import ConfigError
+from repro.db.engine import MiniDB
+
+
+class UpdateStream:
+    """Issues single-row update transactions against one table."""
+
+    def __init__(
+        self,
+        db: MiniDB,
+        *,
+        table: str = "data",
+        keyspace: int = 1000,
+        value_bytes: int = 100,
+        seed: int = 3,
+    ):
+        if keyspace < 1:
+            raise ConfigError("keyspace must be >= 1")
+        self._db = db
+        self._table = table
+        self._keyspace = keyspace
+        self._value_bytes = value_bytes
+        self._rng = random.Random(seed)
+        self.updates_issued = 0
+
+    def issue(self, count: int) -> int:
+        """Issue ``count`` updates as fast as possible."""
+        for _ in range(count):
+            key = f"k{self._rng.randrange(self._keyspace)}"
+            value = self._rng.randbytes(self._value_bytes)
+            self._db.put(self._table, key, value)
+            self.updates_issued += 1
+        return count
+
+    def run_at_rate(self, updates_per_minute: float, duration: float) -> int:
+        """Issue updates at a target rate for ``duration`` seconds."""
+        if updates_per_minute <= 0:
+            raise ConfigError("rate must be positive")
+        interval = 60.0 / updates_per_minute
+        deadline = time.monotonic() + duration
+        issued = 0
+        next_at = time.monotonic()
+        while time.monotonic() < deadline:
+            now = time.monotonic()
+            if now < next_at:
+                time.sleep(min(next_at - now, 0.01))
+                continue
+            self.issue(1)
+            issued += 1
+            next_at += interval
+        return issued

@@ -1,0 +1,25 @@
+"""TPC-C against MiniDB.
+
+A faithful-in-shape implementation of the TPC-C benchmark [TPC-C 5.11]
+used by the paper's evaluation (§8): the nine-table schema, the five
+transaction profiles with the standard mix (45% new-order, 43% payment,
+4% each of order-status, delivery and stock-level — ~90% of transactions
+write), and a closed-loop terminal driver reporting Tpm-C (new-order
+transactions per minute) and Tpm-Total.
+
+Scale is configurable: the defaults shrink the per-warehouse row counts
+(items, customers) so pure-Python runs load in seconds, while keeping
+the *write pattern* — row sizes, pages dirtied per transaction, commit
+rate — proportionate.  DESIGN.md documents this substitution.
+"""
+
+from repro.workloads.tpcc.driver import TPCCDriver, TPCCResult, TransactionMix
+from repro.workloads.tpcc.schema import TPCCConfig, TPCCDatabase
+
+__all__ = [
+    "TPCCConfig",
+    "TPCCDatabase",
+    "TPCCDriver",
+    "TPCCResult",
+    "TransactionMix",
+]

@@ -1,0 +1,152 @@
+"""Closed-loop multi-terminal TPC-C driver.
+
+Runs the standard mix from N terminal threads for a wall-clock duration
+and reports the paper's two metrics: **Tpm-C** (new-order commits per
+minute) and **Tpm-Total** (all transactions per minute).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError, ReproError
+from repro.workloads.tpcc import transactions as tx
+from repro.workloads.tpcc.schema import TPCCDatabase
+
+
+@dataclass(frozen=True)
+class TransactionMix:
+    """Probabilities of each profile; defaults are the TPC-C standard
+    mix the paper's tools use (~90% of transactions write)."""
+
+    new_order: float = 0.45
+    payment: float = 0.43
+    order_status: float = 0.04
+    delivery: float = 0.04
+    stock_level: float = 0.04
+
+    def __post_init__(self) -> None:
+        total = (self.new_order + self.payment + self.order_status
+                 + self.delivery + self.stock_level)
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(f"mix must sum to 1.0, got {total}")
+
+    def pick(self, rng: random.Random) -> str:
+        roll = rng.random()
+        for name, weight in (
+            ("new_order", self.new_order),
+            ("payment", self.payment),
+            ("order_status", self.order_status),
+            ("delivery", self.delivery),
+            ("stock_level", self.stock_level),
+        ):
+            if roll < weight:
+                return name
+            roll -= weight
+        return "stock_level"
+
+
+_PROFILES = {
+    "new_order": tx.new_order,
+    "payment": tx.payment,
+    "order_status": tx.order_status,
+    "delivery": tx.delivery,
+    "stock_level": tx.stock_level,
+}
+
+
+@dataclass
+class TPCCResult:
+    """Outcome of one driver run."""
+
+    duration: float = 0.0
+    counts: dict[str, int] = field(default_factory=dict)
+    rollbacks: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def tpm_total(self) -> float:
+        return self.total / self.duration * 60 if self.duration else 0.0
+
+    @property
+    def tpm_c(self) -> float:
+        done = self.counts.get("new_order", 0)
+        return done / self.duration * 60 if self.duration else 0.0
+
+    def merge(self, other: "TPCCResult") -> None:
+        for name, count in other.counts.items():
+            self.counts[name] = self.counts.get(name, 0) + count
+        self.rollbacks += other.rollbacks
+        self.errors.extend(other.errors)
+
+
+class TPCCDriver:
+    """Runs terminals against a loaded :class:`TPCCDatabase`."""
+
+    def __init__(
+        self,
+        tpcc: TPCCDatabase,
+        *,
+        terminals: int = 5,
+        mix: TransactionMix | None = None,
+        seed: int = 11,
+    ):
+        if terminals < 1:
+            raise ConfigError("need at least one terminal")
+        self._tpcc = tpcc
+        self._terminals = terminals
+        self._mix = mix or TransactionMix()
+        self._seed = seed
+
+    def run(self, duration: float, warmup: float = 0.0) -> TPCCResult:
+        """Closed-loop run for ``duration`` seconds (after ``warmup``)."""
+        stop_flag = threading.Event()
+        measure_flag = threading.Event()
+        results = [TPCCResult() for _ in range(self._terminals)]
+
+        def terminal(index: int) -> None:
+            rng = random.Random(self._seed * 1000 + index)
+            # Terminals spread across warehouses round-robin.
+            w = (index % self._tpcc.config.warehouses) + 1
+            result = results[index]
+            while not stop_flag.is_set():
+                name = self._mix.pick(rng)
+                try:
+                    committed = _PROFILES[name](self._tpcc, rng, w)
+                except ReproError as exc:
+                    result.errors.append(f"{name}: {exc}")
+                    break
+                if not measure_flag.is_set():
+                    continue
+                if committed:
+                    result.counts[name] = result.counts.get(name, 0) + 1
+                else:
+                    result.rollbacks += 1
+
+        threads = [
+            threading.Thread(target=terminal, args=(i,), daemon=True,
+                             name=f"tpcc-terminal-{i}")
+            for i in range(self._terminals)
+        ]
+        for thread in threads:
+            thread.start()
+        if warmup:
+            time.sleep(warmup)
+        measure_flag.set()
+        start = time.monotonic()
+        time.sleep(duration)
+        measured = time.monotonic() - start
+        stop_flag.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        final = TPCCResult(duration=measured)
+        for result in results:
+            final.merge(result)
+        return final

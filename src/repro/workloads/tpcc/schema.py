@@ -1,0 +1,242 @@
+"""TPC-C schema: tables, keys, row builders and the initial population.
+
+Key scheme (all keys are strings; MiniDB is a key-value row store):
+
+==============  =======================================
+warehouse       ``w<W>``
+district        ``w<W>.d<D>``
+customer        ``w<W>.d<D>.c<C>``
+history         ``w<W>.d<D>.h<seq>``
+item            ``i<I>``
+stock           ``w<W>.s<I>``
+orders          ``w<W>.d<D>.o<O>``
+new_order       ``w<W>.d<D>.no<O>``
+order_line      ``w<W>.d<D>.o<O>.l<N>``
+==============  =======================================
+
+Row paddings default to roughly half the spec's row widths, keeping the
+page-dirtying profile realistic while staying fast in pure Python.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.db.engine import MiniDB, Transaction
+from repro.workloads.rows import decode_row, encode_row
+
+
+@dataclass(frozen=True)
+class TPCCConfig:
+    """Scale knobs.
+
+    The TPC-C spec mandates 100 000 items, 3 000 customers per district
+    and 10 districts per warehouse; the defaults here are a 1:100-ish
+    linear shrink so a warehouse loads in about a second of pure Python.
+    Row paddings approximate the spec's row widths.
+    """
+
+    warehouses: int = 1
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 30
+    items: int = 1000
+    stock_per_warehouse: int = 1000  # = items
+    order_lines_min: int = 5
+    order_lines_max: int = 15
+    initial_orders_per_district: int = 10
+    # Row paddings (bytes of encoded row), ~half the spec widths.
+    pad_warehouse: int = 45
+    pad_district: int = 48
+    pad_customer: int = 330
+    pad_item: int = 41
+    pad_stock: int = 153
+    pad_order: int = 12
+    pad_order_line: int = 27
+    pad_history: int = 23
+
+    def __post_init__(self) -> None:
+        if self.warehouses < 1:
+            raise ConfigError("need at least one warehouse")
+        if self.items < self.order_lines_max:
+            raise ConfigError("need more items than order lines per order")
+        if self.stock_per_warehouse != self.items:
+            raise ConfigError("stock rows must match the item count")
+
+
+#: The TPC-C last-name syllable table (spec §4.3.2.3).
+_SYLLABLES = ("BAR", "OUGHT", "ABLE", "PRI", "PRES",
+              "ESE", "ANTI", "CALLY", "ATION", "EING")
+
+
+def customer_lastname(number: int) -> str:
+    """Spec-style last name from a number's last three digits."""
+    n = number % 1000
+    return _SYLLABLES[n // 100] + _SYLLABLES[(n // 10) % 10] + _SYLLABLES[n % 10]
+
+
+# -- key builders ------------------------------------------------------------
+
+
+def wk(w: int) -> str:
+    """Warehouse row key."""
+    return f"w{w}"
+
+
+def dk(w: int, d: int) -> str:
+    """District row key."""
+    return f"w{w}.d{d}"
+
+
+def ck(w: int, d: int, c: int) -> str:
+    """Customer row key."""
+    return f"w{w}.d{d}.c{c}"
+
+
+def ik(i: int) -> str:
+    """Item row key."""
+    return f"i{i}"
+
+
+def sk(w: int, i: int) -> str:
+    """Stock row key."""
+    return f"w{w}.s{i}"
+
+
+def ok(w: int, d: int, o: int) -> str:
+    """Order row key."""
+    return f"w{w}.d{d}.o{o}"
+
+
+def nok(w: int, d: int, o: int) -> str:
+    """New-order row key."""
+    return f"w{w}.d{d}.no{o}"
+
+
+def olk(w: int, d: int, o: int, line: int) -> str:
+    """Order-line row key."""
+    return f"w{w}.d{d}.o{o}.l{line}"
+
+
+def hk(w: int, d: int, seq: int) -> str:
+    """History row key."""
+    return f"w{w}.d{d}.h{seq}"
+
+
+class TPCCDatabase:
+    """The nine TPC-C tables over a MiniDB engine."""
+
+    WAREHOUSE = "warehouse"
+    DISTRICT = "district"
+    CUSTOMER = "customer"
+    HISTORY = "history"
+    ITEM = "item"
+    STOCK = "stock"
+    ORDERS = "orders"
+    NEW_ORDER = "new_order"
+    ORDER_LINE = "order_line"
+
+    TABLES = (
+        WAREHOUSE, DISTRICT, CUSTOMER, HISTORY, ITEM, STOCK,
+        ORDERS, NEW_ORDER, ORDER_LINE,
+    )
+
+    def __init__(self, db: MiniDB, config: TPCCConfig | None = None):
+        self.db = db
+        self.config = config or TPCCConfig()
+
+    # -- typed access -----------------------------------------------------------
+
+    def read(self, table: str, key: str,
+             txn: Transaction | None = None) -> dict | None:
+        raw = (txn or self.db).get(table, key)
+        return decode_row(raw) if raw is not None else None
+
+    def write(self, txn: Transaction, table: str, key: str,
+              fields: dict, pad_to: int = 0) -> None:
+        txn.put(table, key, encode_row(fields, pad_to=pad_to))
+
+    # -- initial population --------------------------------------------------------
+
+    def load(self, seed: int = 7) -> int:
+        """Populate per the (scaled) TPC-C initial state; returns rows."""
+        rng = random.Random(seed)
+        cfg = self.config
+        rows = 0
+        with self.db.begin() as txn:
+            for i in range(1, cfg.items + 1):
+                self.write(txn, self.ITEM, ik(i), {
+                    "i_id": i,
+                    "i_name": f"item-{i}",
+                    "i_price": round(rng.uniform(1.0, 100.0), 2),
+                }, pad_to=cfg.pad_item)
+                rows += 1
+        for w in range(1, cfg.warehouses + 1):
+            rows += self._load_warehouse(w, rng)
+        return rows
+
+    def _load_warehouse(self, w: int, rng: random.Random) -> int:
+        cfg = self.config
+        rows = 0
+        with self.db.begin() as txn:
+            self.write(txn, self.WAREHOUSE, wk(w), {
+                "w_id": w, "w_name": f"wh-{w}", "w_ytd": 300000.0,
+                "w_tax": round(rng.uniform(0.0, 0.2), 4),
+            }, pad_to=cfg.pad_warehouse)
+            rows += 1
+            for i in range(1, cfg.items + 1):
+                self.write(txn, self.STOCK, sk(w, i), {
+                    "s_i_id": i, "s_w_id": w,
+                    "s_quantity": rng.randint(10, 100),
+                    "s_ytd": 0, "s_order_cnt": 0, "s_remote_cnt": 0,
+                }, pad_to=cfg.pad_stock)
+                rows += 1
+        for d in range(1, cfg.districts_per_warehouse + 1):
+            rows += self._load_district(w, d, rng)
+        return rows
+
+    def _load_district(self, w: int, d: int, rng: random.Random) -> int:
+        cfg = self.config
+        rows = 0
+        with self.db.begin() as txn:
+            next_o_id = cfg.initial_orders_per_district + 1
+            self.write(txn, self.DISTRICT, dk(w, d), {
+                "d_id": d, "d_w_id": w, "d_name": f"d-{d}",
+                "d_tax": round(rng.uniform(0.0, 0.2), 4),
+                "d_ytd": 30000.0, "d_next_o_id": next_o_id,
+                "d_oldest_no": 1, "d_history_seq": 0,
+            }, pad_to=cfg.pad_district)
+            rows += 1
+            for c in range(1, cfg.customers_per_district + 1):
+                self.write(txn, self.CUSTOMER, ck(w, d, c), {
+                    "c_id": c, "c_d_id": d, "c_w_id": w,
+                    # Non-unique last names from the spec-style syllable
+                    # table: by-lastname transactions must resolve ties.
+                    "c_last": customer_lastname(c),
+                    "c_balance": -10.0, "c_ytd_payment": 10.0,
+                    "c_payment_cnt": 1, "c_delivery_cnt": 0,
+                }, pad_to=cfg.pad_customer)
+                rows += 1
+            for o in range(1, cfg.initial_orders_per_district + 1):
+                lines = rng.randint(cfg.order_lines_min, cfg.order_lines_max)
+                self.write(txn, self.ORDERS, ok(w, d, o), {
+                    "o_id": o, "o_d_id": d, "o_w_id": w,
+                    "o_c_id": rng.randint(1, cfg.customers_per_district),
+                    "o_ol_cnt": lines, "o_carrier_id": 0,
+                }, pad_to=cfg.pad_order)
+                rows += 1
+                for line in range(1, lines + 1):
+                    self.write(txn, self.ORDER_LINE, olk(w, d, o, line), {
+                        "ol_o_id": o, "ol_number": line,
+                        "ol_i_id": rng.randint(1, cfg.items),
+                        "ol_quantity": 5,
+                        "ol_amount": round(rng.uniform(0.0, 100.0), 2),
+                    }, pad_to=cfg.pad_order_line)
+                    rows += 1
+                # The last ~third of initial orders are undelivered.
+                if o > cfg.initial_orders_per_district * 2 // 3:
+                    self.write(txn, self.NEW_ORDER, nok(w, d, o),
+                               {"no_o_id": o}, pad_to=8)
+                    rows += 1
+        return rows

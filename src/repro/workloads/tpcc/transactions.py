@@ -1,0 +1,197 @@
+"""The five TPC-C transaction profiles against :class:`TPCCDatabase`.
+
+Each function returns True on commit, False on a (legitimate) rollback —
+TPC-C mandates ~1% of new-orders abort on an invalid item.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.tpcc.schema import (
+    TPCCDatabase,
+    ck,
+    customer_lastname,
+    dk,
+    ik,
+    nok,
+    ok,
+    olk,
+    sk,
+    wk,
+    hk,
+)
+
+
+def select_customer(tp: TPCCDatabase, rng: random.Random, w: int, d: int,
+                    txn=None) -> int:
+    """Spec §2.5.1.2: 60% of selections are by last name (scan the
+    district's customers, take the middle match), 40% by id."""
+    cfg = tp.config
+    if rng.random() < 0.40:
+        return rng.randint(1, cfg.customers_per_district)
+    target = customer_lastname(rng.randint(1, cfg.customers_per_district))
+    matches = [
+        c for c in range(1, cfg.customers_per_district + 1)
+        if tp.read(tp.CUSTOMER, ck(w, d, c), txn)["c_last"] == target
+    ]
+    if not matches:  # cannot happen (target drawn from the population)
+        return rng.randint(1, cfg.customers_per_district)
+    return matches[len(matches) // 2]
+
+
+def new_order(tp: TPCCDatabase, rng: random.Random, w: int) -> bool:
+    """The NewOrder profile: ~45% of the mix, the Tpm-C metric.
+
+    Reads the district, items and stocks; writes the district (next
+    order id), each stock row, the order, its lines and a new-order row.
+    """
+    cfg = tp.config
+    d = rng.randint(1, cfg.districts_per_warehouse)
+    c = rng.randint(1, cfg.customers_per_district)
+    n_lines = rng.randint(cfg.order_lines_min, cfg.order_lines_max)
+    rollback = rng.random() < 0.01  # the mandated 1% invalid-item aborts
+    with tp.db.begin() as txn:
+        district = tp.read(tp.DISTRICT, dk(w, d), txn)
+        o_id = district["d_next_o_id"]
+        district["d_next_o_id"] = o_id + 1
+        tp.write(txn, tp.DISTRICT, dk(w, d), district, cfg.pad_district)
+        total = 0.0
+        for line in range(1, n_lines + 1):
+            i_id = rng.randint(1, cfg.items)
+            item = tp.read(tp.ITEM, ik(i_id), txn)
+            # 1% of orders reference "remote" warehouses when there are
+            # several; the write pattern is identical.
+            supply_w = w
+            if cfg.warehouses > 1 and rng.random() < 0.01:
+                supply_w = rng.randint(1, cfg.warehouses)
+            stock = tp.read(tp.STOCK, sk(supply_w, i_id), txn)
+            quantity = rng.randint(1, 10)
+            if stock["s_quantity"] >= quantity + 10:
+                stock["s_quantity"] -= quantity
+            else:
+                stock["s_quantity"] += 91 - quantity
+            stock["s_ytd"] += quantity
+            stock["s_order_cnt"] += 1
+            if supply_w != w:
+                stock["s_remote_cnt"] += 1
+            tp.write(txn, tp.STOCK, sk(supply_w, i_id), stock, cfg.pad_stock)
+            amount = quantity * item["i_price"]
+            total += amount
+            tp.write(txn, tp.ORDER_LINE, olk(w, d, o_id, line), {
+                "ol_o_id": o_id, "ol_number": line, "ol_i_id": i_id,
+                "ol_supply_w_id": supply_w, "ol_quantity": quantity,
+                "ol_amount": round(amount, 2),
+            }, cfg.pad_order_line)
+        tp.write(txn, tp.ORDERS, ok(w, d, o_id), {
+            "o_id": o_id, "o_d_id": d, "o_w_id": w, "o_c_id": c,
+            "o_ol_cnt": n_lines, "o_carrier_id": 0,
+        }, cfg.pad_order)
+        tp.write(txn, tp.NEW_ORDER, nok(w, d, o_id), {"no_o_id": o_id}, 8)
+        if rollback:
+            txn.abort()
+            return False
+    return True
+
+
+def payment(tp: TPCCDatabase, rng: random.Random, w: int) -> bool:
+    """Payment: ~43% of the mix; warehouse + district + customer updates
+    plus a history insert."""
+    cfg = tp.config
+    d = rng.randint(1, cfg.districts_per_warehouse)
+    amount = round(rng.uniform(1.0, 5000.0), 2)
+    with tp.db.begin() as txn:
+        c = select_customer(tp, rng, w, d, txn)
+        warehouse = tp.read(tp.WAREHOUSE, wk(w), txn)
+        warehouse["w_ytd"] += amount
+        tp.write(txn, tp.WAREHOUSE, wk(w), warehouse, cfg.pad_warehouse)
+        district = tp.read(tp.DISTRICT, dk(w, d), txn)
+        district["d_ytd"] += amount
+        seq = district["d_history_seq"] = district["d_history_seq"] + 1
+        tp.write(txn, tp.DISTRICT, dk(w, d), district, cfg.pad_district)
+        customer = tp.read(tp.CUSTOMER, ck(w, d, c), txn)
+        customer["c_balance"] -= amount
+        customer["c_ytd_payment"] += amount
+        customer["c_payment_cnt"] += 1
+        tp.write(txn, tp.CUSTOMER, ck(w, d, c), customer, cfg.pad_customer)
+        tp.write(txn, tp.HISTORY, hk(w, d, seq), {
+            "h_c_id": c, "h_d_id": d, "h_w_id": w, "h_amount": amount,
+        }, cfg.pad_history)
+    return True
+
+
+def order_status(tp: TPCCDatabase, rng: random.Random, w: int) -> bool:
+    """OrderStatus: ~4%; read-only."""
+    cfg = tp.config
+    d = rng.randint(1, cfg.districts_per_warehouse)
+    c = select_customer(tp, rng, w, d)
+    tp.read(tp.CUSTOMER, ck(w, d, c))
+    district = tp.read(tp.DISTRICT, dk(w, d))
+    last_o = district["d_next_o_id"] - 1
+    order = tp.read(tp.ORDERS, ok(w, d, last_o))
+    if order is not None:
+        for line in range(1, order["o_ol_cnt"] + 1):
+            tp.read(tp.ORDER_LINE, olk(w, d, last_o, line))
+    return True
+
+
+def delivery(tp: TPCCDatabase, rng: random.Random, w: int) -> bool:
+    """Delivery: ~4%; per district, deliver the oldest undelivered order
+    (delete its new-order row, stamp the carrier, credit the customer)."""
+    cfg = tp.config
+    carrier = rng.randint(1, 10)
+    delivered = 0
+    with tp.db.begin() as txn:
+        for d in range(1, cfg.districts_per_warehouse + 1):
+            district = tp.read(tp.DISTRICT, dk(w, d), txn)
+            oldest = district["d_oldest_no"]
+            next_o = district["d_next_o_id"]
+            o_id = None
+            probe = oldest
+            while probe < next_o:
+                if tp.read(tp.NEW_ORDER, nok(w, d, probe), txn) is not None:
+                    o_id = probe
+                    break
+                probe += 1
+            district["d_oldest_no"] = probe
+            tp.write(txn, tp.DISTRICT, dk(w, d), district, cfg.pad_district)
+            if o_id is None:
+                continue
+            txn.delete(tp.NEW_ORDER, nok(w, d, o_id))
+            order = tp.read(tp.ORDERS, ok(w, d, o_id), txn)
+            order["o_carrier_id"] = carrier
+            tp.write(txn, tp.ORDERS, ok(w, d, o_id), order, cfg.pad_order)
+            total = 0.0
+            for line in range(1, order["o_ol_cnt"] + 1):
+                ol = tp.read(tp.ORDER_LINE, olk(w, d, o_id, line), txn)
+                if ol is not None:
+                    total += ol["ol_amount"]
+            customer = tp.read(tp.CUSTOMER, ck(w, d, order["o_c_id"]), txn)
+            customer["c_balance"] += total
+            customer["c_delivery_cnt"] += 1
+            tp.write(txn, tp.CUSTOMER, ck(w, d, order["o_c_id"]),
+                     customer, cfg.pad_customer)
+            delivered += 1
+    return True
+
+
+def stock_level(tp: TPCCDatabase, rng: random.Random, w: int) -> bool:
+    """StockLevel: ~4%; read-only scan of recent order lines' stocks."""
+    cfg = tp.config
+    d = rng.randint(1, cfg.districts_per_warehouse)
+    threshold = rng.randint(10, 20)
+    district = tp.read(tp.DISTRICT, dk(w, d))
+    next_o = district["d_next_o_id"]
+    low = 0
+    for o_id in range(max(1, next_o - 5), next_o):
+        order = tp.read(tp.ORDERS, ok(w, d, o_id))
+        if order is None:
+            continue
+        for line in range(1, order["o_ol_cnt"] + 1):
+            ol = tp.read(tp.ORDER_LINE, olk(w, d, o_id, line))
+            if ol is None:
+                continue
+            stock = tp.read(tp.STOCK, sk(w, ol["ol_i_id"]))
+            if stock is not None and stock["s_quantity"] < threshold:
+                low += 1
+    return True

@@ -1,0 +1,158 @@
+"""The §2/§9 baseline DR mechanisms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    ArchiveRecovery,
+    ContinuousArchiver,
+    SnapshotBackup,
+    restore_latest_snapshot,
+)
+from repro.common.errors import ConfigError, RecoveryError
+from repro.common.units import KiB
+from repro.cloud.memory import InMemoryObjectStore
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import MYSQL_PROFILE, POSTGRES_PROFILE
+from repro.storage.interposer import InterposedFS
+from repro.storage.memory import MemoryFileSystem
+
+SEG = 32 * KiB  # tiny segments so archiving triggers fast
+ENGINE = EngineConfig(wal_segment_size=SEG, auto_checkpoint=False)
+
+
+def archived_stack():
+    inner = MemoryFileSystem()
+    cloud = InMemoryObjectStore()
+    fs = InterposedFS(inner, None)
+    db = MiniDB.create(fs, POSTGRES_PROFILE, ENGINE)
+    archiver = ContinuousArchiver(inner, cloud, POSTGRES_PROFILE)
+    fs.set_interceptor(archiver)
+    return inner, cloud, fs, db, archiver
+
+
+class TestContinuousArchiver:
+    def test_requires_append_mode_wal(self):
+        with pytest.raises(ConfigError):
+            ContinuousArchiver(MemoryFileSystem(), InMemoryObjectStore(),
+                               MYSQL_PROFILE)
+
+    def test_completed_segments_shipped(self):
+        _inner, cloud, _fs, db, archiver = archived_stack()
+        # Write enough WAL to roll into several segments.
+        for i in range(80):
+            db.put("t", f"k{i}", b"x" * 500)
+        assert archiver.segments_archived >= 1
+        assert len(cloud.list("ARCHIVE/")) == archiver.segments_archived
+
+    def test_in_progress_segment_not_shipped(self):
+        _inner, cloud, _fs, db, archiver = archived_stack()
+        db.put("t", "k", b"v")  # a few bytes into segment 0
+        assert archiver.segments_archived == 0
+        assert cloud.list("ARCHIVE/") == []
+
+    def test_base_backup_and_restore(self):
+        _inner, cloud, _fs, db, archiver = archived_stack()
+        for i in range(80):
+            db.put("t", f"k{i}", b"x" * 500)
+        db.checkpoint()
+        archiver.base_backup()
+        # More traffic after the backup; completed segments still ship.
+        for i in range(80, 160):
+            db.put("t", f"k{i}", b"x" * 500)
+        db.crash()
+        target = MemoryFileSystem()
+        report = ArchiveRecovery.restore(cloud, target, POSTGRES_PROFILE)
+        assert report.base_backup_seq == 1
+        assert report.segments_replayed >= 1
+        recovered = MiniDB.open(target, POSTGRES_PROFILE, ENGINE)
+        # Everything up to the last *archived* segment came back; the
+        # in-progress segment's commits are the baseline's loss window.
+        assert recovered.get("t", "k0") == b"x" * 500
+        lost = sum(
+            1 for i in range(160)
+            if recovered.get("t", f"k{i}") is None
+        )
+        assert 0 < lost < 160
+
+    def test_restore_without_backup_raises(self):
+        with pytest.raises(RecoveryError):
+            ArchiveRecovery.restore(InMemoryObjectStore(), MemoryFileSystem(),
+                                    POSTGRES_PROFILE)
+
+    def test_gap_in_archive_stops_replay(self):
+        _inner, cloud, _fs, db, archiver = archived_stack()
+        db.checkpoint()
+        archiver.base_backup()
+        for i in range(200):
+            db.put("t", f"k{i}", b"x" * 500)
+        keys = sorted(info.key for info in cloud.list("ARCHIVE/"))
+        assert len(keys) >= 3
+        cloud.delete(keys[1])  # lose the second archived segment
+        target = MemoryFileSystem()
+        report = ArchiveRecovery.restore(cloud, target, POSTGRES_PROFILE)
+        assert report.segments_replayed == 1
+        assert report.stale_segment_keys
+
+
+class TestSnapshotBackup:
+    def _db(self):
+        fs = MemoryFileSystem()
+        return fs, MiniDB.create(fs, POSTGRES_PROFILE, ENGINE)
+
+    def test_snapshot_restore_roundtrip(self):
+        fs, db = self._db()
+        for i in range(20):
+            db.put("t", f"k{i}", b"v")
+        cloud = InMemoryObjectStore()
+        backup = SnapshotBackup(fs, cloud)
+        backup.take_snapshot()
+        db.crash()
+        target = MemoryFileSystem()
+        restored = restore_latest_snapshot(cloud, target)
+        assert restored > 0
+        recovered = MiniDB.open(target, POSTGRES_PROFILE, ENGINE)
+        for i in range(20):
+            assert recovered.get("t", f"k{i}") == b"v"
+
+    def test_updates_after_snapshot_are_lost(self):
+        fs, db = self._db()
+        db.put("t", "before", b"1")
+        cloud = InMemoryObjectStore()
+        SnapshotBackup(fs, cloud).take_snapshot()
+        db.put("t", "after", b"2")
+        target = MemoryFileSystem()
+        restore_latest_snapshot(cloud, target)
+        recovered = MiniDB.open(target, POSTGRES_PROFILE, ENGINE)
+        assert recovered.get("t", "before") == b"1"
+        assert recovered.get("t", "after") is None  # Backup&Restore's RPO
+
+    def test_rotation_keeps_n(self):
+        fs, _db = self._db()
+        cloud = InMemoryObjectStore()
+        backup = SnapshotBackup(fs, cloud, keep=2)
+        for _ in range(5):
+            backup.take_snapshot()
+        assert len(cloud.list("SNAP/")) == 2
+
+    def test_latest_snapshot_wins(self):
+        fs, db = self._db()
+        cloud = InMemoryObjectStore()
+        backup = SnapshotBackup(fs, cloud)
+        db.put("t", "k", b"old")
+        backup.take_snapshot()
+        db.put("t", "k", b"new")
+        backup.take_snapshot()
+        target = MemoryFileSystem()
+        restore_latest_snapshot(cloud, target)
+        recovered = MiniDB.open(target, POSTGRES_PROFILE, ENGINE)
+        assert recovered.get("t", "k") == b"new"
+
+    def test_keep_validated(self):
+        with pytest.raises(ConfigError):
+            SnapshotBackup(MemoryFileSystem(), InMemoryObjectStore(), keep=0)
+
+    def test_restore_empty_bucket_raises(self):
+        with pytest.raises(RecoveryError):
+            restore_latest_snapshot(InMemoryObjectStore(), MemoryFileSystem())

@@ -1,0 +1,112 @@
+"""Multi-cloud replication (§6: provider-scale fault tolerance)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import CloudObjectNotFound, CloudUnavailable
+from repro.cloud.faults import FaultPolicy
+from repro.cloud.memory import InMemoryObjectStore
+from repro.cloud.multi import MultiCloudStore
+from repro.cloud.simulated import SimulatedCloud
+
+
+def make_replicas(n=2):
+    backends = [InMemoryObjectStore() for _ in range(n)]
+    faults = [FaultPolicy() for _ in range(n)]
+    clouds = [
+        SimulatedCloud(backend=b, faults=f, time_scale=0.0)
+        for b, f in zip(backends, faults)
+    ]
+    return backends, faults, clouds
+
+
+class TestReplication:
+    def test_put_reaches_all_replicas(self):
+        backends, _faults, clouds = make_replicas()
+        multi = MultiCloudStore(clouds)
+        multi.put("k", b"v")
+        assert all(b.get("k") == b"v" for b in backends)
+        multi.close()
+
+    def test_get_falls_back_to_second_replica(self):
+        _backends, faults, clouds = make_replicas()
+        multi = MultiCloudStore(clouds)
+        multi.put("k", b"v")
+        faults[0].fail_next(10)
+        assert multi.get("k") == b"v"
+        multi.close()
+
+    def test_list_falls_back(self):
+        _backends, faults, clouds = make_replicas()
+        multi = MultiCloudStore(clouds)
+        multi.put("k", b"v")
+        faults[0].fail_next(10)
+        assert [i.key for i in multi.list()] == ["k"]
+        multi.close()
+
+    def test_delete_fans_out(self):
+        backends, _faults, clouds = make_replicas()
+        multi = MultiCloudStore(clouds)
+        multi.put("k", b"v")
+        multi.delete("k")
+        assert all(b.list() == [] for b in backends)
+        multi.close()
+
+    def test_missing_object_raises_not_found(self):
+        _backends, _faults, clouds = make_replicas()
+        multi = MultiCloudStore(clouds)
+        with pytest.raises(CloudObjectNotFound):
+            multi.get("nope")
+        multi.close()
+
+
+class TestQuorum:
+    def test_quorum_put_succeeds_with_one_replica_down(self):
+        backends, faults, clouds = make_replicas(3)
+        multi = MultiCloudStore(clouds, write_quorum=2)
+        faults[0].fail_next()
+        multi.put("k", b"v")
+        assert backends[1].get("k") == b"v"
+        assert backends[2].get("k") == b"v"
+        assert multi.replica_errors == 1
+        multi.close()
+
+    def test_put_fails_below_quorum(self):
+        _backends, faults, clouds = make_replicas(2)
+        multi = MultiCloudStore(clouds, write_quorum=2)
+        faults[0].fail_next()
+        with pytest.raises(CloudUnavailable):
+            multi.put("k", b"v")
+        multi.close()
+
+    def test_invalid_quorum_rejected(self):
+        _b, _f, clouds = make_replicas(2)
+        with pytest.raises(ValueError):
+            MultiCloudStore(clouds, write_quorum=3)
+        with pytest.raises(ValueError):
+            MultiCloudStore(clouds, write_quorum=0)
+
+    def test_empty_store_list_rejected(self):
+        with pytest.raises(ValueError):
+            MultiCloudStore([])
+
+
+class TestRepair:
+    def test_repair_fills_missing_copies(self):
+        backends, faults, clouds = make_replicas(2)
+        multi = MultiCloudStore(clouds, write_quorum=1)
+        faults[1].fail_next()  # replica 1 misses this object
+        multi.put("k", b"v")
+        assert not backends[1].exists("k")
+        copies = multi.repair()
+        assert copies == 1
+        assert backends[1].get("k") == b"v"
+        multi.close()
+
+    def test_repair_noop_when_consistent(self):
+        _backends, _faults, clouds = make_replicas(2)
+        multi = MultiCloudStore(clouds)
+        multi.put("k", b"v")
+        assert multi.repair() == 0
+        multi.close()

@@ -1,0 +1,84 @@
+"""Price books and billing — anchored to the paper's §3/§7 numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.units import GB
+from repro.cloud.pricing import (
+    AZURE_BLOB_2017,
+    GOOGLE_STORAGE_2017,
+    S3_STANDARD_2017,
+    SECONDS_PER_MONTH,
+)
+from repro.cloud.simulated import SimulatedCloud
+
+
+class TestPaperAnchors:
+    def test_s3_storage_price_is_papers(self):
+        # §3: "$0.023 per GB/month"
+        assert S3_STANDARD_2017.storage_cost(1.0) == pytest.approx(0.023)
+
+    def test_s3_put_price_is_papers(self):
+        # §3: "$0.005 per 1000 file uploads"
+        assert S3_STANDARD_2017.put_cost(1000) == pytest.approx(0.005)
+
+    def test_egress_roughly_4x_storage(self):
+        # §7.3: downloading 1 GB costs "almost 4x" storing it a month.
+        ratio = S3_STANDARD_2017.egress_per_gb / S3_STANDARD_2017.storage_gb_month
+        assert 3.5 < ratio < 4.5
+
+    def test_same_region_egress_is_free(self):
+        # §7.3: "downloads from S3 to EC2 in the same region are free".
+        assert S3_STANDARD_2017.egress_cost(100.0, same_region=True) == 0.0
+
+    def test_all_books_have_positive_rates(self):
+        for book in (S3_STANDARD_2017, AZURE_BLOB_2017, GOOGLE_STORAGE_2017):
+            assert book.storage_gb_month > 0
+            assert book.put_per_1000 > 0
+            assert book.egress_per_gb > 0
+
+
+class TestMeteredBilling:
+    def _run_window(self):
+        clock = ManualClock()
+        cloud = SimulatedCloud(time_scale=0.0, clock=clock)
+        cloud.put("obj", b"x" * GB)  # 1 decimal GB
+        clock.advance(SECONDS_PER_MONTH)  # stored for exactly a month
+        return cloud
+
+    def test_bill_window_storage_only(self):
+        cloud = self._run_window()
+        bill = S3_STANDARD_2017.bill_window(cloud.meter, cloud.elapsed())
+        # 1 GB-month of storage + one PUT
+        expected = 0.023 + 0.005 / 1000
+        assert bill == pytest.approx(expected, rel=1e-6)
+
+    def test_monthly_run_rate_matches_bill_for_month_window(self):
+        cloud = self._run_window()
+        rate = S3_STANDARD_2017.monthly_run_rate(cloud.meter, cloud.elapsed())
+        bill = S3_STANDARD_2017.bill_window(cloud.meter, cloud.elapsed())
+        assert rate == pytest.approx(bill, rel=1e-3)
+
+    def test_run_rate_extrapolates_requests(self):
+        clock = ManualClock()
+        cloud = SimulatedCloud(time_scale=0.0, clock=clock)
+        for i in range(10):
+            cloud.put(f"k{i}", b"")
+        clock.advance(SECONDS_PER_MONTH / 100)  # window = 1% of a month
+        rate = S3_STANDARD_2017.monthly_run_rate(cloud.meter, cloud.elapsed())
+        assert rate == pytest.approx(S3_STANDARD_2017.put_cost(1000), rel=0.01)
+
+    def test_empty_window_run_rate_is_zero(self):
+        cloud = SimulatedCloud(time_scale=0.0, clock=ManualClock())
+        assert S3_STANDARD_2017.monthly_run_rate(cloud.meter, 0.0) == 0.0
+
+    def test_gets_bill_egress(self):
+        clock = ManualClock()
+        cloud = SimulatedCloud(time_scale=0.0, clock=clock)
+        cloud.put("k", b"x" * GB)
+        cloud.get("k")
+        clock.advance(1.0)
+        bill = S3_STANDARD_2017.bill_window(cloud.meter, cloud.elapsed())
+        assert bill >= S3_STANDARD_2017.egress_per_gb

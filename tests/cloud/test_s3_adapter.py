@@ -1,0 +1,106 @@
+"""BotoS3Store adapter, exercised against a stub client (no network)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.common.errors import CloudError, CloudObjectNotFound
+from repro.cloud.s3 import BotoS3Store
+
+
+class _StubPaginator:
+    def __init__(self, objects):
+        self._objects = objects
+
+    def paginate(self, Bucket, Prefix=""):
+        contents = [
+            {"Key": key, "Size": len(body)}
+            for key, body in sorted(self._objects.items())
+            if key.startswith(Prefix)
+        ]
+        # Two pages, to prove pagination is walked.
+        mid = len(contents) // 2
+        yield {"Contents": contents[:mid]}
+        yield {"Contents": contents[mid:]}
+
+
+class _NoSuchKey(Exception):
+    def __init__(self):
+        super().__init__("NoSuchKey")
+        self.response = {"Error": {"Code": "NoSuchKey"}}
+
+
+class _StubClient:
+    """Mimics the small slice of boto3's S3 client the adapter uses."""
+
+    def __init__(self):
+        self.objects: dict[str, bytes] = {}
+        self.fail = False
+
+    def put_object(self, Bucket, Key, Body):
+        if self.fail:
+            raise RuntimeError("simulated AWS error")
+        self.objects[Key] = bytes(Body)
+
+    def get_object(self, Bucket, Key):
+        if Key not in self.objects:
+            raise _NoSuchKey()
+        return {"Body": io.BytesIO(self.objects[Key])}
+
+    def delete_object(self, Bucket, Key):
+        self.objects.pop(Key, None)
+
+    def get_paginator(self, name):
+        assert name == "list_objects_v2"
+        return _StubPaginator(self.objects)
+
+
+@pytest.fixture
+def s3():
+    client = _StubClient()
+    return client, BotoS3Store("bucket", client=client, prefix="ginja/db1/")
+
+
+class TestAdapter:
+    def test_put_applies_prefix(self, s3):
+        client, store = s3
+        store.put("WAL/1", b"x")
+        assert client.objects == {"ginja/db1/WAL/1": b"x"}
+
+    def test_get_roundtrip(self, s3):
+        _client, store = s3
+        store.put("k", b"body")
+        assert store.get("k") == b"body"
+
+    def test_get_missing_maps_to_not_found(self, s3):
+        _client, store = s3
+        with pytest.raises(CloudObjectNotFound):
+            store.get("missing")
+
+    def test_list_strips_prefix_and_sorts(self, s3):
+        _client, store = s3
+        for key in ("WAL/2", "WAL/1", "DB/9", "DB/1", "WAL/3"):
+            store.put(key, b"ab")
+        infos = store.list()
+        assert [i.key for i in infos] == ["DB/1", "DB/9", "WAL/1", "WAL/2", "WAL/3"]
+        assert all(i.size == 2 for i in infos)
+
+    def test_list_with_sub_prefix(self, s3):
+        _client, store = s3
+        store.put("WAL/1", b"x")
+        store.put("DB/1", b"x")
+        assert [i.key for i in store.list("WAL/")] == ["WAL/1"]
+
+    def test_delete(self, s3):
+        client, store = s3
+        store.put("k", b"x")
+        store.delete("k")
+        assert client.objects == {}
+
+    def test_provider_error_wrapped(self, s3):
+        client, store = s3
+        client.fail = True
+        with pytest.raises(CloudError):
+            store.put("k", b"x")

@@ -1,0 +1,58 @@
+"""Clock behaviour."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.common.clock import ManualClock, MonotonicClock
+
+
+class TestMonotonicClock:
+    def test_now_advances(self):
+        clock = MonotonicClock()
+        a = clock.now()
+        time.sleep(0.002)
+        assert clock.now() > a
+
+    def test_sleep_zero_and_negative_return_immediately(self):
+        clock = MonotonicClock()
+        start = time.monotonic()
+        clock.sleep(0)
+        clock.sleep(-1)
+        assert time.monotonic() - start < 0.05
+
+
+class TestManualClock:
+    def test_starts_at_given_time(self):
+        assert ManualClock(start=42.0).now() == 42.0
+
+    def test_sleep_advances_instead_of_blocking(self):
+        clock = ManualClock()
+        wall = time.monotonic()
+        clock.sleep(1000)
+        assert time.monotonic() - wall < 0.1
+        assert clock.now() == 1000
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            ManualClock().sleep(-1)
+
+    def test_wait_until_wakes_on_advance(self):
+        clock = ManualClock()
+        reached = []
+
+        def waiter():
+            reached.append(clock.wait_until(5.0, timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        clock.advance(5.0)
+        thread.join(timeout=5.0)
+        assert reached == [True]
+
+    def test_wait_until_times_out(self):
+        clock = ManualClock()
+        assert clock.wait_until(1.0, timeout=0.05) is False

@@ -1,0 +1,84 @@
+"""The framed binary codec everything serializes through."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import IntegrityError
+from repro.common.serialize import (
+    pack_bytes,
+    pack_kv_pairs,
+    pack_str,
+    pack_u32,
+    pack_u64,
+    take_bytes,
+    take_kv_pairs,
+    take_str,
+    take_u32,
+    take_u64,
+)
+
+
+class TestScalars:
+    def test_u32_roundtrip(self):
+        buf = pack_u32(0) + pack_u32(2**32 - 1)
+        value, pos = take_u32(buf, 0)
+        assert value == 0
+        value, pos = take_u32(buf, pos)
+        assert value == 2**32 - 1 and pos == len(buf)
+
+    def test_u64_roundtrip(self):
+        buf = pack_u64(2**53 + 7)
+        assert take_u64(buf, 0) == (2**53 + 7, 8)
+
+    def test_truncated_scalars_raise(self):
+        with pytest.raises(IntegrityError):
+            take_u32(b"\x01\x02", 0)
+        with pytest.raises(IntegrityError):
+            take_u64(b"\x01" * 7, 0)
+
+
+class TestBytesAndStrings:
+    def test_bytes_roundtrip(self):
+        buf = pack_bytes(b"hello") + pack_bytes(b"")
+        first, pos = take_bytes(buf, 0)
+        second, pos = take_bytes(buf, pos)
+        assert (first, second) == (b"hello", b"")
+
+    def test_str_roundtrip_unicode(self):
+        buf = pack_str("ginja — жинжа — 🍒")
+        assert take_str(buf, 0)[0] == "ginja — жинжа — 🍒"
+
+    def test_truncated_payload_raises(self):
+        buf = pack_bytes(b"full-length")[:-3]
+        with pytest.raises(IntegrityError):
+            take_bytes(buf, 0)
+
+
+class TestKVPairs:
+    def test_roundtrip(self):
+        pairs = [("base/t", b"page"), ("pg_control", b""), ("x", b"\x00\xff")]
+        decoded, end = take_kv_pairs(pack_kv_pairs(pairs))
+        assert decoded == pairs
+
+    def test_empty(self):
+        decoded, end = take_kv_pairs(pack_kv_pairs([]))
+        assert decoded == [] and end == 4
+
+
+@given(st.lists(st.tuples(st.text(max_size=30), st.binary(max_size=200)),
+                max_size=15))
+def test_kv_pairs_property(pairs):
+    decoded, _ = take_kv_pairs(pack_kv_pairs(pairs))
+    assert decoded == pairs
+
+
+@given(st.binary(max_size=100), st.integers(min_value=0, max_value=120))
+def test_take_bytes_never_overreads(buf, offset):
+    try:
+        value, end = take_bytes(buf, offset)
+    except IntegrityError:
+        return
+    assert end <= len(buf)
+    assert isinstance(value, bytes)

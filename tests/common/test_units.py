@@ -1,0 +1,108 @@
+"""Unit parsing/formatting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    format_duration,
+    parse_bytes,
+    parse_duration,
+)
+
+
+class TestParseBytes:
+    def test_plain_int_passthrough(self):
+        assert parse_bytes(4096) == 4096
+
+    def test_bare_number_is_bytes(self):
+        assert parse_bytes("512") == 512
+
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("1k", KiB),
+            ("8K", 8 * KiB),
+            ("8kb", 8 * KiB),
+            ("16MB", 16 * MiB),
+            ("16MiB", 16 * MiB),
+            ("1.5g", int(1.5 * GiB)),
+            ("2TB", 2 * 1024 * GiB),
+            ("0b", 0),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_fractional_kilobytes(self):
+        assert parse_bytes("0.5k") == 512
+
+    @pytest.mark.parametrize("bad", ["", "abc", "12xB", "-5k", "1 2k"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ConfigError):
+            parse_bytes(bad)
+
+
+class TestFormatBytes:
+    def test_small_values_are_plain_bytes(self):
+        assert format_bytes(0) == "0B"
+        assert format_bytes(512) == "512B"
+
+    def test_binary_suffixes(self):
+        assert format_bytes(16 * MiB) == "16.0MiB"
+        assert format_bytes(1536) == "1.5KiB"
+        assert format_bytes(3 * GiB) == "3.0GiB"
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_always_produces_a_suffix(self, n):
+        text = format_bytes(n)
+        assert any(text.endswith(s) for s in ("B", "KiB", "MiB", "GiB", "TiB"))
+
+
+class TestParseDuration:
+    def test_numeric_passthrough(self):
+        assert parse_duration(2.5) == 2.5
+        assert parse_duration(3) == 3.0
+
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("200ms", 0.2),
+            ("5s", 5.0),
+            ("2m", 120.0),
+            ("1.5h", 5400.0),
+            ("1d", 86400.0),
+            ("10us", 1e-5),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_duration(text) == pytest.approx(expected)
+
+    def test_rejects_unknown_unit(self):
+        with pytest.raises(ConfigError):
+            parse_duration("5 fortnights")
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        ("seconds", "expected"),
+        [
+            (0.0000005, "0us"),
+            (0.0005, "500us"),
+            (0.05, "50.0ms"),
+            (5.0, "5.0s"),
+            (300, "5.0m"),
+            (7200, "2.0h"),
+        ],
+    )
+    def test_rendering(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_negative_durations(self):
+        assert format_duration(-5) == "-5.0s"

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.memory import InMemoryObjectStore
+from repro.cloud.simulated import SimulatedCloud
+from repro.storage.memory import MemoryFileSystem
+
+
+@pytest.fixture
+def fs() -> MemoryFileSystem:
+    """A zero-latency RAM file system."""
+    return MemoryFileSystem()
+
+
+@pytest.fixture
+def store() -> InMemoryObjectStore:
+    """A raw in-memory bucket."""
+    return InMemoryObjectStore()
+
+
+@pytest.fixture
+def cloud() -> SimulatedCloud:
+    """A simulated cloud with no latency and no faults."""
+    return SimulatedCloud(time_scale=0.0)

@@ -1,0 +1,283 @@
+"""Algorithm 3: checkpoint capture, upload, GC and PITR retention."""
+
+from __future__ import annotations
+
+import queue
+import time
+
+import pytest
+
+from repro.cloud.memory import InMemoryObjectStore
+from repro.cloud.simulated import SimulatedCloud
+from repro.core.checkpointer import CheckpointCollector, CheckpointUploader
+from repro.core.cloud_view import CloudView
+from repro.core.codec import ObjectCodec
+from repro.core.config import GinjaConfig
+from repro.core.data_model import (
+    CHECKPOINT,
+    DBObjectMeta,
+    DUMP,
+    WALObjectMeta,
+    decode_checkpoint_payload,
+    decode_dump_payload,
+)
+from repro.core.pitr import RetentionPolicy
+from repro.core.stats import GinjaStats
+from repro.db.profiles import POSTGRES_PROFILE
+from repro.storage.memory import MemoryFileSystem
+
+
+def make_stack(config=None, fs=None):
+    config = config or GinjaConfig()
+    fs = fs or MemoryFileSystem()
+    backend = InMemoryObjectStore()
+    cloud = SimulatedCloud(backend=backend, time_scale=0.0)
+    view = CloudView()
+    stats = GinjaStats()
+    codec = ObjectCodec()
+    uploader = CheckpointUploader(config, cloud, view, stats)
+    collector = CheckpointCollector(
+        config, codec, view, fs, POSTGRES_PROFILE, uploader.queue, stats
+    )
+    return config, fs, backend, view, stats, codec, uploader, collector
+
+
+def run_uploader_once(uploader):
+    """Process everything queued, synchronously (no thread)."""
+    while True:
+        try:
+            item = uploader.queue.get_nowait()
+        except queue.Empty:
+            return
+        uploader._upload(item)
+
+
+class TestCollector:
+    def test_incremental_checkpoint_payload(self):
+        _cfg, fs, backend, view, _stats, codec, uploader, collector = make_stack()
+        fs.write("base/t", 0, b"\x00" * 100)  # some local DB presence
+        view.next_wal_ts()
+        view.add_wal(WALObjectMeta(ts=0, filename="seg", offset=0))
+        collector.begin()
+        assert collector.in_checkpoint
+        collector.add_write("base/t", 0, b"page-v1")
+        collector.add_write("base/t", 0, b"page-v2")  # coalesced
+        collector.add_write("base/t", 8192, b"page-b")
+        collector.end()
+        assert not collector.in_checkpoint
+        run_uploader_once(uploader)
+        (info,) = backend.list("DB/")
+        meta = DBObjectMeta.parse(info.key)
+        assert meta.type == CHECKPOINT
+        assert meta.ts == 0  # the confirmed WAL frontier at begin
+        writes = decode_checkpoint_payload(codec.decode(backend.get(info.key)))
+        assert writes == [("base/t", 0, b"page-v2"), ("base/t", 8192, b"page-b")]
+
+    def test_dump_triggered_by_150_percent_rule(self):
+        _cfg, fs, backend, view, stats, codec, uploader, collector = make_stack()
+        fs.write("base/t", 0, b"d" * 1000)  # local DB size = 1000
+        # Pretend the cloud already holds 1500+ bytes of DB objects.
+        view.add_db(DBObjectMeta(ts=0, type=DUMP, size=1600))
+        collector.begin()
+        collector.add_write("base/t", 0, b"x")
+        collector.end()
+        run_uploader_once(uploader)
+        dumps = [
+            DBObjectMeta.parse(i.key)
+            for i in backend.list("DB/")
+            if DBObjectMeta.parse(i.key).is_dump
+        ]
+        assert dumps, "the 150% rule must force a dump"
+        content = decode_dump_payload(codec.decode(backend.get(dumps[0].key)))
+        assert ("base/t", b"d" * 1000) in content
+        assert stats.dumps == 1
+
+    def test_below_threshold_stays_incremental(self):
+        _cfg, fs, backend, view, _stats, _codec, uploader, collector = make_stack()
+        fs.write("base/t", 0, b"d" * 1000)
+        view.add_db(DBObjectMeta(ts=0, type=DUMP, size=1400))  # 140% < 150%
+        collector.begin()
+        collector.add_write("base/t", 0, b"x")
+        collector.end()
+        run_uploader_once(uploader)
+        new_metas = [DBObjectMeta.parse(i.key) for i in backend.list("DB/")]
+        assert any(m.type == CHECKPOINT for m in new_metas)
+
+    def test_large_checkpoint_splits_into_parts(self):
+        config = GinjaConfig(max_object_bytes=64 * 1024)
+        _cfg, fs, backend, _view, _stats, _codec, uploader, collector = make_stack(
+            config
+        )
+        fs.write("base/t", 0, b"\x00")
+        collector.begin()
+        for page in range(24):  # 24 x 8 KiB = 192 KiB > 3 x 64 KiB
+            collector.add_write("base/t", page * 8192, b"p" * 8192)
+        collector.end()
+        run_uploader_once(uploader)
+        metas = [DBObjectMeta.parse(i.key) for i in backend.list("DB/")]
+        assert len(metas) >= 3
+        assert all(m.nparts == len(metas) for m in metas)
+        assert sorted(m.part for m in metas) == list(range(len(metas)))
+
+
+class TestGarbageCollection:
+    def test_wal_objects_upto_ts_deleted(self):
+        _cfg, fs, backend, view, stats, codec, uploader, collector = make_stack()
+        fs.write("base/t", 0, b"\x00" * 10)
+        # Three confirmed WAL objects in the cloud.
+        for ts in range(3):
+            view.next_wal_ts()
+            meta = WALObjectMeta(ts=ts, filename="seg", offset=ts * 512)
+            backend.put(meta.key, b"blob")
+            view.add_wal(meta)
+        collector.begin()  # frontier ts = 2
+        collector.add_write("base/t", 0, b"x")
+        collector.end()
+        run_uploader_once(uploader)
+        assert backend.list("WAL/") == []
+        assert view.wal_object_count() == 0
+        assert stats.gc_deletes == 3
+
+    def test_wal_beyond_checkpoint_ts_survives(self):
+        _cfg, fs, backend, view, _stats, _codec, uploader, collector = make_stack()
+        fs.write("base/t", 0, b"\x00" * 10)
+        view.next_wal_ts()
+        meta0 = WALObjectMeta(ts=0, filename="seg", offset=0)
+        backend.put(meta0.key, b"blob")
+        view.add_wal(meta0)
+        collector.begin()  # frontier = 0
+        # A new confirmed WAL object arrives during the checkpoint.
+        view.next_wal_ts()
+        meta1 = WALObjectMeta(ts=1, filename="seg", offset=512)
+        backend.put(meta1.key, b"blob")
+        view.add_wal(meta1)
+        collector.add_write("base/t", 0, b"x")
+        collector.end()
+        run_uploader_once(uploader)
+        remaining = [i.key for i in backend.list("WAL/")]
+        assert remaining == [meta1.key]
+
+    def test_dump_deletes_previous_db_objects(self):
+        _cfg, fs, backend, view, _stats, _codec, uploader, collector = make_stack()
+        fs.write("base/t", 0, b"d" * 100)
+        old_dump = DBObjectMeta(ts=0, type=DUMP, size=120)
+        old_ckpt = DBObjectMeta(ts=2, type=CHECKPOINT, size=60)
+        for meta in (old_dump, old_ckpt):
+            backend.put(meta.key, b"old")
+            view.add_db(meta)
+        view.next_wal_ts()
+        wal3 = WALObjectMeta(ts=0, filename="seg", offset=0)
+        backend.put(wal3.key, b"w")
+        view.add_wal(wal3)
+        view.force_frontier(5)  # checkpoint ts will be 5 > old objects
+        collector.begin()
+        collector.add_write("base/t", 0, b"x")
+        collector.end()  # 180 >= 1.5*100 -> dump
+        run_uploader_once(uploader)
+        keys = [i.key for i in backend.list("DB/")]
+        assert old_dump.key not in keys
+        assert old_ckpt.key not in keys
+        assert len(keys) == 1  # only the new dump
+
+
+class TestRetention:
+    def _superseding_dump(self, view, collector, uploader, fs, ts):
+        view.force_frontier(ts)
+        collector.begin()
+        collector.add_write("base/t", 0, b"x")
+        collector.end()
+        run_uploader_once(uploader)
+
+    def test_generations_kept_then_rotated(self):
+        config = GinjaConfig(retention=RetentionPolicy.keep(2))
+        _cfg, fs, backend, view, _stats, _codec, uploader, collector = make_stack(
+            config
+        )
+        fs.write("base/t", 0, b"d" * 10)  # tiny local DB: every ckpt dumps
+        gen_keys = []
+        for gen in range(4):
+            old = DBObjectMeta(ts=gen * 10, type=DUMP, size=100)
+            backend.put(old.key, b"old")
+            view.add_db(old)
+            gen_keys.append(old.key)
+            self._superseding_dump(view, collector, uploader, fs, gen * 10 + 5)
+        # Two most recent superseded generations retained, older deleted.
+        assert len(uploader.snapshots) == 2
+        live = {i.key for i in backend.list("DB/")}
+        assert gen_keys[0] not in live
+        assert gen_keys[1] not in live
+        assert gen_keys[2] in live
+        assert gen_keys[3] in live
+
+    def test_no_retention_deletes_immediately(self):
+        _cfg, fs, backend, view, _stats, _codec, uploader, collector = make_stack()
+        fs.write("base/t", 0, b"d" * 10)
+        old = DBObjectMeta(ts=0, type=DUMP, size=100)
+        backend.put(old.key, b"old")
+        view.add_db(old)
+        self._superseding_dump(view, collector, uploader, fs, 5)
+        assert uploader.snapshots == []
+        assert old.key not in {i.key for i in backend.list("DB/")}
+
+
+class TestUploaderThread:
+    def test_threaded_upload_and_drain(self):
+        _cfg, fs, backend, view, _stats, _codec, uploader, collector = make_stack()
+        fs.write("base/t", 0, b"\x00" * 10)
+        uploader.start()
+        try:
+            collector.begin()
+            collector.add_write("base/t", 0, b"x")
+            collector.end()
+            assert uploader.drain(timeout=5.0)
+            deadline = time.monotonic() + 5
+            while not backend.list("DB/") and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert backend.list("DB/")
+        finally:
+            uploader.stop(drain_timeout=5.0)
+
+
+class TestFreeze:
+    def test_db_writes_blocked_during_dump(self):
+        import threading
+
+        _cfg, fs, _backend, view, _stats, _codec, _uploader, collector = make_stack()
+        # Large-ish file so the dump read loop has substance.
+        fs.write("base/t", 0, b"d" * 10_000)
+        view.add_db(DBObjectMeta(ts=0, type=DUMP, size=100_000))  # force dump
+
+        entered = threading.Event()
+        finished = threading.Event()
+        original_read_all = fs.read_all
+
+        def slow_read_all(path):
+            entered.set()
+            time.sleep(0.2)
+            return original_read_all(path)
+
+        fs.read_all = slow_read_all
+
+        def run_end():
+            collector.begin()
+            collector.add_write("base/t", 0, b"x")
+            collector.end()
+            finished.set()
+
+        ckpt_thread = threading.Thread(target=run_end)
+        ckpt_thread.start()
+        assert entered.wait(timeout=5)
+        blocked_result = []
+
+        def other_writer():
+            collector.wait_if_frozen()
+            blocked_result.append(time.monotonic())
+
+        writer = threading.Thread(target=other_writer)
+        start = time.monotonic()
+        writer.start()
+        writer.join(timeout=5)
+        ckpt_thread.join(timeout=5)
+        assert finished.is_set()
+        # The writer had to wait for the dump assembly to finish.
+        assert blocked_result and blocked_result[0] - start > 0.1

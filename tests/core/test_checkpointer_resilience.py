@@ -1,0 +1,97 @@
+"""Checkpointer resilience: GC delete failures must not be fatal.
+
+Regression test for a bug found during integration: a single transient
+DELETE error killed the Checkpointer thread permanently, stalling all
+future checkpoint replication while commits kept flowing — silent
+divergence.  Deletes now retry and, on exhaustion, skip (an orphaned
+object is storage waste, not a correctness problem)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import CloudError
+from repro.cloud.memory import InMemoryObjectStore
+from repro.core.checkpointer import CheckpointCollector, CheckpointUploader
+from repro.core.cloud_view import CloudView
+from repro.core.codec import ObjectCodec
+from repro.core.config import GinjaConfig
+from repro.core.data_model import WALObjectMeta
+from repro.core.stats import GinjaStats
+from repro.db.profiles import POSTGRES_PROFILE
+from repro.storage.memory import MemoryFileSystem
+
+
+class DeleteAlwaysFails(InMemoryObjectStore):
+    def delete(self, key):
+        raise CloudError("delete endpoint is broken")
+
+
+class DeleteFailsOnce(InMemoryObjectStore):
+    def __init__(self):
+        super().__init__()
+        self.failures_left = 1
+
+    def delete(self, key):
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise CloudError("transient delete error")
+        super().delete(key)
+
+
+def run_checkpoint(store, config=None):
+    config = config or GinjaConfig(max_retries=2, retry_backoff=0.001)
+    fs = MemoryFileSystem()
+    fs.write("base/t", 0, b"\x00" * 100)
+    view = CloudView()
+    stats = GinjaStats()
+    uploader = CheckpointUploader(config, store, view, stats)
+    collector = CheckpointCollector(
+        config, ObjectCodec(), view, fs, POSTGRES_PROFILE,
+        uploader.queue, stats,
+    )
+    # One confirmed WAL object that GC will try to delete.
+    view.next_wal_ts()
+    wal = WALObjectMeta(ts=0, filename="seg", offset=0)
+    store.put(wal.key, b"w")
+    view.add_wal(wal)
+    collector.begin()
+    collector.add_write("base/t", 0, b"x")
+    collector.end()
+    import queue
+    while True:
+        try:
+            item = uploader.queue.get_nowait()
+        except queue.Empty:
+            break
+        uploader._upload(item)
+    return store, view, stats, uploader
+
+
+class TestDeleteResilience:
+    def test_permanent_delete_failure_is_skipped(self):
+        store, view, stats, uploader = run_checkpoint(DeleteAlwaysFails())
+        # The checkpoint itself was uploaded...
+        assert store.list("DB/")
+        # ...the doomed delete was abandoned, not fatal.
+        assert stats.gc_delete_failures == 1
+        assert uploader.failed is None
+        # The view no longer tracks the orphan (recovery ignores it).
+        assert view.wal_object_count() == 0
+
+    def test_transient_delete_failure_retried_to_success(self):
+        store, _view, stats, uploader = run_checkpoint(DeleteFailsOnce())
+        assert stats.gc_delete_failures == 0
+        assert stats.gc_deletes == 1
+        assert store.list("WAL/") == []  # eventually deleted
+        assert uploader.failed is None
+
+    def test_put_failure_remains_fatal(self):
+        class PutFails(InMemoryObjectStore):
+            def put(self, key, data):
+                if key.startswith("DB/"):
+                    raise CloudError("upload broken")
+                super().put(key, data)
+
+        with pytest.raises(CloudError):
+            run_checkpoint(PutFails())

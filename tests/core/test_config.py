@@ -1,0 +1,79 @@
+"""GinjaConfig validation — the §5.1 parameter constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.config import GinjaConfig
+from repro.core.pitr import RetentionPolicy
+
+
+class TestDefaults:
+    def test_defaults_are_valid(self):
+        config = GinjaConfig()
+        assert config.batch <= config.safety
+        assert config.uploaders == 5  # the paper's evaluated setting
+        assert config.max_object_bytes == 20 * 1000 * 1000  # footnote 3
+        assert config.dump_threshold == 1.5  # Alg. 3's 150%
+        assert not config.retention.enabled
+
+    def test_no_loss_constructor(self):
+        config = GinjaConfig.no_loss()
+        assert config.batch == 1 and config.safety == 1
+
+    def test_no_loss_accepts_overrides(self):
+        config = GinjaConfig.no_loss(uploaders=2)
+        assert config.uploaders == 2
+
+
+class TestValidation:
+    def test_batch_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            GinjaConfig(batch=0)
+
+    def test_safety_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            GinjaConfig(safety=0, batch=1)
+
+    def test_batch_cannot_exceed_safety(self):
+        # B > S would deadlock: a full batch could never assemble
+        # without first blocking the DBMS (§5.1: B should be << S).
+        with pytest.raises(ConfigError):
+            GinjaConfig(batch=100, safety=50)
+
+    def test_timeouts_positive(self):
+        with pytest.raises(ConfigError):
+            GinjaConfig(batch_timeout=0)
+        with pytest.raises(ConfigError):
+            GinjaConfig(safety_timeout=-1)
+
+    def test_uploaders_positive(self):
+        with pytest.raises(ConfigError):
+            GinjaConfig(uploaders=0)
+
+    def test_object_cap_floor(self):
+        with pytest.raises(ConfigError):
+            GinjaConfig(max_object_bytes=1024)
+
+    def test_encryption_requires_password(self):
+        with pytest.raises(ConfigError):
+            GinjaConfig(encrypt=True)
+        GinjaConfig(encrypt=True, password="pw")  # fine
+
+    def test_dump_threshold_floor(self):
+        with pytest.raises(ConfigError):
+            GinjaConfig(dump_threshold=0.9)
+
+
+class TestRetentionPolicy:
+    def test_none_disabled(self):
+        assert not RetentionPolicy.none().enabled
+
+    def test_keep_enabled(self):
+        policy = RetentionPolicy.keep(4)
+        assert policy.enabled and policy.generations == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RetentionPolicy(generations=-1)

@@ -1,0 +1,123 @@
+"""Object naming scheme and payload formats (§5.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import GinjaError
+from repro.core.data_model import (
+    CHECKPOINT,
+    DBObjectMeta,
+    DUMP,
+    WALObjectMeta,
+    decode_checkpoint_payload,
+    decode_dump_payload,
+    decode_wal_payload,
+    encode_checkpoint_payload,
+    encode_dump_payload,
+    encode_wal_payload,
+    parse_any,
+)
+
+
+class TestWALObjectNames:
+    def test_format_matches_paper(self):
+        meta = WALObjectMeta(ts=42, filename="segment", offset=8192)
+        assert meta.key == "WAL/000000000042_segment_8192"
+
+    def test_roundtrip(self):
+        meta = WALObjectMeta(ts=7, filename="pg_xlog/000000000000000000000001",
+                             offset=16384)
+        assert WALObjectMeta.parse(meta.key) == meta
+
+    def test_filename_with_underscores(self):
+        """ib_logfile0 must survive the underscore-delimited format."""
+        meta = WALObjectMeta(ts=1, filename="ib_logfile0", offset=2048)
+        parsed = WALObjectMeta.parse(meta.key)
+        assert parsed.filename == "ib_logfile0"
+        assert parsed.offset == 2048
+
+    def test_keys_sort_by_ts(self):
+        keys = [WALObjectMeta(ts=t, filename="f", offset=0).key for t in range(2000)]
+        assert keys == sorted(keys)
+
+    def test_parse_rejects_foreign_keys(self):
+        with pytest.raises(GinjaError):
+            WALObjectMeta.parse("DB/000000000001_dump_5.0.1.0")
+        with pytest.raises(GinjaError):
+            WALObjectMeta.parse("WAL/not_a_number_x")
+
+
+class TestDBObjectNames:
+    def test_format(self):
+        meta = DBObjectMeta(ts=3, type=DUMP, size=1000)
+        assert meta.key == "DB/000000000003_dump_1000.0.1.0"
+
+    def test_roundtrip_multipart(self):
+        meta = DBObjectMeta(ts=9, type=CHECKPOINT, size=123, part=2, nparts=5, seq=7)
+        assert DBObjectMeta.parse(meta.key) == meta
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(GinjaError):
+            DBObjectMeta(ts=1, type="snapshot", size=1)
+
+    def test_invalid_part_rejected(self):
+        with pytest.raises(GinjaError):
+            DBObjectMeta(ts=1, type=DUMP, size=1, part=3, nparts=2)
+
+    def test_is_dump(self):
+        assert DBObjectMeta(ts=1, type=DUMP, size=1).is_dump
+        assert not DBObjectMeta(ts=1, type=CHECKPOINT, size=1).is_dump
+
+
+class TestParseAny:
+    def test_dispatch(self):
+        wal = WALObjectMeta(ts=1, filename="f", offset=0)
+        db = DBObjectMeta(ts=1, type=DUMP, size=9)
+        assert parse_any(wal.key) == wal
+        assert parse_any(db.key) == db
+
+    def test_foreign_keys_ignored(self):
+        assert parse_any("backups/other-system.tar") is None
+
+
+class TestPayloads:
+    def test_wal_payload_roundtrip(self):
+        chunks = [(0, b"page0"), (8192, b"page1"), (128, b"")]
+        assert decode_wal_payload(encode_wal_payload(chunks)) == chunks
+
+    def test_checkpoint_payload_roundtrip(self):
+        writes = [("base/t", 0, b"pg"), ("global/pg_control", 0, b"ctl")]
+        assert decode_checkpoint_payload(encode_checkpoint_payload(writes)) == writes
+
+    def test_dump_payload_roundtrip(self):
+        files = [("base/t", b"x" * 100), ("pg_clog/0000", b"\x01")]
+        assert decode_dump_payload(encode_dump_payload(files)) == files
+
+    def test_empty_payloads(self):
+        assert decode_wal_payload(encode_wal_payload([])) == []
+        assert decode_dump_payload(encode_dump_payload([])) == []
+
+
+@given(
+    ts=st.integers(min_value=0, max_value=10**11),
+    filename=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=1000), min_size=1,
+        max_size=40,
+    ),
+    offset=st.integers(min_value=0, max_value=2**50),
+)
+def test_wal_name_roundtrip_property(ts, filename, offset):
+    meta = WALObjectMeta(ts=ts, filename=filename, offset=offset)
+    assert WALObjectMeta.parse(meta.key) == meta
+
+
+@given(
+    chunks=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=2**40), st.binary(max_size=300)),
+        max_size=20,
+    )
+)
+def test_wal_payload_roundtrip_property(chunks):
+    assert decode_wal_payload(encode_wal_payload(chunks)) == chunks

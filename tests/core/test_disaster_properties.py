@@ -1,0 +1,158 @@
+"""Disaster-at-arbitrary-point properties.
+
+These tests snapshot the bucket at chosen moments *without draining* —
+exactly the state a real disaster leaves (S3 PUTs are atomic, so a
+bucket copy is a consistent disaster image) — then recover from the
+snapshot and check the two guarantees everything else rests on:
+
+1. **No phantoms**: every recovered row value was genuinely committed.
+2. **Bounded loss**: committed-but-missing updates ≤ S + slack (the
+   submitting writer plus one claimed batch).
+
+A flaky-cloud variant keeps the same guarantees under injected
+transient request failures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import KiB
+from repro.cloud.faults import FaultPolicy
+from repro.cloud.memory import InMemoryObjectStore
+from repro.cloud.simulated import SimulatedCloud
+from repro.core.config import GinjaConfig
+from repro.core.ginja import Ginja
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import MYSQL_PROFILE, POSTGRES_PROFILE
+from repro.storage.memory import MemoryFileSystem
+
+ENGINE_PG = EngineConfig(wal_segment_size=64 * KiB, auto_checkpoint=False)
+ENGINE_MY = EngineConfig(wal_segment_size=16 * KiB, auto_checkpoint=False)
+
+
+def engine_config(profile):
+    return ENGINE_PG if profile is POSTGRES_PROFILE else ENGINE_MY
+
+
+def run_and_snapshot(profile, config, total_updates, snapshot_at,
+                     checkpoint_at=None, faults=None):
+    """Issue updates; copy the bucket at ``snapshot_at`` without draining."""
+    backend = InMemoryObjectStore()
+    cloud = SimulatedCloud(backend=backend, time_scale=0.0,
+                           faults=faults or FaultPolicy())
+    disk = MemoryFileSystem()
+    MiniDB.create(disk, profile, engine_config(profile)).close()
+    ginja = Ginja(disk, cloud, profile, config)
+    ginja.start(mode="boot")
+    db = MiniDB.open(ginja.fs, profile, engine_config(profile))
+    snapshot = None
+    for i in range(total_updates):
+        db.put("t", f"k{i}", f"v{i}".encode())
+        if checkpoint_at is not None and i == checkpoint_at:
+            db.checkpoint()
+        if i + 1 == snapshot_at:
+            snapshot = backend.snapshot()  # the disaster image
+    assert snapshot is not None
+    ginja.stop(drain_timeout=10.0)
+    disaster_bucket = InMemoryObjectStore()
+    for key, body in snapshot.items():
+        disaster_bucket.put(key, body)
+    return disaster_bucket
+
+
+def recover_and_audit(disaster_bucket, profile, config, committed):
+    """Recover; return (recovered_count, phantom_rows)."""
+    target = MemoryFileSystem()
+    ginja, _report = Ginja.recover(disaster_bucket, target, profile, config)
+    db = MiniDB.open(ginja.fs, profile, engine_config(profile))
+    recovered = 0
+    phantoms = []
+    for i in range(committed):
+        value = db.get("t", f"k{i}")
+        if value is None:
+            continue
+        recovered += 1
+        if value != f"v{i}".encode():
+            phantoms.append((i, value))
+    ginja.stop(drain_timeout=5.0)
+    return recovered, phantoms
+
+
+@pytest.mark.parametrize("profile", [POSTGRES_PROFILE, MYSQL_PROFILE],
+                         ids=["postgres", "mysql"])
+@pytest.mark.parametrize("snapshot_at,checkpoint_at", [
+    (5, None),       # disaster almost immediately
+    (60, None),      # mid-run, no checkpoint yet
+    (90, 40),        # after a checkpoint (GC has run)
+    (120, 100),      # shortly after a checkpoint
+])
+def test_loss_bounded_at_any_disaster_point(profile, snapshot_at,
+                                            checkpoint_at):
+    config = GinjaConfig(batch=5, safety=20, batch_timeout=0.02,
+                         safety_timeout=5.0, uploaders=3)
+    bucket = run_and_snapshot(profile, config, total_updates=120 + 10,
+                              snapshot_at=snapshot_at,
+                              checkpoint_at=checkpoint_at)
+    recovered, phantoms = recover_and_audit(bucket, profile, config,
+                                            committed=snapshot_at)
+    assert not phantoms, f"corrupted rows after recovery: {phantoms[:3]}"
+    lost = snapshot_at - recovered
+    # One submitting writer + one claimed batch of slack beyond S.
+    assert lost <= config.safety + config.batch + 1, (
+        f"lost {lost} > S={config.safety} + B={config.batch} + 1 "
+        f"(snapshot at {snapshot_at}, checkpoint at {checkpoint_at})"
+    )
+
+
+@pytest.mark.parametrize("profile", [POSTGRES_PROFILE, MYSQL_PROFILE],
+                         ids=["postgres", "mysql"])
+def test_guarantees_hold_under_flaky_cloud(profile):
+    """5% of requests fail transiently; retries absorb them and both
+    guarantees still hold at a mid-run disaster."""
+    config = GinjaConfig(batch=5, safety=20, batch_timeout=0.02,
+                         safety_timeout=10.0, uploaders=3,
+                         max_retries=25, retry_backoff=0.001)
+    faults = FaultPolicy(error_rate=0.05)
+    bucket = run_and_snapshot(profile, config, total_updates=100,
+                              snapshot_at=80, checkpoint_at=30,
+                              faults=faults)
+    recovered, phantoms = recover_and_audit(bucket, profile, config,
+                                            committed=80)
+    assert not phantoms
+    assert 80 - recovered <= config.safety + config.batch + 1
+
+
+def test_recovered_instance_continues_protection():
+    """After recovery, the new Ginja instance keeps protecting: a second
+    disaster after more commits still recovers everything drained."""
+    profile = POSTGRES_PROFILE
+    config = GinjaConfig(batch=5, safety=50, batch_timeout=0.02,
+                         safety_timeout=5.0)
+    backend = InMemoryObjectStore()
+    disk = MemoryFileSystem()
+    MiniDB.create(disk, profile, ENGINE_PG).close()
+    ginja = Ginja(disk, backend, profile, config)
+    ginja.start(mode="boot")
+    db = MiniDB.open(ginja.fs, profile, ENGINE_PG)
+    for i in range(30):
+        db.put("t", f"gen1-{i}", b"1")
+    ginja.drain(timeout=10.0)
+    ginja.stop()
+    # First disaster + recovery.
+    disk2 = MemoryFileSystem()
+    ginja2, _ = Ginja.recover(backend, disk2, profile, config)
+    db2 = MiniDB.open(ginja2.fs, profile, ENGINE_PG)
+    for i in range(30):
+        db2.put("t", f"gen2-{i}", b"2")
+    db2.checkpoint()
+    assert ginja2.drain(timeout=10.0)
+    ginja2.stop()
+    # Second disaster + recovery: both generations present.
+    disk3 = MemoryFileSystem()
+    ginja3, _ = Ginja.recover(backend, disk3, profile, config)
+    db3 = MiniDB.open(ginja3.fs, profile, ENGINE_PG)
+    for i in range(30):
+        assert db3.get("t", f"gen1-{i}") == b"1"
+        assert db3.get("t", f"gen2-{i}") == b"2"
+    ginja3.stop()

@@ -1,0 +1,94 @@
+"""Bucket inspection (repro.core.inspect)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import KiB
+from repro.cloud.memory import InMemoryObjectStore
+from repro.core.config import GinjaConfig
+from repro.core.data_model import CHECKPOINT, DBObjectMeta, DUMP, WALObjectMeta
+from repro.core.ginja import Ginja
+from repro.core.inspect import Inventory, bucket_inventory
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import POSTGRES_PROFILE
+from repro.storage.memory import MemoryFileSystem
+
+ENGINE = EngineConfig(wal_segment_size=64 * KiB, auto_checkpoint=False)
+
+
+class TestSyntheticBuckets:
+    def test_empty_bucket(self):
+        inventory = bucket_inventory(InMemoryObjectStore())
+        assert inventory.wal_objects == 0
+        assert not inventory.recoverable
+        assert "NOT RECOVERABLE" in inventory.summary()
+
+    def test_wal_gap_detection(self):
+        store = InMemoryObjectStore()
+        for ts in (1, 2, 5, 6):
+            store.put(WALObjectMeta(ts=ts, filename="seg", offset=0).key, b"x")
+        inventory = bucket_inventory(store)
+        assert inventory.wal_ts_min == 1
+        assert inventory.wal_ts_max == 6
+        assert inventory.wal_gaps == [3, 4]
+
+    def test_incomplete_dump_flagged(self):
+        store = InMemoryObjectStore()
+        store.put(
+            DBObjectMeta(ts=0, type=DUMP, size=4, part=0, nparts=2).key, b"xxxx"
+        )
+        inventory = bucket_inventory(store)
+        (gen,) = inventory.generations
+        assert not gen.complete
+        assert not inventory.recoverable
+        assert "INCOMPLETE" in inventory.summary()
+
+    def test_replayable_wal_counts_gap_free_run(self):
+        store = InMemoryObjectStore()
+        store.put(DBObjectMeta(ts=2, type=DUMP, size=1).key, b"d")
+        for ts in (3, 4, 6):  # 5 missing: only 3-4 replay
+            store.put(WALObjectMeta(ts=ts, filename="seg", offset=0).key, b"x")
+        inventory = bucket_inventory(store)
+        assert inventory.recoverable
+        assert inventory.replayable_wal == 2
+
+    def test_checkpoint_advances_anchor(self):
+        store = InMemoryObjectStore()
+        store.put(DBObjectMeta(ts=0, type=DUMP, size=1).key, b"d")
+        store.put(DBObjectMeta(ts=4, type=CHECKPOINT, size=1, seq=1).key, b"c")
+        for ts in (5, 6):
+            store.put(WALObjectMeta(ts=ts, filename="seg", offset=0).key, b"x")
+        inventory = bucket_inventory(store)
+        assert inventory.replayable_wal == 2
+
+    def test_foreign_objects_counted_not_parsed(self):
+        store = InMemoryObjectStore()
+        store.put("random/key", b"zzz")
+        store.put("_meta/heartbeat", b"hb")
+        inventory = bucket_inventory(store)
+        assert inventory.foreign_objects == 2
+
+
+class TestRealBucket:
+    def test_inventory_of_live_protected_run(self):
+        bucket = InMemoryObjectStore()
+        disk = MemoryFileSystem()
+        MiniDB.create(disk, POSTGRES_PROFILE, ENGINE).close()
+        config = GinjaConfig(batch=5, safety=50, batch_timeout=0.02,
+                             safety_timeout=5.0)
+        ginja = Ginja(disk, bucket, POSTGRES_PROFILE, config)
+        ginja.start(mode="boot")
+        db = MiniDB.open(ginja.fs, POSTGRES_PROFILE, ENGINE)
+        for i in range(30):
+            db.put("t", f"k{i}", b"v")
+        db.checkpoint()
+        assert ginja.drain(timeout=10.0)
+        ginja.stop()
+        inventory = bucket_inventory(bucket)
+        assert inventory.recoverable
+        assert inventory.wal_gaps == []
+        assert inventory.latest_complete_dump is not None
+        assert inventory.db_bytes > 0
+        # Every remaining WAL object is replayable after a healthy stop.
+        assert inventory.replayable_wal == inventory.wal_objects

@@ -1,0 +1,150 @@
+"""Table 1: event detection, checked against the real engine write stream.
+
+These tests run MiniDB under a recording interposer and assert that the
+profile classification identifies exactly the commit / checkpoint-begin /
+checkpoint-end events the paper's Table 1 describes — for both DBMS
+flavours.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import KiB
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import MYSQL_PROFILE, POSTGRES_PROFILE, WriteKind
+from repro.storage.interposer import FSInterceptor, InterposedFS
+from repro.storage.memory import MemoryFileSystem
+
+
+class ClassifyingRecorder(FSInterceptor):
+    """Classifies every write the way a Ginja processor would."""
+
+    def __init__(self, profile):
+        self.profile = profile
+        self.kinds: list[tuple[WriteKind, str, int]] = []
+        self._in_checkpoint = False
+
+    def after_write(self, path, offset, data):
+        kind = self.profile.classify_write(path, offset, self._in_checkpoint)
+        if kind is WriteKind.CHECKPOINT_BEGIN:
+            self._in_checkpoint = True
+        elif kind is WriteKind.CHECKPOINT_END:
+            self._in_checkpoint = False
+        self.kinds.append((kind, path, offset))
+
+
+def run_workload(profile):
+    seg = 64 * KiB if not profile.ring_wal else 16 * KiB
+    inner = MemoryFileSystem()
+    recorder = ClassifyingRecorder(profile)
+    fs = InterposedFS(inner, None)
+    config = EngineConfig(wal_segment_size=seg, auto_checkpoint=False)
+    db = MiniDB.create(fs, profile, config)
+    fs.set_interceptor(recorder)  # start observing after initialization
+    for i in range(10):
+        db.put("orders", f"k{i}", b"v" * 50)
+    db.checkpoint()
+    for i in range(5):
+        db.put("orders", f"post{i}", b"w" * 50)
+    return recorder.kinds
+
+
+class TestPostgresEvents:
+    @pytest.fixture(scope="class")
+    def kinds(self):
+        return run_workload(POSTGRES_PROFILE)
+
+    def test_commits_are_pg_xlog_writes(self, kinds):
+        commits = [k for k in kinds if k[0] is WriteKind.WAL_COMMIT]
+        assert len(commits) >= 15
+        assert all(path.startswith("pg_xlog/") for _k, path, _o in commits)
+
+    def test_checkpoint_begin_is_clog_write(self, kinds):
+        begins = [k for k in kinds if k[0] is WriteKind.CHECKPOINT_BEGIN]
+        assert len(begins) == 1
+        assert begins[0][1].startswith("pg_clog/")
+
+    def test_checkpoint_end_is_pg_control_write(self, kinds):
+        ends = [k for k in kinds if k[0] is WriteKind.CHECKPOINT_END]
+        assert len(ends) == 1
+        assert ends[0][1] == "global/pg_control"
+
+    def test_db_file_writes_between_begin_and_end(self, kinds):
+        begin = next(i for i, k in enumerate(kinds)
+                     if k[0] is WriteKind.CHECKPOINT_BEGIN)
+        end = next(i for i, k in enumerate(kinds)
+                   if k[0] is WriteKind.CHECKPOINT_END)
+        assert begin < end
+        db_writes = [
+            k for k in kinds[begin + 1:end] if k[0] is WriteKind.DB_FILE
+        ]
+        assert db_writes
+        assert all(path.startswith("base/") for _k, path, _o in db_writes)
+
+    def test_event_order_commit_begin_end(self, kinds):
+        sequence = [k[0] for k in kinds]
+        first_commit = sequence.index(WriteKind.WAL_COMMIT)
+        begin = sequence.index(WriteKind.CHECKPOINT_BEGIN)
+        end = sequence.index(WriteKind.CHECKPOINT_END)
+        assert first_commit < begin < end
+
+
+class TestMySQLEvents:
+    @pytest.fixture(scope="class")
+    def kinds(self):
+        return run_workload(MYSQL_PROFILE)
+
+    def test_commits_are_ib_logfile_body_writes(self, kinds):
+        commits = [k for k in kinds if k[0] is WriteKind.WAL_COMMIT]
+        assert len(commits) >= 15
+        for _kind, path, offset in commits:
+            assert path.startswith("ib_logfile")
+            # Never the checkpoint slots of file 0 (Table 1's footnote).
+            if path == "ib_logfile0":
+                assert offset not in (512, 1536)
+
+    def test_checkpoint_begin_is_first_data_file_write(self, kinds):
+        begins = [k for k in kinds if k[0] is WriteKind.CHECKPOINT_BEGIN]
+        assert len(begins) >= 1
+        _kind, path, _offset = begins[0]
+        assert not MYSQL_PROFILE.is_wal_path(path)
+
+    def test_checkpoint_end_is_slot_write(self, kinds):
+        ends = [k for k in kinds if k[0] is WriteKind.CHECKPOINT_END]
+        assert len(ends) == 1
+        _kind, path, offset = ends[0]
+        assert path == "ib_logfile0"
+        assert offset in (512, 1536)
+
+    def test_data_pages_flushed_within_checkpoint(self, kinds):
+        begin = next(i for i, k in enumerate(kinds)
+                     if k[0] is WriteKind.CHECKPOINT_BEGIN)
+        end = next(i for i, k in enumerate(kinds)
+                   if k[0] is WriteKind.CHECKPOINT_END)
+        db_writes = [k for k in kinds[begin:end] if k[0] is WriteKind.DB_FILE]
+        assert any(path.endswith(".ibd") for _k, path, _o in db_writes)
+
+
+class TestClassificationTable:
+    """Direct unit checks of Table 1's rules."""
+
+    def test_postgres_rules(self):
+        p = POSTGRES_PROFILE
+        assert p.classify_write("pg_xlog/0000", 0, False) is WriteKind.WAL_COMMIT
+        assert p.classify_write("pg_clog/0000", 0, False) is WriteKind.CHECKPOINT_BEGIN
+        assert p.classify_write("global/pg_control", 0, True) is WriteKind.CHECKPOINT_END
+        assert p.classify_write("base/orders", 8192, True) is WriteKind.DB_FILE
+
+    def test_mysql_rules(self):
+        p = MYSQL_PROFILE
+        assert p.classify_write("ib_logfile1", 4096, False) is WriteKind.WAL_COMMIT
+        assert p.classify_write("ib_logfile0", 512, True) is WriteKind.CHECKPOINT_END
+        assert p.classify_write("ib_logfile0", 1536, True) is WriteKind.CHECKPOINT_END
+        assert p.classify_write("ibdata1", 0, False) is WriteKind.CHECKPOINT_BEGIN
+        assert p.classify_write("orders.ibd", 0, True) is WriteKind.DB_FILE
+
+    def test_mysql_slot_offsets_in_file1_are_commits(self):
+        """Only ib_logfile0 carries checkpoint slots."""
+        p = MYSQL_PROFILE
+        assert p.classify_write("ib_logfile1", 512, True) is WriteKind.WAL_COMMIT

@@ -1,0 +1,129 @@
+"""Fuzzing recovery: arbitrary disaster-time bucket states.
+
+A disaster can leave the bucket with any subset of the objects Ginja
+ever uploaded (atomic PUTs, in-flight ones missing, GC partially done).
+Recovery must, for *every* such subset:
+
+* never crash (beyond the documented "no complete dump" error);
+* never fabricate data — every recovered row value must be one the
+  workload actually committed;
+* respect the prefix rule — if update i is recovered and update j < i
+  wrote the same row earlier, the recovered value is the latest
+  committed one at some consistent cut.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.errors import RecoveryError
+from repro.common.units import KiB
+from repro.cloud.memory import InMemoryObjectStore
+from repro.core.bootstrap import recover_files
+from repro.core.codec import ObjectCodec
+from repro.core.config import GinjaConfig
+from repro.core.ginja import Ginja
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import POSTGRES_PROFILE
+from repro.storage.memory import MemoryFileSystem
+
+ENGINE = EngineConfig(wal_segment_size=64 * KiB, auto_checkpoint=False)
+UPDATES = 60
+KEYSPACE = 12
+
+
+def build_full_bucket() -> tuple[dict[str, bytes], list[tuple[str, bytes]]]:
+    """One protected run; returns the bucket contents and the committed
+    (key, value) history in order."""
+    backend = InMemoryObjectStore()
+    disk = MemoryFileSystem()
+    MiniDB.create(disk, POSTGRES_PROFILE, ENGINE).close()
+    config = GinjaConfig(batch=4, safety=50, batch_timeout=0.02,
+                         safety_timeout=5.0)
+    ginja = Ginja(disk, backend, POSTGRES_PROFILE, config)
+    ginja.start(mode="boot")
+    db = MiniDB.open(ginja.fs, POSTGRES_PROFILE, ENGINE)
+    history: list[tuple[str, bytes]] = []
+    for i in range(UPDATES):
+        key = f"k{i % KEYSPACE}"
+        value = f"v{i}".encode()
+        db.put("t", key, value)
+        history.append((key, value))
+        if i == UPDATES // 2:
+            db.checkpoint()
+    # No final checkpoint: the second half of the history lives only in
+    # WAL objects, so dropping WAL suffixes genuinely cuts the state.
+    ginja.drain(timeout=20.0)
+    ginja.stop()
+    return backend.snapshot(), history
+
+
+FULL_BUCKET, HISTORY = build_full_bucket()
+ALL_KEYS = sorted(FULL_BUCKET)
+#: Every value ever committed per row (recovery may surface any of them,
+#: depending on which WAL prefix survives).
+LEGITIMATE: dict[str, set[bytes]] = {}
+for key, value in HISTORY:
+    LEGITIMATE.setdefault(key, set()).add(value)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(drop=st.sets(st.sampled_from(ALL_KEYS)))
+def test_recovery_from_arbitrary_subset_never_fabricates(drop):
+    bucket = InMemoryObjectStore()
+    for key, body in FULL_BUCKET.items():
+        if key not in drop:
+            bucket.put(key, body)
+    fs = MemoryFileSystem()
+    try:
+        recover_files(bucket, ObjectCodec(), fs)
+    except RecoveryError:
+        return  # acceptable: every dump was dropped
+    db = MiniDB.open(fs, POSTGRES_PROFILE, ENGINE)
+    for row in range(KEYSPACE):
+        key = f"k{row}"
+        value = db.get("t", key)
+        if value is None:
+            continue
+        assert value in LEGITIMATE[key], (
+            f"fabricated value {value!r} for {key!r} "
+            f"(dropped {len(drop)} objects)"
+        )
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_recovery_state_is_a_consistent_cut(data):
+    """Dropping a suffix of WAL objects yields exactly the state as of
+    the surviving prefix: the newest value of each row within it."""
+    wal_keys = sorted(k for k in ALL_KEYS if k.startswith("WAL/"))
+    cut = data.draw(st.integers(min_value=0, max_value=len(wal_keys)))
+    bucket = InMemoryObjectStore()
+    for key, body in FULL_BUCKET.items():
+        if key in wal_keys[cut:]:
+            continue
+        bucket.put(key, body)
+    fs = MemoryFileSystem()
+    recover_files(bucket, ObjectCodec(), fs)
+    db = MiniDB.open(fs, POSTGRES_PROFILE, ENGINE)
+    # The recovered state corresponds to some prefix of the history:
+    # find the longest prefix consistent with every recovered row.
+    recovered = {
+        f"k{r}": db.get("t", f"k{r}") for r in range(KEYSPACE)
+    }
+    consistent = False
+    state: dict[str, bytes] = {}
+    if all(v is None for v in recovered.values()):
+        consistent = True
+    for key, value in HISTORY:
+        state[key] = value
+        if all(
+            recovered.get(k) == state.get(k)
+            for k in recovered
+            if recovered.get(k) is not None or k in state
+        ):
+            consistent = True
+    assert consistent, f"recovered state matches no history prefix: {recovered}"

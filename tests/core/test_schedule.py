@@ -1,0 +1,86 @@
+"""Business-hours sync schedule (the §3 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.config import GinjaConfig
+from repro.core.schedule import SyncSchedule
+
+
+def at_hour(hour: int) -> SyncSchedule:
+    return SyncSchedule(business_timeout=10.0, off_hours_timeout=60.0,
+                        hour_fn=lambda: hour)
+
+
+class TestSchedule:
+    def test_business_hours_use_short_timeout(self):
+        assert at_hour(10).current_timeout() == 10.0
+
+    def test_off_hours_use_long_timeout(self):
+        assert at_hour(3).current_timeout() == 60.0
+        assert at_hour(17).current_timeout() == 60.0  # end is exclusive
+
+    def test_window_edges(self):
+        assert at_hour(9).in_business_hours()
+        assert not at_hour(8).in_business_hours()
+
+    def test_daily_sync_budget(self):
+        schedule = at_hour(10)
+        # 8h at 360/h + 16h at 60/h = 2880 + 960.
+        assert schedule.daily_sync_budget() == pytest.approx(3840)
+
+    def test_nine_to_five_budget_solver(self):
+        schedule = SyncSchedule.nine_to_five(budget_syncs_per_day=4000)
+        assert schedule.daily_sync_budget() == pytest.approx(4000, rel=1e-6)
+        # §3's ~3x business-hours bias.
+        ratio = schedule.off_hours_timeout / schedule.business_timeout
+        assert ratio == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SyncSchedule(business_timeout=0)
+        with pytest.raises(ConfigError):
+            SyncSchedule(business_start=17, business_end=9)
+        with pytest.raises(ConfigError):
+            SyncSchedule(business_start=-1)
+        with pytest.raises(ConfigError):
+            SyncSchedule.nine_to_five(0)
+
+
+class TestConfigIntegration:
+    def test_effective_timeout_without_schedule(self):
+        config = GinjaConfig(batch_timeout=2.5)
+        assert config.effective_batch_timeout() == 2.5
+
+    def test_effective_timeout_with_schedule(self):
+        config = GinjaConfig(sync_schedule=at_hour(10))
+        assert config.effective_batch_timeout() == 10.0
+        config_night = GinjaConfig(sync_schedule=at_hour(2))
+        assert config_night.effective_batch_timeout() == 60.0
+
+    def test_pipeline_flushes_on_scheduled_timeout(self):
+        """End to end: a business-hours schedule drives T_B batching."""
+        from repro.cloud.simulated import SimulatedCloud
+        from repro.core.cloud_view import CloudView
+        from repro.core.codec import ObjectCodec
+        from repro.core.commit_pipeline import CommitPipeline
+        from repro.core.stats import GinjaStats
+
+        schedule = SyncSchedule(business_timeout=0.05, off_hours_timeout=60.0,
+                                hour_fn=lambda: 10)
+        config = GinjaConfig(batch=1000, safety=2000, batch_timeout=60.0,
+                             safety_timeout=60.0, uploaders=1,
+                             sync_schedule=schedule)
+        cloud = SimulatedCloud(time_scale=0.0)
+        pipeline = CommitPipeline(config, cloud, ObjectCodec(), CloudView(),
+                                  GinjaStats())
+        pipeline.start()
+        try:
+            pipeline.submit("seg", 0, b"x")
+            # Only the scheduled 50 ms T_B can flush this batch of one.
+            assert pipeline.drain(timeout=5.0)
+            assert len(cloud.list("WAL/")) == 1
+        finally:
+            pipeline.stop(drain_timeout=5.0)

@@ -1,0 +1,124 @@
+"""Figure 1's budget frontier and Table 2's scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.costmodel.budget import BudgetFrontier
+from repro.costmodel.scenarios import (
+    HOSPITAL,
+    LABORATORY,
+    M3_LARGE_PILOT_LIGHT,
+    M3_MEDIUM_PILOT_LIGHT,
+    recovery_cost,
+    scenario_cost,
+)
+
+
+class TestFigure1Frontier:
+    """§3's anchors: setups A, B, C of Figure 1."""
+
+    def test_setup_a_35gb_at_72s_interval(self):
+        # 35 GB synchronized once every 72 seconds = 50 syncs/hour.
+        frontier = BudgetFrontier(1.0)
+        assert frontier.max_db_size_gb(50.0) == pytest.approx(35.0, abs=1.0)
+
+    def test_setup_c_4_3gb_at_4_per_minute(self):
+        # 4.3 GB with four synchronizations per minute (240/hour); this
+        # anchor includes the ~1.25x DB-object storage overhead.
+        frontier = BudgetFrontier(1.0, storage_overhead=1.25)
+        assert frontier.max_db_size_gb(240.0) == pytest.approx(4.3, abs=0.6)
+
+    def test_setup_b_20gb_at_2_per_minute(self):
+        frontier = BudgetFrontier(1.0, storage_overhead=1.25)
+        assert frontier.max_db_size_gb(120.0) == pytest.approx(20.0, abs=2.0)
+
+    def test_frontier_is_decreasing(self):
+        frontier = BudgetFrontier(1.0)
+        sizes = [p.max_db_size_gb for p in frontier.curve()]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_affordable_classification(self):
+        frontier = BudgetFrontier(1.0)
+        assert frontier.affordable(10.0, 60.0)       # well below the line
+        assert not frontier.affordable(43.0, 240.0)  # well above
+
+    def test_inverse_consistency(self):
+        frontier = BudgetFrontier(1.0)
+        rate = frontier.max_syncs_per_hour(20.0)
+        assert frontier.max_db_size_gb(rate) == pytest.approx(20.0, rel=0.01)
+
+    def test_rate_saturation_at_zero_budget_left(self):
+        frontier = BudgetFrontier(1.0)
+        assert frontier.max_db_size_gb(100_000.0) == 0.0
+        assert frontier.max_syncs_per_hour(1000.0) == 0.0
+
+    def test_business_hours_multiplier(self):
+        # §3: a 9AM-5PM business gets "roughly three times more
+        # synchronizations per hour" in its active period.
+        frontier = BudgetFrontier(1.0)
+        assert frontier.business_hours_rate_multiplier(8.0) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BudgetFrontier(0.0)
+        with pytest.raises(ConfigError):
+            BudgetFrontier(1.0, storage_overhead=0.5)
+
+
+class TestTable2:
+    """Every cell of Table 2, within a few percent of the paper."""
+
+    @pytest.mark.parametrize(
+        ("scenario", "syncs_per_minute", "paper_dollars"),
+        [
+            (LABORATORY, 1.0, 0.42),
+            (LABORATORY, 6.0, 1.50),
+            (HOSPITAL, 1.0, 20.3),
+            (HOSPITAL, 6.0, 21.4),
+        ],
+    )
+    def test_ginja_cells(self, scenario, syncs_per_minute, paper_dollars):
+        cost = scenario_cost(scenario, syncs_per_minute).total
+        assert cost == pytest.approx(paper_dollars, rel=0.05)
+
+    def test_ec2_cells(self):
+        assert M3_MEDIUM_PILOT_LIGHT.monthly_cost == pytest.approx(93.4, rel=0.01)
+        assert M3_LARGE_PILOT_LIGHT.monthly_cost == pytest.approx(291.5, rel=0.01)
+
+    def test_laboratory_savings_factor(self):
+        """§7.2: 'between 62x to 222x smaller'."""
+        best = M3_MEDIUM_PILOT_LIGHT.monthly_cost / scenario_cost(
+            LABORATORY, 1.0
+        ).total
+        worst = M3_MEDIUM_PILOT_LIGHT.monthly_cost / scenario_cost(
+            LABORATORY, 6.0
+        ).total
+        assert best == pytest.approx(222, rel=0.05)
+        assert worst == pytest.approx(62, rel=0.05)
+
+    def test_hospital_savings_factor(self):
+        """§7.2: 'a cost 14x smaller'."""
+        factor = M3_LARGE_PILOT_LIGHT.monthly_cost / scenario_cost(
+            HOSPITAL, 1.0
+        ).total
+        assert factor == pytest.approx(14, rel=0.08)
+
+    def test_hospital_cost_dominated_by_storage(self):
+        cost = scenario_cost(HOSPITAL, 1.0)
+        assert cost.db_storage > 0.9 * cost.total
+
+    def test_laboratory_cost_dominated_by_wal_puts_at_6_syncs(self):
+        cost = scenario_cost(LABORATORY, 6.0)
+        assert cost.wal_put > 0.8 * cost.total
+
+
+class TestRecoveryCost:
+    def test_paper_recovery_figures(self):
+        # §7.3: "$112.5 and $1.125 for the Hospital and the Laboratory".
+        assert recovery_cost(HOSPITAL) == pytest.approx(112.5, rel=0.01)
+        assert recovery_cost(LABORATORY) == pytest.approx(1.125, rel=0.01)
+
+    def test_same_region_recovery_is_free(self):
+        assert recovery_cost(HOSPITAL, same_region=True) == 0.0

@@ -1,0 +1,150 @@
+"""§7.1's cost equations, anchored to the paper's reported numbers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.cloud.pricing import AZURE_BLOB_2017
+from repro.costmodel.model import CostBreakdown, GinjaCostModel, WorkloadSpec
+
+
+@pytest.fixture
+def model():
+    return GinjaCostModel()
+
+
+FIG4_SPEC = WorkloadSpec()  # the module defaults ARE Figure 4's setup
+
+
+class TestComponents:
+    def test_db_storage_is_125_percent_compressed(self, model):
+        # 10 GB x 1.25 / 1.43 x $0.023 = $0.201 — the paper notes the
+        # 10 GB database "implies in a fixed C_DB_Storage of $0.20".
+        assert model.db_storage_cost(FIG4_SPEC) == pytest.approx(0.201, abs=0.001)
+
+    def test_db_storage_scales_linearly(self, model):
+        # §7.2: "a 10x bigger database, this cost will be $2".
+        big = WorkloadSpec(db_size_gb=100.0)
+        assert model.db_storage_cost(big) == pytest.approx(2.01, abs=0.01)
+
+    def test_wal_put_dominates_at_small_batch(self, model):
+        spec = WorkloadSpec(updates_per_minute=1000.0)
+        b10 = model.monthly_cost(spec, batch=10)
+        assert b10.wal_put > 0.8 * b10.total
+
+    def test_wal_put_inverse_in_batch(self, model):
+        spec = WorkloadSpec(updates_per_minute=100.0)
+        assert model.wal_put_cost(spec, 10) == pytest.approx(
+            10 * model.wal_put_cost(spec, 100), rel=0.01
+        )
+
+    def test_wal_storage_tiny_for_moderate_workloads(self, model):
+        assert model.wal_storage_cost(FIG4_SPEC) < 0.01
+
+    def test_db_put_counts_20mb_objects(self, model):
+        # Huge checkpoints split into ceil(size/20MB) PUTs.
+        spec = WorkloadSpec(
+            updates_per_minute=10_000.0, checkpoint_bytes_per_update=1000.0,
+            compression_ratio=1.0,
+        )
+        # 10k up/min x 60 min x 1 kB = 600 MB per checkpoint -> 30 PUTs.
+        per_month = 30 * 24  # one checkpoint per hour
+        expected = model.prices.put_cost(30 * per_month)
+        assert model.db_put_cost(spec) == pytest.approx(expected, rel=0.01)
+
+    def test_rate_based_put_cost(self, model):
+        # 1 sync/min -> 43200 PUTs/month -> $0.216 (Table 2's laboratory
+        # WAL-PUT component).
+        assert model.wal_put_cost_rate(1.0) == pytest.approx(0.216)
+
+
+class TestFigure4Shape:
+    """The qualitative claims of §7.2 about Figure 4."""
+
+    def test_cost_decreases_with_batch(self, model):
+        spec = WorkloadSpec(updates_per_minute=1000.0)
+        totals = [model.monthly_cost(spec, b).total for b in (10, 100, 1000)]
+        assert totals[0] > totals[1] > totals[2]
+
+    def test_cost_increases_with_workload(self, model):
+        totals = [
+            model.monthly_cost(WorkloadSpec(updates_per_minute=w), 10).total
+            for w in (10, 100, 1000)
+        ]
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_batch_effect_stronger_under_heavy_workload(self, model):
+        """§7.2: the B-vs-cost relation 'is even more evident when
+        considering more demanding update-heavy workloads'."""
+        light = WorkloadSpec(updates_per_minute=10.0)
+        heavy = WorkloadSpec(updates_per_minute=1000.0)
+        light_ratio = (
+            model.monthly_cost(light, 10).total / model.monthly_cost(light, 1000).total
+        )
+        heavy_ratio = (
+            model.monthly_cost(heavy, 10).total / model.monthly_cost(heavy, 1000).total
+        )
+        assert heavy_ratio > light_ratio
+
+    def test_many_sub_dollar_configurations_exist(self, model):
+        """§7.2: 'plenty of possible configurations that cost less than
+        $1 per month'."""
+        cheap = [
+            (w, b)
+            for w in (10, 100, 1000)
+            for b in (10, 100, 1000)
+            if model.monthly_cost(WorkloadSpec(updates_per_minute=w), b).total < 1.0
+        ]
+        assert len(cheap) >= 4
+
+
+class TestPITRCost:
+    def test_snapshots_multiply_storage(self, model):
+        base = model.db_storage_cost(FIG4_SPEC) + model.wal_storage_cost(FIG4_SPEC)
+        assert model.pitr_storage_cost(FIG4_SPEC, 3) == pytest.approx(3 * base)
+
+    def test_zero_snapshots_free(self, model):
+        assert model.pitr_storage_cost(FIG4_SPEC, 0) == 0.0
+
+    def test_negative_snapshots_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.pitr_storage_cost(FIG4_SPEC, -1)
+
+
+class TestValidation:
+    def test_breakdown_total(self):
+        b = CostBreakdown(db_storage=1.0, db_put=2.0, wal_storage=3.0, wal_put=4.0)
+        assert b.total == 10.0
+        assert b.as_row()["C_Total"] == 10.0
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(db_size_gb=-1)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(compression_ratio=0.5)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(records_per_page=0)
+
+    def test_bad_batch_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.wal_put_cost(FIG4_SPEC, 0)
+
+    def test_other_price_books_work(self):
+        azure = GinjaCostModel(AZURE_BLOB_2017)
+        cost = azure.monthly_cost(FIG4_SPEC, 100)
+        assert 0 < cost.total < 1.0  # Azure is similarly priced (§3 fn.2)
+
+
+@given(
+    w=st.floats(min_value=0.1, max_value=10_000),
+    b_small=st.integers(min_value=1, max_value=100),
+    b_factor=st.integers(min_value=2, max_value=100),
+)
+def test_cost_monotonic_in_batch_property(w, b_small, b_factor):
+    model = GinjaCostModel()
+    spec = WorkloadSpec(updates_per_minute=w)
+    small = model.monthly_cost(spec, b_small).total
+    large = model.monthly_cost(spec, b_small * b_factor).total
+    assert large <= small + 1e-9

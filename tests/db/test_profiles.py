@@ -1,0 +1,76 @@
+"""DBMSProfile unit coverage: naming, classification inputs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.units import KiB, MiB
+from repro.db.profiles import (
+    CheckpointStyle,
+    MYSQL_PROFILE,
+    POSTGRES_PROFILE,
+)
+
+
+class TestPostgresNaming:
+    def test_segment_names_are_24_hex(self):
+        path = POSTGRES_PROFILE.wal_path(255)
+        assert path == "pg_xlog/0000000000000000000000FF"
+        assert len(path.split("/")[1]) == 24
+
+    def test_wal_index_roundtrip(self):
+        for index in (0, 1, 4095, 2**40):
+            assert POSTGRES_PROFILE.wal_index(
+                POSTGRES_PROFILE.wal_path(index)
+            ) == index
+
+    def test_table_paths(self):
+        assert POSTGRES_PROFILE.table_path("orders") == "base/orders"
+
+    def test_db_file_classification(self):
+        assert POSTGRES_PROFILE.is_db_file("base/orders")
+        assert POSTGRES_PROFILE.is_db_file("pg_clog/0000")
+        assert POSTGRES_PROFILE.is_db_file("global/pg_control")
+        assert not POSTGRES_PROFILE.is_db_file("pg_xlog/" + "0" * 24)
+
+    def test_defaults_match_postgres(self):
+        assert POSTGRES_PROFILE.wal_page_size == 8 * KiB
+        assert POSTGRES_PROFILE.wal_segment_size == 16 * MiB
+        assert POSTGRES_PROFILE.table_page_size == 8 * KiB
+        assert POSTGRES_PROFILE.checkpoint_style is CheckpointStyle.SHARP
+        assert not POSTGRES_PROFILE.ring_wal
+
+
+class TestMySQLNaming:
+    def test_ring_file_names(self):
+        assert MYSQL_PROFILE.wal_path(0) == "ib_logfile0"
+        assert MYSQL_PROFILE.wal_path(1) == "ib_logfile1"
+        assert MYSQL_PROFILE.wal_path(2) == "ib_logfile0"  # modulo the ring
+
+    def test_wal_index(self):
+        assert MYSQL_PROFILE.wal_index("ib_logfile1") == 1
+
+    def test_table_paths(self):
+        assert MYSQL_PROFILE.table_path("orders") == "orders.ibd"
+
+    def test_db_file_classification(self):
+        assert MYSQL_PROFILE.is_db_file("orders.ibd")
+        assert MYSQL_PROFILE.is_db_file("orders.frm")
+        assert MYSQL_PROFILE.is_db_file("ibdata1")
+        assert not MYSQL_PROFILE.is_db_file("ib_logfile0")
+
+    def test_defaults_match_innodb(self):
+        assert MYSQL_PROFILE.wal_page_size == 512
+        assert MYSQL_PROFILE.wal_segment_size == 48 * MiB
+        assert MYSQL_PROFILE.table_page_size == 16 * KiB
+        assert MYSQL_PROFILE.checkpoint_style is CheckpointStyle.FUZZY
+        assert MYSQL_PROFILE.checkpoint_slot_offsets == (512, 1536)
+        assert MYSQL_PROFILE.wal_header_size == 2 * KiB
+
+
+@given(st.integers(min_value=0, max_value=2**60))
+def test_pg_segment_names_sort_like_indexes(index):
+    a = POSTGRES_PROFILE.wal_path(index)
+    b = POSTGRES_PROFILE.wal_path(index + 1)
+    assert a < b

@@ -1,0 +1,173 @@
+"""Heartbeats, failure detection and failover orchestration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.errors import ConfigError
+from repro.common.units import KiB
+from repro.cloud.faults import FaultPolicy
+from repro.cloud.memory import InMemoryObjectStore
+from repro.cloud.simulated import SimulatedCloud
+from repro.core.config import GinjaConfig
+from repro.core.ginja import Ginja
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import POSTGRES_PROFILE
+from repro.failover import (
+    FailoverCoordinator,
+    FailureDetector,
+    HeartbeatWriter,
+)
+from repro.failover.heartbeat import HEARTBEAT_KEY, read_heartbeat
+from repro.storage.memory import MemoryFileSystem
+
+ENGINE = EngineConfig(wal_segment_size=64 * KiB, auto_checkpoint=False)
+CONFIG = GinjaConfig(batch=5, safety=50, batch_timeout=0.02,
+                     safety_timeout=5.0)
+
+
+class TestHeartbeat:
+    def test_beat_bumps_sequence(self):
+        cloud = InMemoryObjectStore()
+        writer = HeartbeatWriter(cloud)
+        assert writer.beat_once() == 1
+        assert writer.beat_once() == 2
+        assert read_heartbeat(cloud) == 2
+
+    def test_missing_heartbeat_reads_none(self):
+        assert read_heartbeat(InMemoryObjectStore()) is None
+
+    def test_garbled_heartbeat_reads_none(self):
+        cloud = InMemoryObjectStore()
+        cloud.put(HEARTBEAT_KEY, b"not-a-sequence")
+        assert read_heartbeat(cloud) is None
+
+    def test_heartbeat_key_invisible_to_ginja_recovery(self):
+        """The _meta/ namespace never parses as a Ginja object."""
+        from repro.core.data_model import parse_any
+        assert parse_any(HEARTBEAT_KEY) is None
+
+    def test_writer_thread_beats(self):
+        import time
+        cloud = InMemoryObjectStore()
+        writer = HeartbeatWriter(cloud, interval=0.02)
+        writer.start()
+        time.sleep(0.15)
+        writer.stop()
+        assert writer.beats_sent >= 3
+
+    def test_interval_validated(self):
+        with pytest.raises(ConfigError):
+            HeartbeatWriter(InMemoryObjectStore(), interval=0)
+
+
+class TestFailureDetector:
+    def test_fresh_beats_keep_primary_alive(self):
+        cloud = InMemoryObjectStore()
+        writer = HeartbeatWriter(cloud)
+        detector = FailureDetector(cloud, misses_allowed=2)
+        for _ in range(5):
+            writer.beat_once()
+            assert detector.poll() is False
+        assert detector.consecutive_misses == 0
+
+    def test_stalled_sequence_detected_after_hysteresis(self):
+        cloud = InMemoryObjectStore()
+        writer = HeartbeatWriter(cloud)
+        writer.beat_once()
+        detector = FailureDetector(cloud, misses_allowed=3)
+        assert detector.poll() is False  # first read establishes baseline
+        assert detector.poll() is False  # miss 1 (no progress)
+        assert detector.poll() is False  # miss 2
+        assert detector.poll() is True   # miss 3 -> declared failed
+
+    def test_progress_resets_misses(self):
+        cloud = InMemoryObjectStore()
+        writer = HeartbeatWriter(cloud)
+        writer.beat_once()
+        detector = FailureDetector(cloud, misses_allowed=2)
+        detector.poll()
+        detector.poll()  # miss 1
+        writer.beat_once()
+        assert detector.poll() is False
+        assert detector.consecutive_misses == 0
+
+    def test_unreachable_bucket_counts_as_miss(self):
+        faults = FaultPolicy()
+        cloud = SimulatedCloud(time_scale=0.0, faults=faults)
+        detector = FailureDetector(cloud, misses_allowed=1)
+        faults.fail_next(5)
+        assert detector.poll() is True
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FailureDetector(InMemoryObjectStore(), misses_allowed=0)
+
+
+class TestFailoverCoordinator:
+    def _protected_primary(self):
+        bucket = InMemoryObjectStore()
+        disk = MemoryFileSystem()
+        MiniDB.create(disk, POSTGRES_PROFILE, ENGINE).close()
+        ginja = Ginja(disk, bucket, POSTGRES_PROFILE, CONFIG)
+        ginja.start(mode="boot")
+        db = MiniDB.open(ginja.fs, POSTGRES_PROFILE, ENGINE)
+        writer = HeartbeatWriter(bucket)
+        return bucket, ginja, db, writer
+
+    def test_full_failover_story(self):
+        bucket, ginja, db, writer = self._protected_primary()
+        for i in range(25):
+            db.put("t", f"k{i}", b"v")
+        ginja.drain(timeout=10.0)
+        writer.beat_once()
+        ginja.stop()  # the primary dies; heartbeats stop
+
+        promoted = []
+        coordinator = FailoverCoordinator(
+            bucket, POSTGRES_PROFILE,
+            ginja_config=CONFIG, engine_config=ENGINE,
+            detector=FailureDetector(bucket, misses_allowed=2),
+            poll_interval=0.01,
+            on_promote=lambda new_db, _g: promoted.append(new_db),
+            clock=ManualClock(),
+        )
+        result = coordinator.run()
+        assert result.failed_over
+        assert result.recovered_rows >= 25
+        assert promoted and promoted[0] is result.db
+        for i in range(25):
+            assert result.db.get("t", f"k{i}") == b"v"
+        # The promoted standby is itself protected: new commits flow.
+        result.db.put("t", "post-failover", b"new")
+        assert result.ginja.drain(timeout=10.0)
+        result.ginja.stop()
+
+    def test_healthy_primary_never_fails_over(self):
+        bucket, ginja, db, writer = self._protected_primary()
+        db.put("t", "k", b"v")
+        ginja.drain(timeout=10.0)
+        detector = FailureDetector(bucket, misses_allowed=3)
+        coordinator = FailoverCoordinator(
+            bucket, POSTGRES_PROFILE, ginja_config=CONFIG,
+            engine_config=ENGINE, detector=detector,
+            poll_interval=0.0, clock=ManualClock(),
+        )
+        # Keep beating while polling: detection must not fire.
+        for _ in range(4):
+            writer.beat_once()
+            result = coordinator.run(max_polls=1)
+            assert not result.failed_over
+        ginja.stop()
+
+    def test_failover_with_empty_bucket_reports_error(self):
+        bucket = InMemoryObjectStore()
+        coordinator = FailoverCoordinator(
+            bucket, POSTGRES_PROFILE,
+            detector=FailureDetector(bucket, misses_allowed=1),
+            poll_interval=0.0, clock=ManualClock(),
+        )
+        result = coordinator.run()
+        assert not result.failed_over
+        assert result.error is not None

@@ -1,0 +1,140 @@
+"""Stack builder and experiment runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import MiB
+from repro.cloud.latency import LOCAL_LATENCY, SAME_REGION_LATENCY, WAN_LATENCY
+from repro.core.config import GinjaConfig
+from repro.harness import (
+    StackConfig,
+    build_stack,
+    measure_recovery,
+    run_tpcc,
+)
+from repro.storage.disk import NO_DISK_LATENCY
+from repro.workloads.tpcc import TPCCConfig
+
+FAST_TPCC = TPCCConfig(
+    warehouses=1,
+    districts_per_warehouse=2,
+    customers_per_district=5,
+    items=50,
+    stock_per_warehouse=50,
+    initial_orders_per_district=4,
+)
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        fs_mode="native",
+        disk=NO_DISK_LATENCY,
+        cloud_latency=LOCAL_LATENCY,
+        cloud_time_scale=0.0,
+        wal_segment_size=1 * MiB,
+        ginja=GinjaConfig(batch=50, safety=500, batch_timeout=0.05,
+                          safety_timeout=5.0),
+    )
+    defaults.update(overrides)
+    return StackConfig(**defaults)
+
+
+class TestBuildStack:
+    def test_native_mode_has_no_cloud(self):
+        stack = build_stack(fast_config(fs_mode="native"))
+        assert stack.cloud is None and stack.ginja is None
+        assert stack.fs is stack.inner_fs
+
+    def test_fuse_mode_wraps_without_interceptor(self):
+        stack = build_stack(fast_config(fs_mode="fuse"))
+        assert stack.ginja is None
+        assert stack.fs is not stack.inner_fs
+
+    def test_ginja_mode_builds_everything(self):
+        stack = build_stack(fast_config(fs_mode="ginja"))
+        assert stack.cloud is not None and stack.ginja is not None
+        db = stack.create_db()
+        db.put("t", "k", b"v")
+        assert stack.ginja.drain(timeout=10.0)
+        assert len(stack.cloud.list()) > 0
+        stack.shutdown()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            build_stack(fast_config(fs_mode="zfs"))
+
+    def test_unknown_dbms_rejected(self):
+        with pytest.raises(ConfigError):
+            build_stack(fast_config(dbms="oracle")).create_db()
+
+    def test_overrides_shortcut(self):
+        stack = build_stack(fs_mode="native", disk=NO_DISK_LATENCY)
+        assert stack.config.fs_mode == "native"
+
+    def test_config_and_overrides_conflict(self):
+        with pytest.raises(ConfigError):
+            build_stack(fast_config(), fs_mode="native")
+
+
+class TestRunTpcc:
+    @pytest.mark.parametrize("mode", ["native", "fuse", "ginja"])
+    def test_run_produces_report(self, mode):
+        stack = build_stack(fast_config(fs_mode=mode))
+        report = run_tpcc(stack, duration=0.6, warmup=0.1, terminals=2,
+                          tpcc_config=FAST_TPCC)
+        assert report.tpm_total > 0
+        assert report.engine_commits > 0
+        assert not report.tpcc.errors
+        if mode == "ginja":
+            assert report.cloud_puts > 0
+            assert report.ginja_stats["wal_objects"] > 0
+
+    def test_mysql_stack_runs(self):
+        stack = build_stack(fast_config(dbms="mysql", fs_mode="ginja",
+                                        wal_segment_size=1 * MiB))
+        report = run_tpcc(stack, duration=0.6, warmup=0.1, terminals=2,
+                          tpcc_config=FAST_TPCC)
+        assert report.tpm_total > 0
+        assert not report.tpcc.errors
+
+    def test_mid_run_checkpoint(self):
+        stack = build_stack(fast_config(fs_mode="ginja"))
+        report = run_tpcc(stack, duration=0.8, warmup=0.1, terminals=2,
+                          tpcc_config=FAST_TPCC, checkpoint_mid_run=True)
+        assert report.engine_checkpoints >= 1
+
+
+class TestMeasureRecovery:
+    def _populated_bucket(self):
+        stack = build_stack(fast_config(fs_mode="ginja"))
+        run_tpcc(stack, duration=0.6, warmup=0.1, terminals=2,
+                 tpcc_config=FAST_TPCC)
+        return stack.cloud.backend, stack.config
+
+    def test_recovery_reports_time_and_rows(self):
+        bucket, config = self._populated_bucket()
+        report = measure_recovery(
+            bucket, config.profile,
+            ginja_config=config.ginja,
+            engine_config=config.engine_config(),
+            network=WAN_LATENCY,
+        )
+        assert report.total_seconds > 0
+        assert report.bytes_downloaded > 0
+        assert report.recovered_rows > 0
+
+    def test_same_region_faster_than_wan(self):
+        """Figure 7's second series: recovery in an EC2 VM colocated with
+        the bucket is markedly faster than on-premises over WAN."""
+        bucket, config = self._populated_bucket()
+        wan = measure_recovery(bucket, config.profile,
+                               ginja_config=config.ginja,
+                               engine_config=config.engine_config(),
+                               network=WAN_LATENCY)
+        ec2 = measure_recovery(bucket, config.profile,
+                               ginja_config=config.ginja,
+                               engine_config=config.engine_config(),
+                               network=SAME_REGION_LATENCY)
+        assert ec2.modeled_network_seconds < wan.modeled_network_seconds

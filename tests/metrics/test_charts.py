@@ -1,0 +1,65 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.metrics.charts import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        text = bar_chart([("full", 100.0), ("half", 50.0)], width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_labels_aligned(self):
+        text = bar_chart([("a", 1.0), ("longer", 2.0)], width=5)
+        positions = {line.index("|") for line in text.splitlines()}
+        assert len(positions) == 1
+
+    def test_title_and_unit(self):
+        text = bar_chart([("x", 3.0)], title="Tpm", unit=" tpm")
+        assert text.startswith("Tpm")
+        assert "3 tpm" in text
+
+    def test_zero_values_ok(self):
+        text = bar_chart([("zero", 0.0), ("one", 1.0)], width=4)
+        assert "####" in text
+
+    def test_all_zero_ok(self):
+        bar_chart([("a", 0.0), ("b", 0.0)])  # must not divide by zero
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            bar_chart([])
+        with pytest.raises(ConfigError):
+            bar_chart([("a", 1.0)], width=0)
+        with pytest.raises(ConfigError):
+            bar_chart([("a", -1.0)])
+
+
+class TestLineChart:
+    def test_renders_grid(self):
+        points = [(0, 0), (5, 5), (10, 10)]
+        text = line_chart(points, width=20, height=5, title="curve")
+        assert text.startswith("curve")
+        assert text.count("*") == 3
+
+    def test_extremes_on_borders(self):
+        points = [(0, 0), (10, 100)]
+        text = line_chart(points, width=10, height=4)
+        lines = text.splitlines()
+        assert "*" in lines[0]      # max y on the top row
+        assert "*" in lines[3]      # min y on the bottom row
+
+    def test_flat_series_ok(self):
+        line_chart([(0, 5), (1, 5), (2, 5)])  # zero y-span must not crash
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            line_chart([(0, 0)])
+        with pytest.raises(ConfigError):
+            line_chart([(0, 0), (1, 1)], width=1)

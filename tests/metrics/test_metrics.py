@@ -1,0 +1,77 @@
+"""Resource monitor and text tables."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.metrics.resources import ResourceMonitor, current_rss_bytes
+from repro.metrics.tables import TextTable
+
+
+class TestResourceMonitor:
+    def test_measures_wall_and_cpu(self):
+        monitor = ResourceMonitor()
+        monitor.start()
+        # Burn a little CPU and a little wall time.
+        total = sum(i * i for i in range(200_000))
+        time.sleep(0.05)
+        usage = monitor.stop()
+        assert usage.wall_seconds >= 0.05
+        assert usage.cpu_seconds >= 0.0
+        assert usage.peak_rss_bytes > 0
+        assert 0.0 <= usage.cpu_percent <= 400.0
+        assert total > 0
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            ResourceMonitor().stop()
+
+    def test_monitor_is_reusable(self):
+        monitor = ResourceMonitor()
+        monitor.start()
+        monitor.stop()
+        monitor.start()
+        usage = monitor.stop()
+        assert usage.wall_seconds >= 0
+
+    def test_current_rss(self):
+        assert current_rss_bytes() > 1_000_000  # a Python process
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["config", "TpmC"], title="Figure 5")
+        table.add("ext4", 6000.0)
+        table.add("B=10/S=100", 123.456)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Figure 5"
+        assert "config" in lines[1] and "TpmC" in lines[1]
+        assert len(lines) == 5
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+    def test_cell_count_validated(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ConfigError):
+            table.add("only-one")
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ConfigError):
+            TextTable([])
+
+    def test_float_formatting(self):
+        table = TextTable(["v"])
+        table.add(0.00123)
+        table.add(12.3456)
+        table.add(4567.8)
+        table.add(0.0)
+        rendered = table.render()
+        assert "0.0012" in rendered
+        assert "12.35" in rendered
+        assert "4568" in rendered
+
+    def test_empty_table_renders_header(self):
+        assert "col" in TextTable(["col"]).render()

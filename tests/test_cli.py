@@ -1,0 +1,107 @@
+"""The ginja-repro command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCost:
+    def test_cost_prints_breakdown(self, capsys):
+        assert main(["cost", "--db-gb", "10", "--updates-per-minute", "100",
+                     "--batch", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "C_Total" in out
+        assert "C_WAL_PUT" in out
+
+    def test_cost_with_snapshots(self, capsys):
+        assert main(["cost", "--snapshots", "3"]) == 0
+        assert "PITR x3" in capsys.readouterr().out
+
+    def test_other_providers(self, capsys):
+        for provider in ("azure", "gcs"):
+            assert main(["cost", "--provider", provider]) == 0
+
+
+class TestFrontier:
+    def test_frontier_prints_curve(self, capsys):
+        assert main(["frontier", "--budget", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity frontier" in out
+        assert "syncs/hour" in out
+
+
+class TestDemo:
+    @pytest.mark.parametrize("profile", ["postgres", "mysql"])
+    def test_demo_in_memory(self, capsys, profile):
+        assert main(["demo", "--rows", "30", "--profile", profile,
+                     "--segment-size", "256KB" if profile == "postgres"
+                     else "64KB"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered 30/30 rows" in out
+
+    def test_demo_with_directory_bucket(self, capsys, tmp_path):
+        bucket = tmp_path / "bucket"
+        assert main(["demo", "--rows", "20", "--bucket-dir", str(bucket),
+                     "--segment-size", "256KB"]) == 0
+        assert any(bucket.iterdir())
+
+    def test_demo_refuses_dirty_bucket(self, capsys, tmp_path):
+        bucket = tmp_path / "bucket"
+        bucket.mkdir()
+        (bucket / "WAL%2F000000000000_x_0").write_bytes(b"junk")
+        assert main(["demo", "--bucket-dir", str(bucket)]) == 2
+
+
+class TestRecoverVerify:
+    @pytest.fixture
+    def populated_bucket(self, tmp_path, capsys):
+        bucket = tmp_path / "bucket"
+        assert main(["demo", "--rows", "25", "--bucket-dir", str(bucket),
+                     "--segment-size", "256KB"]) == 0
+        capsys.readouterr()
+        return bucket
+
+    def test_recover_into_directory(self, populated_bucket, tmp_path, capsys):
+        data = tmp_path / "restored"
+        assert main(["recover", str(populated_bucket), str(data)]) == 0
+        out = capsys.readouterr().out
+        assert "restored" in out
+        assert (data / "global" / "pg_control").exists()
+
+    def test_recover_refuses_nonempty_target(self, populated_bucket,
+                                             tmp_path, capsys):
+        data = tmp_path / "restored"
+        data.mkdir()
+        (data / "existing").write_bytes(b"x")
+        assert main(["recover", str(populated_bucket), str(data)]) == 2
+
+    def test_recover_refuses_empty_bucket(self, tmp_path, capsys):
+        assert main(["recover", str(tmp_path / "empty"),
+                     str(tmp_path / "data")]) == 2
+
+    def test_ls_inventory(self, populated_bucket, capsys):
+        assert main(["ls", str(populated_bucket)]) == 0
+        out = capsys.readouterr().out
+        assert "RECOVERABLE" in out
+        assert "WAL:" in out and "DB:" in out
+
+    def test_ls_empty_bucket_not_recoverable(self, tmp_path, capsys):
+        assert main(["ls", str(tmp_path / "empty")]) == 1
+        assert "NOT RECOVERABLE" in capsys.readouterr().out
+
+    def test_verify_passes_on_good_backup(self, populated_bucket, capsys):
+        assert main(["verify", str(populated_bucket),
+                     "--segment-size", "256KB"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_verify_fails_on_corruption(self, populated_bucket, capsys):
+        for obj in populated_bucket.iterdir():
+            raw = bytearray(obj.read_bytes())
+            if raw:
+                raw[len(raw) // 2] ^= 0xFF
+                obj.write_bytes(bytes(raw))
+        assert main(["verify", str(populated_bucket),
+                     "--segment-size", "256KB"]) == 1
+        assert "FAIL" in capsys.readouterr().out

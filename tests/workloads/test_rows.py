@@ -1,0 +1,57 @@
+"""Row codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import IntegrityError
+from repro.workloads.rows import decode_row, encode_row
+
+
+class TestRowCodec:
+    def test_roundtrip_mixed_types(self):
+        row = {"id": 7, "name": "alice", "balance": -12.5}
+        assert decode_row(encode_row(row)) == row
+
+    def test_padding_reaches_target_size(self):
+        raw = encode_row({"a": 1}, pad_to=300)
+        assert len(raw) >= 300
+        assert decode_row(raw) == {"a": 1}
+
+    def test_no_padding_when_already_large(self):
+        row = {"text": "x" * 500}
+        raw = encode_row(row, pad_to=100)
+        assert decode_row(raw) == row
+
+    def test_empty_row(self):
+        assert decode_row(encode_row({})) == {}
+
+    def test_bool_rejected(self):
+        with pytest.raises(IntegrityError):
+            encode_row({"flag": True})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(IntegrityError):
+            encode_row({"data": b"bytes"})
+
+    def test_negative_and_large_ints(self):
+        row = {"a": -(2**60), "b": 2**62}
+        assert decode_row(encode_row(row)) == row
+
+
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=15).filter(lambda s: s != "_pad"),
+        st.one_of(
+            st.integers(min_value=-(2**53), max_value=2**53),
+            st.text(max_size=40),
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+        ),
+        max_size=12,
+    ),
+    st.integers(min_value=0, max_value=600),
+)
+def test_roundtrip_property(row, pad):
+    decoded = decode_row(encode_row(row, pad_to=pad))
+    assert decoded == row

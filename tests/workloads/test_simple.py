@@ -1,0 +1,71 @@
+"""The plain update-stream generator."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import MiB
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import POSTGRES_PROFILE
+from repro.storage.memory import MemoryFileSystem
+from repro.workloads import UpdateStream
+
+
+@pytest.fixture
+def db():
+    return MiniDB.create(
+        MemoryFileSystem(), POSTGRES_PROFILE,
+        EngineConfig(wal_segment_size=1 * MiB, auto_checkpoint=False),
+    )
+
+
+class TestIssue:
+    def test_issues_exactly_count(self, db):
+        stream = UpdateStream(db, keyspace=10)
+        assert stream.issue(25) == 25
+        assert stream.updates_issued == 25
+        assert db.stats.commits == 25
+
+    def test_keyspace_bounds_distinct_rows(self, db):
+        stream = UpdateStream(db, keyspace=5)
+        stream.issue(100)
+        assert db.row_count("data") <= 5
+
+    def test_value_size(self, db):
+        stream = UpdateStream(db, keyspace=1, value_bytes=64)
+        stream.issue(1)
+        assert len(db.get("data", "k0")) == 64
+
+    def test_deterministic_per_seed(self):
+        def rows(seed):
+            local = MiniDB.create(
+                MemoryFileSystem(), POSTGRES_PROFILE,
+                EngineConfig(wal_segment_size=1 * MiB),
+            )
+            UpdateStream(local, keyspace=50, seed=seed).issue(30)
+            return {k: local.get("data", k) for k in
+                    (f"k{i}" for i in range(50))}
+        assert rows(1) == rows(1)
+        assert rows(1) != rows(2)
+
+    def test_keyspace_validated(self, db):
+        with pytest.raises(ConfigError):
+            UpdateStream(db, keyspace=0)
+
+
+class TestRate:
+    def test_rate_limited_run(self, db):
+        stream = UpdateStream(db)
+        started = time.monotonic()
+        issued = stream.run_at_rate(updates_per_minute=1200, duration=0.3)
+        elapsed = time.monotonic() - started
+        # 1200/min = 20/s -> about 6 updates in 0.3 s.
+        assert 2 <= issued <= 12
+        assert elapsed >= 0.3
+
+    def test_rate_validated(self, db):
+        with pytest.raises(ConfigError):
+            UpdateStream(db).run_at_rate(0, duration=0.1)

@@ -1,0 +1,274 @@
+"""TPC-C: schema population, transaction profiles, driver."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import MiB
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import POSTGRES_PROFILE
+from repro.storage.memory import MemoryFileSystem
+from repro.workloads.tpcc import (
+    TPCCConfig,
+    TPCCDatabase,
+    TPCCDriver,
+    TransactionMix,
+)
+from repro.workloads.tpcc import transactions as tx
+from repro.workloads.tpcc.schema import ck, dk, ik, nok, sk, wk
+
+
+SMALL = TPCCConfig(
+    warehouses=1,
+    districts_per_warehouse=2,
+    customers_per_district=5,
+    items=50,
+    stock_per_warehouse=50,
+    initial_orders_per_district=4,
+)
+
+
+@pytest.fixture
+def tpcc():
+    fs = MemoryFileSystem()
+    db = MiniDB.create(
+        fs, POSTGRES_PROFILE,
+        EngineConfig(wal_segment_size=1 * MiB, auto_checkpoint=False),
+    )
+    tp = TPCCDatabase(db, SMALL)
+    tp.load(seed=1)
+    return tp
+
+
+class TestLoad:
+    def test_all_tables_populated(self, tpcc):
+        db = tpcc.db
+        assert db.row_count(tpcc.ITEM) == 50
+        assert db.row_count(tpcc.WAREHOUSE) == 1
+        assert db.row_count(tpcc.DISTRICT) == 2
+        assert db.row_count(tpcc.CUSTOMER) == 10
+        assert db.row_count(tpcc.STOCK) == 50
+        assert db.row_count(tpcc.ORDERS) == 8
+
+    def test_undelivered_orders_exist(self, tpcc):
+        assert tpcc.db.row_count(tpcc.NEW_ORDER) > 0
+
+    def test_row_sizes_match_padding(self, tpcc):
+        raw = tpcc.db.get(tpcc.CUSTOMER, ck(1, 1, 1))
+        assert len(raw) >= SMALL.pad_customer
+
+    def test_district_next_order_pointer(self, tpcc):
+        district = tpcc.read(tpcc.DISTRICT, dk(1, 1))
+        assert district["d_next_o_id"] == SMALL.initial_orders_per_district + 1
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            TPCCConfig(warehouses=0)
+        with pytest.raises(ConfigError):
+            TPCCConfig(items=10, stock_per_warehouse=10, order_lines_max=15)
+        with pytest.raises(ConfigError):
+            TPCCConfig(items=100, stock_per_warehouse=99)
+
+
+class TestNewOrder:
+    def test_creates_order_and_lines(self, tpcc):
+        rng = random.Random(0)
+        before = tpcc.db.row_count(tpcc.ORDERS)
+        committed = tx.new_order(tpcc, rng, w=1)
+        if committed:
+            assert tpcc.db.row_count(tpcc.ORDERS) == before + 1
+            assert tpcc.db.row_count(tpcc.ORDER_LINE) > 0
+
+    def test_advances_district_counter(self, tpcc):
+        rng = random.Random(1)  # seed 1 does not roll the 1% abort
+        d_before = {
+            d: tpcc.read(tpcc.DISTRICT, dk(1, d))["d_next_o_id"] for d in (1, 2)
+        }
+        assert tx.new_order(tpcc, rng, w=1)
+        advanced = sum(
+            1 for d in (1, 2)
+            if tpcc.read(tpcc.DISTRICT, dk(1, d))["d_next_o_id"] == d_before[d] + 1
+        )
+        assert advanced == 1
+
+    def test_updates_stock(self, tpcc):
+        rng = random.Random(2)
+        totals_before = sum(
+            tpcc.read(tpcc.STOCK, sk(1, i))["s_order_cnt"] for i in range(1, 51)
+        )
+        assert tx.new_order(tpcc, rng, w=1)
+        totals_after = sum(
+            tpcc.read(tpcc.STOCK, sk(1, i))["s_order_cnt"] for i in range(1, 51)
+        )
+        assert totals_after > totals_before
+
+    def test_abort_leaves_no_trace(self, tpcc):
+        rng = random.Random(0)
+        # Find a seed that triggers the 1% rollback deterministically.
+        for seed in range(500):
+            probe = random.Random(seed)
+            if probe.random() < 0.01:  # first roll decides district... no:
+                pass
+        # Force the rollback path directly instead: monkey via many runs.
+        before_orders = tpcc.db.row_count(tpcc.ORDERS)
+        rolls = 0
+        for seed in range(400):
+            rng = random.Random(seed)
+            if not tx.new_order(tpcc, rng, w=1):
+                rolls += 1
+        after_commits = tpcc.db.row_count(tpcc.ORDERS) - before_orders
+        assert rolls > 0, "1% rollback never triggered in 400 runs"
+        assert after_commits == 400 - rolls
+
+
+class TestPayment:
+    def test_moves_money(self, tpcc):
+        rng = random.Random(3)
+        w_before = tpcc.read(tpcc.WAREHOUSE, wk(1))["w_ytd"]
+        assert tx.payment(tpcc, rng, w=1)
+        assert tpcc.read(tpcc.WAREHOUSE, wk(1))["w_ytd"] > w_before
+
+    def test_writes_history(self, tpcc):
+        rng = random.Random(4)
+        before = tpcc.db.row_count(tpcc.HISTORY)
+        tx.payment(tpcc, rng, w=1)
+        assert tpcc.db.row_count(tpcc.HISTORY) == before + 1
+
+
+class TestDelivery:
+    def test_consumes_new_orders(self, tpcc):
+        rng = random.Random(5)
+        before = tpcc.db.row_count(tpcc.NEW_ORDER)
+        assert tx.delivery(tpcc, rng, w=1)
+        assert tpcc.db.row_count(tpcc.NEW_ORDER) < before
+
+    def test_credits_customer(self, tpcc):
+        rng = random.Random(6)
+        balances_before = sum(
+            tpcc.read(tpcc.CUSTOMER, ck(1, d, c))["c_balance"]
+            for d in (1, 2) for c in range(1, 6)
+        )
+        tx.delivery(tpcc, rng, w=1)
+        balances_after = sum(
+            tpcc.read(tpcc.CUSTOMER, ck(1, d, c))["c_balance"]
+            for d in (1, 2) for c in range(1, 6)
+        )
+        assert balances_after > balances_before
+
+
+class TestReadOnlyProfiles:
+    def test_order_status_writes_nothing(self, tpcc):
+        commits_before = tpcc.db.stats.commits
+        assert tx.order_status(tpcc, random.Random(7), w=1)
+        assert tpcc.db.stats.commits == commits_before
+
+    def test_stock_level_writes_nothing(self, tpcc):
+        commits_before = tpcc.db.stats.commits
+        assert tx.stock_level(tpcc, random.Random(8), w=1)
+        assert tpcc.db.stats.commits == commits_before
+
+
+class TestCustomerSelection:
+    def test_lastnames_follow_syllable_table(self):
+        from repro.workloads.tpcc.schema import customer_lastname
+        assert customer_lastname(0) == "BARBARBAR"
+        assert customer_lastname(371) == "PRICALLYOUGHT"
+        assert customer_lastname(1371) == customer_lastname(371)
+
+    def test_lastnames_are_non_unique(self, tpcc):
+        names = [
+            tpcc.read(tpcc.CUSTOMER, ck(1, 1, c))["c_last"]
+            for c in range(1, 6)
+        ]
+        assert all(name.isalpha() for name in names)
+
+    def test_select_customer_by_lastname_returns_valid_id(self, tpcc):
+        from repro.workloads.tpcc.transactions import select_customer
+        rng = random.Random(42)
+        for _ in range(20):
+            c = select_customer(tpcc, rng, w=1, d=1)
+            assert 1 <= c <= SMALL.customers_per_district
+
+    def test_lastname_selection_resolves_ties_to_middle_match(self, tpcc):
+        from repro.workloads.tpcc.schema import customer_lastname
+        from repro.workloads.tpcc.transactions import select_customer
+
+        class FixedRng:
+            """Forces the by-lastname path and a fixed target."""
+
+            def __init__(self, target_c):
+                self._target = target_c
+
+            def random(self):
+                return 0.99  # > 0.40: lastname path
+
+            def randint(self, a, b):
+                return self._target
+
+        c = select_customer(tpcc, FixedRng(3), w=1, d=1)
+        target = customer_lastname(3)
+        matches = [
+            i for i in range(1, SMALL.customers_per_district + 1)
+            if tpcc.read(tpcc.CUSTOMER, ck(1, 1, i))["c_last"] == target
+        ]
+        assert c == matches[len(matches) // 2]
+
+
+class TestMix:
+    def test_standard_mix_sums_to_one(self):
+        TransactionMix()  # must not raise
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            TransactionMix(new_order=0.9, payment=0.9, order_status=0.0,
+                           delivery=0.0, stock_level=0.0)
+
+    def test_pick_distribution_roughly_standard(self):
+        mix = TransactionMix()
+        rng = random.Random(9)
+        picks = [mix.pick(rng) for _ in range(10_000)]
+        share = picks.count("new_order") / len(picks)
+        assert 0.42 <= share <= 0.48
+
+    def test_write_heavy_share(self):
+        """§8: ~90% of TPC-C transactions are updates."""
+        mix = TransactionMix()
+        writing = mix.new_order + mix.payment + mix.delivery
+        assert writing >= 0.90
+
+
+class TestDriver:
+    def test_short_run_produces_counts(self, tpcc):
+        driver = TPCCDriver(tpcc, terminals=2, seed=1)
+        result = driver.run(duration=0.5)
+        assert result.total > 0
+        assert result.tpm_total > 0
+        assert not result.errors
+
+    def test_tpmc_counts_only_new_orders(self, tpcc):
+        driver = TPCCDriver(tpcc, terminals=2, seed=2)
+        result = driver.run(duration=0.5)
+        assert result.tpm_c <= result.tpm_total
+        assert result.counts.get("new_order", 0) > 0
+
+    def test_terminal_count_validated(self, tpcc):
+        with pytest.raises(ConfigError):
+            TPCCDriver(tpcc, terminals=0)
+
+    def test_database_consistent_after_run(self, tpcc):
+        """Money conservation-ish: the run commits cleanly and the engine
+        can still checkpoint, crash and recover."""
+        driver = TPCCDriver(tpcc, terminals=3, seed=3)
+        driver.run(duration=0.5)
+        db = tpcc.db
+        db.checkpoint()
+        orders = db.row_count(tpcc.ORDERS)
+        db.crash()
+        recovered = MiniDB.open(
+            db._fs, POSTGRES_PROFILE,
+            EngineConfig(wal_segment_size=1 * MiB),
+        )
+        assert recovered.row_count(tpcc.ORDERS) == orders

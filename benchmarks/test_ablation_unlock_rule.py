@@ -13,13 +13,14 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.common.events import EventBus
 from repro.cloud.memory import InMemoryObjectStore
 from repro.cloud.simulated import SimulatedCloud
+from repro.cloud.transport import build_transport
 from repro.core.cloud_view import CloudView
 from repro.core.codec import ObjectCodec
 from repro.core.commit_pipeline import CommitPipeline
 from repro.core.config import GinjaConfig
-from repro.core.stats import GinjaStats
 from repro.metrics import TextTable
 
 SAFETY = 8
@@ -41,6 +42,7 @@ class UnsafeUnlockPipeline(CommitPipeline):
             if batch_id == self._next_batch_to_remove:
                 self._next_batch_to_remove += 1
             self._last_sync_end = self._clock.now()
+            self._tb_anchor = self._last_sync_end
         self._cond.notify_all()
 
 
@@ -69,8 +71,9 @@ def run_variant(pipeline_cls) -> dict:
     config = GinjaConfig(batch=2, safety=SAFETY, batch_timeout=0.01,
                          safety_timeout=60.0, uploaders=3)
     view = CloudView()
-    stats = GinjaStats()
-    pipeline = pipeline_cls(config, cloud, ObjectCodec(), view, stats)
+    bus = EventBus()
+    transport = build_transport(cloud, config, bus=bus)
+    pipeline = pipeline_cls(config, transport, ObjectCodec(), view, bus)
     pipeline.start()
     submitted = 0
     deadline = time.monotonic() + 6.0

@@ -10,14 +10,15 @@ from __future__ import annotations
 
 import time
 
+from repro.common.events import EventBus
 from repro.cloud.latency import WAN_LATENCY
 from repro.cloud.memory import InMemoryObjectStore
 from repro.cloud.simulated import SimulatedCloud
+from repro.cloud.transport import build_transport
 from repro.core.cloud_view import CloudView
 from repro.core.codec import ObjectCodec
 from repro.core.commit_pipeline import CommitPipeline
 from repro.core.config import GinjaConfig
-from repro.core.stats import GinjaStats
 from repro.metrics import TextTable
 
 UPLOADERS = (1, 2, 5, 8)
@@ -34,7 +35,9 @@ def run_pool(uploaders: int) -> dict:
     config = GinjaConfig(batch=4, safety=BURST + 8, batch_timeout=0.01,
                          safety_timeout=120.0, uploaders=uploaders)
     view = CloudView()
-    pipeline = CommitPipeline(config, cloud, ObjectCodec(), view, GinjaStats())
+    bus = EventBus()
+    transport = build_transport(cloud, config, bus=bus)
+    pipeline = CommitPipeline(config, transport, ObjectCodec(), view, bus)
     pipeline.start()
     started = time.monotonic()
     try:

@@ -16,12 +16,12 @@ Run:  python examples/figure2_trace.py
 import threading
 import time
 
-from repro.cloud import InMemoryObjectStore
+from repro.cloud import InMemoryObjectStore, build_transport
+from repro.common.events import EventBus
 from repro.core import GinjaConfig
 from repro.core.cloud_view import CloudView
 from repro.core.codec import ObjectCodec
 from repro.core.commit_pipeline import CommitPipeline
-from repro.core.stats import GinjaStats
 
 B, S = 2, 20
 
@@ -50,7 +50,9 @@ def main() -> None:
     config = GinjaConfig(batch=B, safety=S, batch_timeout=0.05,
                          safety_timeout=60.0, uploaders=5)
     view = CloudView()
-    pipeline = CommitPipeline(config, cloud, ObjectCodec(), view, GinjaStats())
+    bus = EventBus()
+    transport = build_transport(cloud, config, bus=bus)
+    pipeline = CommitPipeline(config, transport, ObjectCodec(), view, bus)
     pipeline.start()
     print(f"Figure 2 trace: B={B}, S={S}\n")
 

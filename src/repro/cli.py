@@ -29,6 +29,7 @@ from repro.cloud.pricing import (
 )
 from repro.common.units import parse_bytes
 from repro.core.config import GinjaConfig
+from repro.core.events import TraceRecorder
 from repro.core.ginja import Ginja
 from repro.core.verification import verify_backup
 from repro.costmodel.budget import BudgetFrontier
@@ -111,6 +112,11 @@ def cmd_demo(args: argparse.Namespace) -> int:
     config = GinjaConfig(batch=args.batch, safety=args.safety,
                          batch_timeout=0.2, safety_timeout=5.0)
     ginja = Ginja(disk, bucket, profile, config)
+    trace: TraceRecorder | None = None
+    if args.trace:
+        # Subscribe before start so the boot uploads are in the trace.
+        trace = TraceRecorder(capacity=config.trace_capacity)
+        trace.attach(ginja.bus)
     ginja.start(mode="boot")
     db = MiniDB.open(ginja.fs, profile, engine_config)
     print(f"committing {args.rows} rows through Ginja "
@@ -122,6 +128,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print(f"  bucket: {len(bucket.list())} objects; "
           f"health: {ginja.health()}")
     ginja.stop()
+    if trace is not None:
+        print(trace.render())
     print("simulating a disaster and recovering...")
     target = MemoryFileSystem()
     ginja2, report = Ginja.recover(bucket, target, profile, config)
@@ -227,6 +235,9 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--segment-size", default="1MB")
     demo.add_argument("--bucket-dir", default="",
                       help="persist the bucket as files here")
+    demo.add_argument("--trace", action="store_true",
+                      help="dump the cloud-transport event trace "
+                           "(per-verb latency, retries) after the run")
     demo.set_defaults(func=cmd_demo)
 
     recover = sub.add_parser("recover",

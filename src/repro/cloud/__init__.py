@@ -27,6 +27,16 @@ from repro.cloud.latency import (
 from repro.cloud.memory import InMemoryObjectStore
 from repro.cloud.metering import RequestMeter
 from repro.cloud.multi import MultiCloudStore
+from repro.cloud.retry import RetryLayer, RetryPolicy
+from repro.cloud.transport import (
+    FaultLayer,
+    LatencyLayer,
+    MeterLayer,
+    TracingLayer,
+    TransportLayer,
+    build_transport,
+    describe_transport,
+)
 from repro.cloud.pricing import (
     AZURE_BLOB_2017,
     GOOGLE_STORAGE_2017,
@@ -49,6 +59,15 @@ __all__ = [
     "Outage",
     "RequestMeter",
     "MultiCloudStore",
+    "RetryPolicy",
+    "RetryLayer",
+    "TransportLayer",
+    "TracingLayer",
+    "MeterLayer",
+    "FaultLayer",
+    "LatencyLayer",
+    "build_transport",
+    "describe_transport",
     "PriceBook",
     "S3_STANDARD_2017",
     "AZURE_BLOB_2017",

@@ -77,3 +77,8 @@ class DirectoryObjectStore(ObjectStore):
                 self._path(key).unlink()
             except FileNotFoundError:
                 pass
+
+    def exists(self, key: str) -> bool:
+        # One stat instead of the base class's full directory listing.
+        with self._lock:
+            return self._path(key).exists()

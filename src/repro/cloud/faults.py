@@ -94,6 +94,13 @@ class FaultPolicy:
         with self._lock:
             self._forced_failures += count
 
+    def active_outage(self, now: float) -> Outage | None:
+        """The scheduled outage covering store time ``now``, if any."""
+        for outage in self.outages:
+            if outage.covers(now):
+                return outage
+        return None
+
     def check(self, op: str, now: float, rng: random.Random) -> None:
         """Raise :class:`CloudUnavailable` if this request must fail."""
         with self._lock:
@@ -102,11 +109,11 @@ class FaultPolicy:
                 raise CloudUnavailable(f"{op}: injected failure")
             if self._bucket is not None and not self._bucket.take(now):
                 raise CloudUnavailable(f"{op}: SlowDown (throttled)")
-        for outage in self.outages:
-            if outage.covers(now):
-                raise CloudUnavailable(
-                    f"{op}: provider outage ({outage.start:.0f}s-{outage.end:.0f}s)"
-                )
+        outage = self.active_outage(now)
+        if outage is not None:
+            raise CloudUnavailable(
+                f"{op}: provider outage ({outage.start:.0f}s-{outage.end:.0f}s)"
+            )
         if self.error_rate > 0 and rng.random() < self.error_rate:
             raise CloudUnavailable(f"{op}: transient error (rate={self.error_rate})")
 

@@ -55,8 +55,16 @@ class ObjectStore:
     # Convenience helpers shared by all backends ---------------------------
 
     def exists(self, key: str) -> bool:
-        """True if ``key`` currently names an object."""
-        return any(info.key == key for info in self.list(prefix=key))
+        """True if ``key`` currently names an object (exact match).
+
+        Backends should override this with a native O(1)/stat check;
+        this fallback issues a LIST narrowed to ``key`` and matches the
+        exact key (a prefix hit alone is not existence).
+        """
+        for info in self.list(prefix=key):
+            if info.key == key:
+                return True
+        return False
 
     def total_bytes(self, prefix: str = "") -> int:
         """Sum of object sizes under ``prefix`` (used by the 150% rule)."""

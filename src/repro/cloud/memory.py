@@ -44,6 +44,11 @@ class InMemoryObjectStore(ObjectStore):
         with self._lock:
             self._objects.pop(key, None)
 
+    def exists(self, key: str) -> bool:
+        # O(1) dict lookup instead of the base class's prefix listing.
+        with self._lock:
+            return key in self._objects
+
     # Test/diagnostic helpers ----------------------------------------------
 
     def __len__(self) -> int:

@@ -4,12 +4,20 @@ Everything the cost model (§7) and Table 3 need is collected here: how
 many requests of each verb ran, how many bytes moved, the latency of
 each PUT, and the integral of stored bytes over time (for $/GB-month
 billing).
+
+The meter is fed by ``meter`` events from the transport stack's
+:class:`~repro.cloud.transport.MeterLayer` (subscribe with
+:meth:`RequestMeter.attach`); the explicit ``record_*`` methods remain
+for callers that account by hand.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+
+from repro.common import events
+from repro.common.events import Event, EventBus
 
 
 @dataclass
@@ -71,6 +79,33 @@ class RequestMeter:
         self._stored_bytes += delta
         if self._stored_bytes > self._peak_stored:
             self._peak_stored = self._stored_bytes
+
+    # -- event-bus subscription ---------------------------------------------
+
+    def attach(self, bus: EventBus) -> "RequestMeter":
+        """Subscribe to a bus; ``meter`` events feed the accounting."""
+        bus.subscribe(self.handle_event)
+        return self
+
+    def handle_event(self, event: Event) -> None:
+        """Translate one ``meter`` event into the matching record call.
+
+        The MeterLayer's vocabulary: ``nbytes`` is the payload size
+        (bytes removed, for DELETE), ``latency`` the modeled latency,
+        ``at`` the store-clock completion time, and ``count`` the bytes
+        a PUT replaced.
+        """
+        if event.kind != events.METER:
+            return
+        if event.verb == "PUT":
+            self.record_put(event.nbytes, event.latency, event.at,
+                            replaced_bytes=event.count)
+        elif event.verb == "GET":
+            self.record_get(event.nbytes, event.latency, event.at)
+        elif event.verb == "LIST":
+            self.record_list(event.latency, event.at)
+        elif event.verb == "DELETE":
+            self.record_delete(event.nbytes, event.latency, event.at)
 
     # -- recording ----------------------------------------------------------
 

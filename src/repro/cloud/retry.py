@@ -1,0 +1,195 @@
+"""The single retry/backoff implementation for all cloud I/O.
+
+Before the transport refactor this logic was copy-pasted three times
+(commit-pipeline PUT, checkpointer PUT, checkpointer DELETE) with the
+backoff cap hardcoded at two seconds.  It now lives in exactly one
+place: :class:`RetryPolicy` describes the schedule, :class:`RetryLayer`
+applies it to every verb of an :class:`~repro.cloud.interface.ObjectStore`.
+
+The policy distinguishes *fatal* and *skippable* verbs, exactly as the
+checkpointer comments prescribe: a PUT that exhausts its budget must
+raise (silently dropping a WAL object would leave a permanent timestamp
+gap that recovery stops at), while a GC DELETE that exhausts its budget
+is skipped (an orphaned object wastes a few bytes of storage and is
+ignored by recovery, whereas killing the Checkpointer would stop all
+future checkpoint replication).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, TYPE_CHECKING
+
+from repro.common.clock import Clock, SYSTEM_CLOCK
+from repro.common.errors import CloudError
+from repro.common import events
+from repro.common.events import EventBus, NULL_BUS
+from repro.cloud.interface import ObjectStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.config import GinjaConfig
+
+#: The verbs a policy can budget individually.
+VERBS = ("PUT", "GET", "LIST", "DELETE")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff with per-verb budgets.
+
+    Attributes:
+        max_retries: default retry budget per request (attempts allowed
+            beyond the first = ``max_retries``).
+        base_backoff: seconds before the first retry.
+        multiplier: backoff growth factor per attempt.
+        backoff_cap: upper bound on any single backoff sleep — the
+            knob that used to be a hardcoded ``min(backoff, 2.0)``.
+        jitter: fraction of the backoff randomized symmetrically
+            (``0.25`` means +-25%); ``0`` keeps retries deterministic.
+        budgets: per-verb overrides of ``max_retries``.
+        skippable: verbs whose exhaustion is absorbed (the request is
+            skipped) instead of raised.  GC DELETE by default.
+    """
+
+    max_retries: int = 5
+    base_backoff: float = 0.1
+    multiplier: float = 2.0
+    backoff_cap: float = 2.0
+    jitter: float = 0.0
+    budgets: Mapping[str, int] = field(default_factory=dict)
+    skippable: frozenset[str] = frozenset({"DELETE"})
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_backoff < 0 or self.backoff_cap <= 0:
+            raise ValueError("backoff values must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        for verb, budget in self.budgets.items():
+            if verb not in VERBS:
+                raise ValueError(f"unknown verb in retry budgets: {verb!r}")
+            if budget < 0:
+                raise ValueError(f"negative retry budget for {verb}")
+
+    @classmethod
+    def from_config(cls, config: "GinjaConfig") -> "RetryPolicy":
+        """The policy a :class:`~repro.core.config.GinjaConfig` declares."""
+        return cls(
+            max_retries=config.max_retries,
+            base_backoff=config.retry_backoff,
+            backoff_cap=config.retry_backoff_cap,
+            jitter=config.retry_jitter,
+            budgets=dict(config.retry_budgets),
+        )
+
+    def budget(self, verb: str) -> int:
+        """Retries allowed for ``verb`` (per-verb override wins)."""
+        return self.budgets.get(verb, self.max_retries)
+
+    def is_skippable(self, verb: str) -> bool:
+        return verb in self.skippable
+
+    def backoff(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        delay = min(
+            self.base_backoff * self.multiplier ** (attempt - 1),
+            self.backoff_cap,
+        )
+        if self.jitter > 0 and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+class RetryLayer(ObjectStore):
+    """Transport layer applying one :class:`RetryPolicy` to every verb.
+
+    This is the only retry loop in the codebase.  DELETE doubles as the
+    GC verb (nothing else in Ginja deletes through the transport), so
+    the layer also emits the ``gc_delete`` success/failure events the
+    stats counters are built from.
+    """
+
+    def __init__(
+        self,
+        inner: ObjectStore,
+        policy: RetryPolicy | None = None,
+        *,
+        clock: Clock = SYSTEM_CLOCK,
+        bus: EventBus | None = None,
+        rng: random.Random | None = None,
+    ):
+        self._inner = inner
+        self._policy = policy or RetryPolicy()
+        self._clock = clock
+        self._bus = bus or NULL_BUS
+        self._rng = rng or random.Random(0)
+
+    @property
+    def inner(self):
+        return self._inner
+
+    @property
+    def policy(self) -> RetryPolicy:
+        return self._policy
+
+    # -- verbs ---------------------------------------------------------------
+
+    def put(self, key: str, data: bytes) -> None:
+        self._put_with_retries(key, data)
+
+    def get(self, key: str) -> bytes:
+        return self._run("GET", key, lambda: self._inner.get(key))
+
+    def list(self, prefix: str = ""):
+        return self._run("LIST", prefix, lambda: self._inner.list(prefix))
+
+    def delete(self, key: str) -> None:
+        self._run("DELETE", key, lambda: self._inner.delete(key))
+
+    # Helpers the base interface provides must not re-enter the retried
+    # LIST path with different semantics — delegate to the inner store.
+    def exists(self, key: str) -> bool:
+        return self._inner.exists(key)
+
+    def total_bytes(self, prefix: str = "") -> int:
+        return self._inner.total_bytes(prefix)
+
+    # -- the one retry loop --------------------------------------------------
+
+    def _put_with_retries(self, key: str, data: bytes) -> None:
+        self._run("PUT", key, lambda: self._inner.put(key, data))
+
+    def _run(self, verb: str, key: str, request):
+        attempts = 0
+        budget = self._policy.budget(verb)
+        while True:
+            try:
+                result = request()
+            except CloudError as exc:
+                attempts += 1
+                if attempts > budget:
+                    if self._policy.is_skippable(verb):
+                        if verb == "DELETE":
+                            self._bus.emit(
+                                events.GC_DELETE, verb=verb, key=key,
+                                ok=False, attempt=attempts,
+                                detail=repr(exc),
+                            )
+                        return None
+                    raise
+                self._bus.emit(
+                    events.RETRY, verb=verb, key=key, attempt=attempts,
+                    detail=repr(exc),
+                )
+                self._clock.sleep(self._policy.backoff(attempts, self._rng))
+                continue
+            if verb == "DELETE":
+                self._bus.emit(
+                    events.GC_DELETE, verb=verb, key=key, ok=True,
+                    attempt=attempts + 1,
+                )
+            return result

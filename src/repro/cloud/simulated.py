@@ -1,7 +1,12 @@
 """Simulated cloud: backend + latency + faults + metering.
 
-This is the store Ginja talks to in every offline experiment.  It
-separates *modeled* time from *real* time:
+This is the store Ginja talks to in every offline experiment.  It is a
+facade over the lower half of the composable transport stack
+(:mod:`repro.cloud.transport`)::
+
+    MeterLayer -> FaultLayer -> LatencyLayer -> backend
+
+It separates *modeled* time from *real* time:
 
 * the latency model yields the latency the request would have had
   against the real provider (calibrated to the paper's Table 3);
@@ -9,17 +14,21 @@ separates *modeled* time from *real* time:
   paper experiment can run in seconds;
 * the meter always records the full modeled latency, so reports keep the
   paper's units.
+
+The :class:`~repro.cloud.metering.RequestMeter` is a subscriber on the
+store's event bus (it is no longer called directly); pass your own
+``bus`` to observe ``meter`` and ``outage`` events from outside.
 """
 
 from __future__ import annotations
 
-import random
-
 from repro.common.clock import Clock, SYSTEM_CLOCK
+from repro.common.events import EventBus
 from repro.cloud.faults import FaultPolicy, NO_FAULTS
 from repro.cloud.interface import ObjectInfo, ObjectStore
 from repro.cloud.latency import LatencyModel, LOCAL_LATENCY
 from repro.cloud.metering import RequestMeter
+from repro.cloud.transport import build_transport
 
 
 class SimulatedCloud(ObjectStore):
@@ -34,6 +43,7 @@ class SimulatedCloud(ObjectStore):
             while metering unscaled latencies; ``0`` never sleeps.
         clock: source of time for sleeping and storage accounting.
         seed: RNG seed for jitter and fault sampling (deterministic runs).
+        bus: event bus the layers publish to (default: a private bus).
     """
 
     def __init__(
@@ -45,24 +55,38 @@ class SimulatedCloud(ObjectStore):
         time_scale: float = 1.0,
         clock: Clock = SYSTEM_CLOCK,
         seed: int = 0,
+        bus: EventBus | None = None,
     ):
         if time_scale < 0:
             raise ValueError("time_scale must be >= 0")
         from repro.cloud.memory import InMemoryObjectStore
 
         self._backend = backend if backend is not None else InMemoryObjectStore()
-        self._latency = latency
-        self._faults = faults
-        self._time_scale = time_scale
         self._clock = clock
-        self._rng = random.Random(seed)
-        self.meter = RequestMeter()
-        #: Modeled seconds spent inside requests (includes unslept part).
         self._t0 = clock.now()
+        self.bus = bus if bus is not None else EventBus()
+        self.meter = RequestMeter().attach(self.bus)
+        self._stack = build_transport(
+            self._backend,
+            bus=self.bus,
+            clock=clock,
+            tracing=False,
+            latency=latency,
+            faults=faults,
+            metered=True,
+            time_scale=time_scale,
+            seed=seed,
+            epoch=self._t0,
+        )
 
     @property
     def backend(self) -> ObjectStore:
         return self._backend
+
+    @property
+    def inner(self) -> ObjectStore:
+        """The outermost internal layer (for ``describe_transport``)."""
+        return self._stack
 
     @property
     def clock(self) -> Clock:
@@ -72,48 +96,16 @@ class SimulatedCloud(ObjectStore):
         """Store-clock seconds since this store was created."""
         return self._clock.now() - self._t0
 
-    def _pay(self, modeled_latency: float) -> float:
-        """Sleep the scaled latency; return the modeled latency."""
-        if modeled_latency > 0 and self._time_scale > 0:
-            self._clock.sleep(modeled_latency * self._time_scale)
-        return modeled_latency
-
-    def _existing_size(self, key: str) -> int:
-        for info in self._backend.list(prefix=key):
-            if info.key == key:
-                return info.size
-        return 0
-
     # -- verbs --------------------------------------------------------------
 
     def put(self, key: str, data: bytes) -> None:
-        now = self._clock.now() - self._t0
-        self._faults.check("PUT", now, self._rng)
-        latency = self._pay(self._latency.put_latency(len(data), self._rng))
-        replaced = self._existing_size(key)
-        self._backend.put(key, data)
-        self.meter.record_put(len(data), latency, self.elapsed(), replaced_bytes=replaced)
+        self._stack.put(key, data)
 
     def get(self, key: str) -> bytes:
-        now = self._clock.now() - self._t0
-        self._faults.check("GET", now, self._rng)
-        data = self._backend.get(key)
-        latency = self._pay(self._latency.get_latency(len(data), self._rng))
-        self.meter.record_get(len(data), latency, self.elapsed())
-        return data
+        return self._stack.get(key)
 
     def list(self, prefix: str = "") -> list[ObjectInfo]:
-        now = self._clock.now() - self._t0
-        self._faults.check("LIST", now, self._rng)
-        latency = self._pay(self._latency.list_latency(self._rng))
-        infos = self._backend.list(prefix)
-        self.meter.record_list(latency, self.elapsed())
-        return infos
+        return self._stack.list(prefix)
 
     def delete(self, key: str) -> None:
-        now = self._clock.now() - self._t0
-        self._faults.check("DELETE", now, self._rng)
-        removed = self._existing_size(key)
-        latency = self._pay(self._latency.delete_latency(self._rng))
-        self._backend.delete(key)
-        self.meter.record_delete(removed, latency, self.elapsed())
+        self._stack.delete(key)

@@ -1,0 +1,449 @@
+"""The composable cloud-transport stack.
+
+Every byte Ginja moves to or from the cloud goes through a chain of
+:class:`~repro.cloud.interface.ObjectStore` *layers*, each adding one
+concern and delegating the verb to the layer beneath it::
+
+    TracingLayer        start/end events per verb (observability)
+      RetryLayer        the one retry/backoff loop (repro.cloud.retry)
+        MeterLayer      billing-grade request/storage accounting
+          FaultLayer    injected outages, throttling, transient errors
+            LatencyLayer  calibrated WAN latency model (+ time_scale)
+              backend   InMemoryObjectStore / DirectoryObjectStore / S3
+
+:func:`build_transport` assembles the chain declaratively — from a
+:class:`~repro.core.config.GinjaConfig` for the retry policy, and from
+the simulation knobs (latency model, fault policy) for the lower
+layers.  :class:`~repro.cloud.simulated.SimulatedCloud` is now a thin
+facade over the Meter/Fault/Latency portion of this stack, and
+:class:`~repro.core.ginja.Ginja` wraps whatever store it is given with
+the Tracing/Retry portion.
+
+Layers communicate *sideways* only through the event bus
+(:mod:`repro.common.events`) and through a small thread-local record the
+LatencyLayer leaves for the MeterLayer (the modeled latency of the
+request that just completed, which billing must use instead of wall
+time so ``time_scale`` does not distort the cost model).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import TYPE_CHECKING
+
+from repro.common import events
+from repro.common.clock import Clock, SYSTEM_CLOCK
+from repro.common.errors import CloudError, CloudUnavailable
+from repro.common.events import EventBus, NULL_BUS
+from repro.cloud.faults import FaultPolicy
+from repro.cloud.interface import ObjectInfo, ObjectStore
+from repro.cloud.latency import LatencyModel
+from repro.cloud.retry import RetryLayer, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.config import GinjaConfig
+
+
+class TransportLayer(ObjectStore):
+    """Base class for layers: delegates every verb to the inner store.
+
+    Subclasses override only the verbs they add behaviour to; ``exists``
+    and ``total_bytes`` always pass straight through so a helper never
+    re-enters a layer with different semantics than the verbs.
+    """
+
+    def __init__(self, inner: ObjectStore):
+        self._inner = inner
+
+    @property
+    def inner(self) -> ObjectStore:
+        return self._inner
+
+    def put(self, key: str, data: bytes) -> None:
+        self._inner.put(key, data)
+
+    def get(self, key: str) -> bytes:
+        return self._inner.get(key)
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        return self._inner.list(prefix)
+
+    def delete(self, key: str) -> None:
+        self._inner.delete(key)
+
+    def exists(self, key: str) -> bool:
+        return self._inner.exists(key)
+
+    def total_bytes(self, prefix: str = "") -> int:
+        return self._inner.total_bytes(prefix)
+
+
+# -- LatencyLayer → MeterLayer thread-local handoff --------------------------
+#
+# The meter must record the *modeled* latency (what the request would
+# have cost against the real provider), not the scaled wall time the
+# LatencyLayer actually slept.  The layers may be separated by a
+# FaultLayer, so the value travels in a thread-local the LatencyLayer
+# writes and the MeterLayer consumes.  ``adjusted`` carries the bytes a
+# PUT replaced / a DELETE removed, for the storage integral.
+
+_modeled = threading.local()
+
+
+def _set_modeled(latency: float, adjusted: int = 0) -> None:
+    _modeled.latency = latency
+    _modeled.adjusted = adjusted
+
+
+def _take_modeled() -> tuple[float, int]:
+    latency = getattr(_modeled, "latency", 0.0)
+    adjusted = getattr(_modeled, "adjusted", 0)
+    _modeled.latency = 0.0
+    _modeled.adjusted = 0
+    return latency, adjusted
+
+
+class LatencyLayer(TransportLayer):
+    """Models request latency: sleeps ``modeled * time_scale`` seconds.
+
+    Also measures the bytes a PUT replaces / a DELETE removes (it is the
+    layer closest to the backend, so its listing reflects the state the
+    verb actually acts on) and publishes both through the thread-local
+    handoff for the MeterLayer above.
+    """
+
+    def __init__(
+        self,
+        inner: ObjectStore,
+        model: LatencyModel,
+        *,
+        clock: Clock = SYSTEM_CLOCK,
+        time_scale: float = 1.0,
+        rng: random.Random | None = None,
+        epoch: float | None = None,
+    ):
+        if time_scale < 0:
+            raise ValueError("time_scale must be >= 0")
+        super().__init__(inner)
+        self._model = model
+        self._clock = clock
+        self._time_scale = time_scale
+        self._rng = rng or random.Random(0)
+        self._epoch = clock.now() if epoch is None else epoch
+
+    @property
+    def model(self) -> LatencyModel:
+        return self._model
+
+    def _pay(self, modeled_latency: float) -> float:
+        if modeled_latency > 0 and self._time_scale > 0:
+            self._clock.sleep(modeled_latency * self._time_scale)
+        return modeled_latency
+
+    def _existing_size(self, key: str) -> int:
+        for info in self._inner.list(prefix=key):
+            if info.key == key:
+                return info.size
+        return 0
+
+    def put(self, key: str, data: bytes) -> None:
+        latency = self._pay(self._model.put_latency(len(data), self._rng))
+        replaced = self._existing_size(key)
+        self._inner.put(key, data)
+        _set_modeled(latency, replaced)
+
+    def get(self, key: str) -> bytes:
+        data = self._inner.get(key)
+        latency = self._pay(self._model.get_latency(len(data), self._rng))
+        _set_modeled(latency)
+        return data
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        latency = self._pay(self._model.list_latency(self._rng))
+        infos = self._inner.list(prefix)
+        _set_modeled(latency)
+        return infos
+
+    def delete(self, key: str) -> None:
+        removed = self._existing_size(key)
+        latency = self._pay(self._model.delete_latency(self._rng))
+        self._inner.delete(key)
+        _set_modeled(latency, removed)
+
+
+class FaultLayer(TransportLayer):
+    """Injects failures per a :class:`~repro.cloud.faults.FaultPolicy`.
+
+    Consults the policy *before* delegating, so a failed request costs
+    neither latency nor billing — matching a connection that is refused
+    outright.  Requests failing inside a scheduled outage window emit an
+    ``outage`` event so traces can distinguish provider downtime from
+    transient errors.
+    """
+
+    def __init__(
+        self,
+        inner: ObjectStore,
+        faults: FaultPolicy,
+        *,
+        clock: Clock = SYSTEM_CLOCK,
+        rng: random.Random | None = None,
+        epoch: float | None = None,
+        bus: EventBus | None = None,
+    ):
+        super().__init__(inner)
+        self._faults = faults
+        self._clock = clock
+        self._rng = rng or random.Random(0)
+        self._epoch = clock.now() if epoch is None else epoch
+        self._bus = bus or NULL_BUS
+
+    @property
+    def faults(self) -> FaultPolicy:
+        return self._faults
+
+    def _check(self, verb: str, key: str) -> None:
+        now = self._clock.now() - self._epoch
+        try:
+            self._faults.check(verb, now, self._rng)
+        except CloudUnavailable as exc:
+            outage = self._faults.active_outage(now)
+            if outage is not None:
+                self._bus.emit(
+                    events.OUTAGE, verb=verb, key=key, at=now,
+                    detail=f"{outage.start:.0f}s-{outage.end:.0f}s",
+                )
+            raise exc
+
+    def put(self, key: str, data: bytes) -> None:
+        self._check("PUT", key)
+        self._inner.put(key, data)
+
+    def get(self, key: str) -> bytes:
+        self._check("GET", key)
+        return self._inner.get(key)
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        self._check("LIST", prefix)
+        return self._inner.list(prefix)
+
+    def delete(self, key: str) -> None:
+        self._check("DELETE", key)
+        self._inner.delete(key)
+
+
+class MeterLayer(TransportLayer):
+    """Publishes one ``meter`` event per *successful* request.
+
+    Sits above the FaultLayer so failed requests are never billed, and
+    reads the modeled latency the LatencyLayer left in the thread-local
+    handoff.  A :class:`~repro.cloud.metering.RequestMeter` subscribed
+    to the bus reproduces the exact pre-refactor accounting.
+
+    Event vocabulary: ``nbytes`` is the payload size (bytes removed, for
+    DELETE), ``latency`` the modeled request latency, ``at`` the
+    store-clock time of completion, and ``count`` the bytes a PUT
+    replaced (for the storage integral).
+    """
+
+    def __init__(
+        self,
+        inner: ObjectStore,
+        *,
+        clock: Clock = SYSTEM_CLOCK,
+        epoch: float | None = None,
+        bus: EventBus | None = None,
+    ):
+        super().__init__(inner)
+        self._clock = clock
+        self._epoch = clock.now() if epoch is None else epoch
+        self._bus = bus or NULL_BUS
+
+    def _now(self) -> float:
+        return self._clock.now() - self._epoch
+
+    def put(self, key: str, data: bytes) -> None:
+        _set_modeled(0.0)
+        self._inner.put(key, data)
+        latency, replaced = _take_modeled()
+        self._bus.emit(
+            events.METER, verb="PUT", key=key, nbytes=len(data),
+            latency=latency, at=self._now(), count=replaced,
+        )
+
+    def get(self, key: str) -> bytes:
+        _set_modeled(0.0)
+        data = self._inner.get(key)
+        latency, _ = _take_modeled()
+        self._bus.emit(
+            events.METER, verb="GET", key=key, nbytes=len(data),
+            latency=latency, at=self._now(),
+        )
+        return data
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        _set_modeled(0.0)
+        infos = self._inner.list(prefix)
+        latency, _ = _take_modeled()
+        self._bus.emit(
+            events.METER, verb="LIST", key=prefix,
+            latency=latency, at=self._now(),
+        )
+        return infos
+
+    def delete(self, key: str) -> None:
+        _set_modeled(0.0)
+        self._inner.delete(key)
+        latency, removed = _take_modeled()
+        self._bus.emit(
+            events.METER, verb="DELETE", key=key, nbytes=removed,
+            latency=latency, at=self._now(),
+        )
+
+
+#: start/end event kinds per verb, for the TracingLayer.
+_TRACE_EVENTS = {
+    "PUT": (events.PUT_START, events.PUT_END),
+    "GET": (events.GET_START, events.GET_END),
+    "LIST": (events.LIST_START, events.LIST_END),
+    "DELETE": (events.DELETE_START, events.DELETE_END),
+}
+
+
+class TracingLayer(TransportLayer):
+    """Emits start/end events with wall-clock timing for every verb.
+
+    Outermost layer: its latencies include retries and backoff, i.e.
+    what the commit pipeline actually experienced.  A failed request
+    (after the RetryLayer gave up) produces an end event with
+    ``ok=False`` before the error propagates.
+    """
+
+    def __init__(
+        self,
+        inner: ObjectStore,
+        *,
+        bus: EventBus | None = None,
+        clock: Clock = SYSTEM_CLOCK,
+    ):
+        super().__init__(inner)
+        self._bus = bus or NULL_BUS
+        self._clock = clock
+
+    def _traced(self, verb: str, key: str, nbytes: int, request):
+        start_kind, end_kind = _TRACE_EVENTS[verb]
+        t0 = self._clock.now()
+        self._bus.emit(start_kind, verb=verb, key=key, nbytes=nbytes, at=t0)
+        try:
+            result = request()
+        except CloudError:
+            self._bus.emit(
+                end_kind, verb=verb, key=key, nbytes=nbytes, ok=False,
+                latency=self._clock.now() - t0, at=self._clock.now(),
+            )
+            raise
+        out_bytes = len(result) if verb == "GET" else nbytes
+        self._bus.emit(
+            end_kind, verb=verb, key=key, nbytes=out_bytes,
+            latency=self._clock.now() - t0, at=self._clock.now(),
+        )
+        return result
+
+    def put(self, key: str, data: bytes) -> None:
+        self._traced("PUT", key, len(data), lambda: self._inner.put(key, data))
+
+    def get(self, key: str) -> bytes:
+        return self._traced("GET", key, 0, lambda: self._inner.get(key))
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        return self._traced("LIST", prefix, 0, lambda: self._inner.list(prefix))
+
+    def delete(self, key: str) -> None:
+        self._traced("DELETE", key, 0, lambda: self._inner.delete(key))
+
+
+# -- assembly ----------------------------------------------------------------
+
+def build_transport(
+    backend: ObjectStore,
+    config: "GinjaConfig | None" = None,
+    *,
+    bus: EventBus | None = None,
+    clock: Clock = SYSTEM_CLOCK,
+    policy: RetryPolicy | None = None,
+    tracing: bool = True,
+    latency: LatencyModel | None = None,
+    faults: FaultPolicy | None = None,
+    metered: bool = False,
+    time_scale: float = 1.0,
+    seed: int = 0,
+    epoch: float | None = None,
+    rng: random.Random | None = None,
+) -> ObjectStore:
+    """Assemble a transport stack over ``backend``, declaratively.
+
+    Only the layers whose knobs are provided are included, always in the
+    canonical order (outermost first)::
+
+        Tracing -> Retry -> Meter -> Fault -> Latency -> backend
+
+    Args:
+        backend: the store at the bottom of the stack.
+        config: source of the :class:`RetryPolicy` (via
+            :meth:`RetryPolicy.from_config`) when ``policy`` is not
+            given explicitly.  ``None`` with no ``policy`` omits the
+            RetryLayer.
+        bus: event bus all layers publish to (default: none listen).
+        clock: time source for sleeps, tracing and store-time epochs.
+        policy: explicit retry policy; overrides ``config``.
+        tracing: include the TracingLayer (outermost).
+        latency: include a LatencyLayer with this model.
+        faults: include a FaultLayer with this policy.
+        metered: include the MeterLayer (billing events).
+        time_scale: LatencyLayer sleep scaling.
+        seed: RNG seed when ``rng`` is not shared in by the caller.
+        epoch: store-time zero for fault windows and billing timestamps
+            (default: ``clock.now()`` at build time).
+        rng: shared RNG for latency jitter, fault sampling and retry
+            jitter — one stream, so composed runs are reproducible.
+    """
+    bus = bus or NULL_BUS
+    rng = rng or random.Random(seed)
+    if epoch is None:
+        epoch = clock.now()
+    store = backend
+    if latency is not None:
+        store = LatencyLayer(
+            store, latency, clock=clock, time_scale=time_scale,
+            rng=rng, epoch=epoch,
+        )
+    if faults is not None:
+        store = FaultLayer(
+            store, faults, clock=clock, rng=rng, epoch=epoch, bus=bus,
+        )
+    if metered:
+        store = MeterLayer(store, clock=clock, epoch=epoch, bus=bus)
+    if policy is None and config is not None:
+        policy = RetryPolicy.from_config(config)
+    if policy is not None:
+        store = RetryLayer(store, policy, clock=clock, bus=bus, rng=rng)
+    if tracing:
+        store = TracingLayer(store, bus=bus, clock=clock)
+    return store
+
+
+def describe_transport(store: ObjectStore) -> list[str]:
+    """The class names of a stack's layers, outermost first.
+
+    Follows ``inner`` references down to the backend; useful in tests
+    and for debugging which layers a config actually assembled.
+    """
+    names = []
+    current = store
+    while True:
+        names.append(type(current).__name__)
+        inner = getattr(current, "inner", None)
+        if inner is None or inner is current:
+            return names
+        current = inner

@@ -1,0 +1,133 @@
+"""The event kernel: typed events and the publish/subscribe bus.
+
+This lives in :mod:`repro.common` (which imports nothing above it) so
+both the cloud transport layers and the core pipelines can emit events
+without an import cycle.  The public observability API — including the
+bounded :class:`~repro.core.events.TraceRecorder` — is re-exported from
+:mod:`repro.core.events`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+# -- event taxonomy ----------------------------------------------------------
+#
+# Transport-layer events (emitted by repro.cloud.transport / .retry):
+PUT_START = "put_start"
+PUT_END = "put_end"
+GET_START = "get_start"
+GET_END = "get_end"
+LIST_START = "list_start"
+LIST_END = "list_end"
+DELETE_START = "delete_start"
+DELETE_END = "delete_end"
+#: One failed attempt absorbed by the retry policy (before the backoff).
+RETRY = "retry"
+#: A request failed inside a scheduled provider-outage window.
+OUTAGE = "outage"
+#: One metered request (simulation layers); carries modeled latency and
+#: store time so a RequestMeter subscriber reproduces exact billing.
+METER = "meter"
+#: A GC DELETE completed (ok=True) or exhausted its budget (ok=False).
+GC_DELETE = "gc_delete"
+#
+# Pipeline events (emitted by repro.core.commit_pipeline):
+COMMIT_BLOCKED = "commit_blocked"
+COMMIT_UNBLOCKED = "commit_unblocked"
+#: The aggregator claimed a batch and produced WAL objects.
+WAL_BATCH = "wal_batch"
+#: One WAL object confirmed in the cloud.
+WAL_OBJECT = "wal_object"
+#: The unlocker removed one acked batch from the queue head.
+BATCH_UNLOCKED = "batch_unlocked"
+#: Bytes fed through the codec (compress/encrypt/MAC input).
+CODEC = "codec"
+#
+# Checkpointer events (emitted by repro.core.checkpointer):
+CHECKPOINT_BEGIN = "checkpoint_begin"
+CHECKPOINT_END = "checkpoint_end"
+#: One DB object (checkpoint/dump part) confirmed in the cloud.
+DB_OBJECT = "db_object"
+#: A full dump (all parts) confirmed in the cloud.
+DUMP_COMPLETE = "dump"
+
+#: The end-event kinds that fold into per-verb latency summaries.
+VERB_END_EVENTS = {
+    PUT_END: "PUT",
+    GET_END: "GET",
+    LIST_END: "LIST",
+    DELETE_END: "DELETE",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One observability event.
+
+    Only ``kind`` is always meaningful; the remaining fields are a small
+    fixed vocabulary each kind uses as documented at the constants above
+    (``nbytes`` for payload sizes, ``latency`` for durations in seconds,
+    ``count`` for cardinalities such as batch sizes or replaced bytes,
+    ``attempt`` for retry ordinals, ``ok`` for success/failure).
+    """
+
+    kind: str
+    verb: str = ""
+    key: str = ""
+    nbytes: int = 0
+    latency: float = 0.0
+    attempt: int = 0
+    count: int = 0
+    ok: bool = True
+    at: float = 0.0
+    detail: str = ""
+
+
+Subscriber = Callable[[Event], None]
+
+
+class EventBus:
+    """Thread-safe publish/subscribe fan-out for :class:`Event`.
+
+    Subscribers run synchronously on the publisher's thread (the commit
+    pipeline emits from its uploader threads), so they must be fast and
+    must never raise; a raising subscriber is counted, not propagated,
+    because an observability bug must not poison the data path.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subscribers: tuple[Subscriber, ...] = ()
+        self.subscriber_errors = 0
+
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        """Register a callable; returns it for later :meth:`unsubscribe`."""
+        with self._lock:
+            self._subscribers = self._subscribers + (subscriber,)
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        with self._lock:
+            self._subscribers = tuple(
+                s for s in self._subscribers if s is not subscriber
+            )
+
+    def publish(self, event: Event) -> None:
+        for subscriber in self._subscribers:  # snapshot tuple: no lock held
+            try:
+                subscriber(event)
+            except Exception:
+                with self._lock:
+                    self.subscriber_errors += 1
+
+    def emit(self, kind: str, **fields) -> None:
+        """Convenience: build and publish an :class:`Event`."""
+        if self._subscribers:
+            self.publish(Event(kind=kind, **fields))
+
+
+#: A bus nothing listens to; the default when callers opt out of events.
+NULL_BUS = EventBus()

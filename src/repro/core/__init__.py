@@ -21,6 +21,7 @@ it to a cloud object store under a tunable Batch/Safety model:
 
 from repro.core.bootstrap import boot, reboot, recover_files
 from repro.core.codec import ObjectCodec
+from repro.core.events import Event, EventBus, TraceRecorder
 from repro.core.config import GinjaConfig
 from repro.core.cloud_view import CloudView
 from repro.core.data_model import DBObjectMeta, WALObjectMeta
@@ -41,4 +42,7 @@ __all__ = [
     "RetentionPolicy",
     "verify_backup",
     "VerificationReport",
+    "Event",
+    "EventBus",
+    "TraceRecorder",
 ]

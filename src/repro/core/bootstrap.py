@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import RecoveryError
+from repro.common import events
+from repro.common.events import EventBus, NULL_BUS
 from repro.core.cloud_view import CloudView
 from repro.core.codec import ObjectCodec
 from repro.core.config import GinjaConfig
@@ -28,7 +30,6 @@ from repro.core.data_model import (
     encode_wal_payload,
     parse_any,
 )
-from repro.core.stats import GinjaStats
 from repro.cloud.interface import ObjectStore
 from repro.db.profiles import DBMSProfile
 from repro.storage.interface import FileSystem
@@ -51,14 +52,16 @@ def boot(
     view: CloudView,
     profile: DBMSProfile,
     config: GinjaConfig,
-    stats: GinjaStats | None = None,
+    bus: EventBus | None = None,
 ) -> None:
     """Upload an existing local database to an empty bucket (Alg. 1, Boot).
 
     One WAL object per local segment (split at the object cap), then a
     full dump.  Must complete before the DBMS starts on the mounted FS.
+    Progress is narrated as ``wal_object``/``db_object``/``dump`` events
+    on ``bus``, which is how the stats counters see it.
     """
-    stats = stats or GinjaStats()
+    bus = bus or NULL_BUS
     existing = cloud.list()
     if any(parse_any(info.key) is not None for info in existing):
         raise RecoveryError(
@@ -76,7 +79,7 @@ def boot(
             meta = WALObjectMeta(ts=ts, filename=path, offset=offset)
             cloud.put(meta.key, blob)
             view.add_wal(meta)
-            stats.add(wal_objects=1, wal_bytes=len(blob))
+            bus.emit(events.WAL_OBJECT, key=meta.key, nbytes=len(blob))
             ts += 1
     view.force_frontier(ts - 1)
     db_files = [
@@ -90,8 +93,8 @@ def boot(
         )
         cloud.put(meta.key, blob)
         view.add_db(meta)
-        stats.add(db_objects=1, db_bytes=len(blob))
-    stats.add(dumps=1)
+        bus.emit(events.DB_OBJECT, key=meta.key, nbytes=len(blob))
+    bus.emit(events.DUMP_COMPLETE, count=len(blobs))
 
 
 def _pack_dump_parts(

@@ -15,16 +15,27 @@ writing of checkpoints to the cloud"):
   objects (split at 20 MB), registers them in the cloud view, deletes
   WAL objects up to the object's timestamp and, after a dump,
   superseded DB objects (subject to the PITR retention policy).
+
+All cloud I/O goes through the transport stack, whose RetryLayer
+implements the fatal-vs-skippable policy this module used to hand-roll:
+a PUT that exhausts its budget raises (and kills the checkpointer — a
+missing DB object would corrupt recovery), while a GC DELETE that
+exhausts its budget is silently skipped (an orphaned object wastes a
+few bytes and is ignored by recovery).  Progress is narrated on the
+event bus (``checkpoint_begin``/``checkpoint_end``, ``db_object``,
+``dump``, ``codec``); the ``gc_delete`` events come from the transport.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.clock import Clock, SYSTEM_CLOCK
 from repro.common.errors import CloudError, GinjaError
+from repro.common import events
+from repro.common.events import EventBus, NULL_BUS
 from repro.core.cloud_view import CloudView
 from repro.core.codec import ObjectCodec
 from repro.core.config import GinjaConfig
@@ -35,7 +46,6 @@ from repro.core.data_model import (
     encode_checkpoint_payload,
     encode_dump_payload,
 )
-from repro.core.stats import GinjaStats
 from repro.cloud.interface import ObjectStore
 from repro.db.profiles import DBMSProfile
 from repro.storage.interface import FileSystem
@@ -64,7 +74,7 @@ class CheckpointCollector:
         fs: FileSystem,
         profile: DBMSProfile,
         out_queue: "queue.Queue",
-        stats: GinjaStats,
+        bus: EventBus | None = None,
     ):
         self._config = config
         self._codec = codec
@@ -72,7 +82,7 @@ class CheckpointCollector:
         self._fs = fs
         self._profile = profile
         self._queue = out_queue
-        self._stats = stats
+        self._bus = bus or NULL_BUS
         self._active = False
         self._ts = -1
         self._writes: dict[tuple[str, int], bytes] = {}
@@ -100,6 +110,7 @@ class CheckpointCollector:
         self._ts = self._view.confirmed_ts()
         self._writes.clear()
         self._order.clear()
+        self._bus.emit(events.CHECKPOINT_BEGIN, count=self._ts)
 
     def add_write(self, path: str, offset: int, data: bytes) -> None:
         key = (path, offset)
@@ -110,13 +121,16 @@ class CheckpointCollector:
     def end(self) -> None:
         """Checkpoint-end event: build and enqueue the DB object."""
         self._active = False
-        self._stats.add(checkpoints_seen=1)
         local_db_size = self._local_db_bytes()
         cloud_db_size = self._view.total_db_bytes()
         if cloud_db_size >= self._config.dump_threshold * local_db_size:
             pending = self._build_dump()
         else:
             pending = self._build_incremental()
+        self._bus.emit(
+            events.CHECKPOINT_END, count=self._ts,
+            detail=pending.type, nbytes=sum(len(p) for p in pending.payloads),
+        )
         self._writes.clear()
         self._order.clear()
         self._queue.put(pending)
@@ -156,7 +170,7 @@ class CheckpointCollector:
         parts: list[bytes] = []
         for group in _split_writes(writes, self._config.max_object_bytes):
             payload = encode_checkpoint_payload(group)
-            self._stats.add(codec_bytes_in=len(payload))
+            self._bus.emit(events.CODEC, nbytes=len(payload))
             parts.append(self._codec.encode(payload))
         if not parts:
             parts.append(self._codec.encode(encode_checkpoint_payload([])))
@@ -183,7 +197,7 @@ class CheckpointCollector:
         parts: list[bytes] = []
         for group in _split_files(files, self._config.max_object_bytes):
             payload = encode_dump_payload(group)
-            self._stats.add(codec_bytes_in=len(payload))
+            self._bus.emit(events.CODEC, nbytes=len(payload))
             parts.append(self._codec.encode(payload))
         if not parts:
             parts.append(self._codec.encode(encode_dump_payload([])))
@@ -191,20 +205,26 @@ class CheckpointCollector:
 
 
 class CheckpointUploader:
-    """The Checkpointer thread (Alg. 3, lines 17-29) plus PITR retention."""
+    """The Checkpointer thread (Alg. 3, lines 17-29) plus PITR retention.
+
+    ``cloud`` should be a retry-wrapped transport stack: PUT errors
+    surfacing here are treated as budget exhaustion and kill the thread,
+    and GC DELETE exhaustion is expected to be absorbed by the transport
+    (the skippable-verb policy).
+    """
 
     def __init__(
         self,
         config: GinjaConfig,
         cloud: ObjectStore,
         view: CloudView,
-        stats: GinjaStats,
+        bus: EventBus | None = None,
         clock: Clock = SYSTEM_CLOCK,
     ):
         self._config = config
         self._cloud = cloud
         self._view = view
-        self._stats = stats
+        self._bus = bus or NULL_BUS
         self._clock = clock
         self.queue: "queue.Queue" = queue.Queue()
         self._thread: threading.Thread | None = None
@@ -286,16 +306,23 @@ class CheckpointUploader:
                 nparts=nparts,
                 seq=seq,
             )
-            self._put_with_retries(meta.key, blob)
+            # A CloudError here means the transport's PUT budget is
+            # exhausted; it propagates and kills the checkpointer.
+            self._cloud.put(meta.key, blob)
             metas.append(meta)
-            self._stats.add(db_objects=1, db_bytes=len(blob))
+            self._bus.emit(
+                events.DB_OBJECT, key=meta.key, nbytes=len(blob),
+                detail=pending.type,
+            )
         for meta in metas:
             self._view.add_db(meta)
         if pending.type == DUMP:
-            self._stats.add(dumps=1)
-        # GC: WAL objects at or below the object's ts are redundant.
+            self._bus.emit(events.DUMP_COMPLETE, count=nparts)
+        # GC: WAL objects at or below the object's ts are redundant.  The
+        # view entry is removed even when the delete was skipped by the
+        # transport — the orphan is invisible to recovery either way.
         for wal_meta in self._view.wal_objects_upto(pending.ts):
-            self._delete_with_retries(wal_meta.key)
+            self._cloud.delete(wal_meta.key)
             self._view.remove_wal(wal_meta.ts)
         if pending.type == DUMP:
             self._gc_after_dump((pending.ts, seq))
@@ -311,45 +338,10 @@ class CheckpointUploader:
             self.snapshots.append(superseded)
             while len(self.snapshots) > self._config.retention.generations:
                 for meta in self.snapshots.pop(0):
-                    self._delete_with_retries(meta.key)
+                    self._cloud.delete(meta.key)
         else:
             for meta in superseded:
-                self._delete_with_retries(meta.key)
-
-    def _put_with_retries(self, key: str, blob: bytes) -> None:
-        attempts = 0
-        while True:
-            try:
-                self._cloud.put(key, blob)
-                return
-            except CloudError:
-                attempts += 1
-                if attempts > self._config.max_retries:
-                    raise
-                self._stats.add(upload_retries=1)
-                backoff = self._config.retry_backoff * (2 ** (attempts - 1))
-                self._clock.sleep(min(backoff, 2.0))
-
-    def _delete_with_retries(self, key: str) -> bool:
-        """GC delete with retries.  Unlike an upload, a delete that
-        exhausts its retries is skipped, not fatal: an orphaned object
-        wastes a few bytes of storage and is ignored by recovery (its
-        timestamp lies below the live checkpoint), whereas killing the
-        checkpointer would stop all future checkpoint replication."""
-        attempts = 0
-        while True:
-            try:
-                self._cloud.delete(key)
-                self._stats.add(gc_deletes=1)
-                return True
-            except CloudError:
-                attempts += 1
-                if attempts > self._config.max_retries:
-                    self._stats.add(gc_delete_failures=1)
-                    return False
-                self._stats.add(upload_retries=1)
-                backoff = self._config.retry_backoff * (2 ** (attempts - 1))
-                self._clock.sleep(min(backoff, 2.0))
+                self._cloud.delete(meta.key)
 
 
 def _split_writes(

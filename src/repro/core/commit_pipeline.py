@@ -11,7 +11,8 @@ Thread anatomy (the paper's Figure 3):
   result into WAL objects of at most ``max_object_bytes``, assigns
   timestamps, encodes (compress/encrypt/MAC) and hands the objects to
   the upload queue.
-* **Uploader** threads PUT objects in parallel, with bounded retries.
+* **Uploader** threads PUT objects in parallel through the cloud
+  transport, whose RetryLayer absorbs transient failures.
 * The **Unlocker** thread receives batch-completion acks and removes
   entries from the queue head strictly in batch order — the
   "consecutive timestamps" rule that makes S a true bound on loss even
@@ -20,6 +21,13 @@ Thread anatomy (the paper's Figure 3):
 A PUT that exhausts its retries poisons the pipeline: subsequent
 submits raise, because silently dropping a WAL object would leave a
 permanent timestamp gap that recovery stops at.
+
+The pipeline narrates itself on the event bus (``commit_blocked``,
+``wal_batch``, ``wal_object``, ``batch_unlocked``, ``codec``);
+:class:`~repro.core.stats.GinjaStats` and the trace recorder subscribe
+there instead of being threaded through the constructor.  All waiting
+is condition-based with computed deadlines — an idle pipeline does not
+spin, and a T_B/T_S expiry fires on time.
 """
 
 from __future__ import annotations
@@ -31,11 +39,12 @@ from dataclasses import dataclass
 
 from repro.common.clock import Clock, SYSTEM_CLOCK
 from repro.common.errors import CloudError, GinjaError
+from repro.common import events
+from repro.common.events import EventBus, NULL_BUS
 from repro.core.cloud_view import CloudView
 from repro.core.codec import ObjectCodec
 from repro.core.config import GinjaConfig
 from repro.core.data_model import WALObjectMeta, encode_wal_payload
-from repro.core.stats import GinjaStats
 from repro.cloud.interface import ObjectStore
 
 
@@ -58,7 +67,19 @@ _STOP = object()
 
 
 class CommitPipeline:
-    """The running Algorithm-2 machinery for one Ginja instance."""
+    """The running Algorithm-2 machinery for one Ginja instance.
+
+    Args:
+        config: the B/S/T_B/T_S model and pipeline shape.
+        cloud: the store to PUT WAL objects into — normally a transport
+            stack from :func:`~repro.cloud.transport.build_transport`,
+            whose RetryLayer owns all retry/backoff behaviour.  A raw
+            store works too; it just fails on the first error.
+        codec: compress/encrypt/MAC encoder.
+        view: the shared picture of what the cloud contains.
+        bus: event bus for observability (default: events are dropped).
+        clock: time source for T_B/T_S accounting.
+    """
 
     def __init__(
         self,
@@ -66,14 +87,14 @@ class CommitPipeline:
         cloud: ObjectStore,
         codec: ObjectCodec,
         view: CloudView,
-        stats: GinjaStats,
+        bus: EventBus | None = None,
         clock: Clock = SYSTEM_CLOCK,
     ):
         self._config = config
         self._cloud = cloud
         self._codec = codec
         self._view = view
-        self._stats = stats
+        self._bus = bus or NULL_BUS
         self._clock = clock
 
         self._cond = threading.Condition()
@@ -139,11 +160,12 @@ class CommitPipeline:
         """
         deadline = self._clock.now() + timeout
         with self._cond:
+            # Woken by the unlocker each time a batch completes; no poll.
             while self._entries and self._fatal is None:
                 remaining = deadline - self._clock.now()
                 if remaining <= 0:
                     return False
-                self._cond.wait(timeout=min(remaining, 0.05))
+                self._cond.wait(timeout=remaining)
             return not self._entries
 
     @property
@@ -170,26 +192,28 @@ class CommitPipeline:
                 if self._fatal is not None:
                     raise GinjaError("commit pipeline failed") from self._fatal
                 over_safety = len(self._entries) > self._config.safety
-                ts_deadline = None
-                if self._entries:
-                    ts_deadline = (
-                        self._entries[0].enqueued_at + self._config.safety_timeout
-                    )
-                now = self._clock.now()
-                ts_expired = ts_deadline is not None and now >= ts_deadline and (
-                    len(self._entries) > 0
+                ts_expired = bool(self._entries) and (
+                    self._clock.now()
+                    >= self._entries[0].enqueued_at + self._config.safety_timeout
                 )
                 if not over_safety and not ts_expired:
                     break
                 if blocked_since is None:
-                    blocked_since = now
-                    self._stats.add(blocks=1)
-                wait = 0.05
-                if not over_safety and ts_deadline is not None:
-                    wait = min(wait, max(ts_deadline - now, 0.001))
-                self._cond.wait(timeout=wait)
+                    blocked_since = self._clock.now()
+                    self._bus.emit(
+                        events.COMMIT_BLOCKED, key=path,
+                        count=len(self._entries), at=blocked_since,
+                    )
+                # Both blocking reasons clear only when entries leave the
+                # queue (or the pipeline fails), and every such change
+                # notifies this condition — wait without a timeout.
+                self._cond.wait()
         if blocked_since is not None:
-            self._stats.add(blocked_seconds=self._clock.now() - blocked_since)
+            blocked_for = self._clock.now() - blocked_since
+            self._bus.emit(
+                events.COMMIT_UNBLOCKED, key=path, latency=blocked_for,
+                at=self._clock.now(),
+            )
 
     # -- Aggregator ---------------------------------------------------------------------
 
@@ -200,14 +224,22 @@ class CommitPipeline:
                     available = len(self._entries) - self._claimed
                     if available >= self._config.batch:
                         break
-                    timed_out = (
-                        available > 0
-                        and self._clock.now() - self._tb_anchor
-                        >= self._config.effective_batch_timeout()
-                    )
-                    if timed_out:
-                        break
-                    self._cond.wait(timeout=0.02)
+                    if available > 0:
+                        # Partial batch: sleep exactly until T_B expires
+                        # (recomputed on every wake, so a schedule change
+                        # or a completed sync moving the anchor is seen).
+                        deadline = (
+                            self._tb_anchor
+                            + self._config.effective_batch_timeout()
+                        )
+                        remaining = deadline - self._clock.now()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(timeout=remaining)
+                    else:
+                        # Idle: nothing can happen until a submit arrives
+                        # (which notifies) — no polling.
+                        self._cond.wait()
                 if self._stop:
                     return
                 available = len(self._entries) - self._claimed
@@ -220,7 +252,10 @@ class CommitPipeline:
                 self._claimed += count
                 self._batch_sizes[batch_id] = count
             objects = self._aggregate(batch_id, batch)
-            self._stats.add(wal_batches=1)
+            self._bus.emit(
+                events.WAL_BATCH, count=count, nbytes=len(objects),
+                at=self._clock.now(),
+            )
             if not objects:
                 # Cannot happen for count > 0, but never leave a batch
                 # that the unlocker would wait on forever.
@@ -268,7 +303,7 @@ class CommitPipeline:
                     continue
                 payload = encode_wal_payload(group)
                 blob = self._codec.encode(payload)
-                self._stats.add(codec_bytes_in=len(payload))
+                self._bus.emit(events.CODEC, nbytes=len(payload), key=path)
                 meta = WALObjectMeta(
                     ts=self._view.next_wal_ts(),
                     filename=path,
@@ -285,29 +320,21 @@ class CommitPipeline:
             if item is _STOP:
                 return
             try:
-                self._put_with_retries(item.meta.key, item.blob)
+                # The transport's RetryLayer absorbs transient errors; an
+                # error surfacing here has exhausted its budget and must
+                # poison the pipeline.
+                self._cloud.put(item.meta.key, item.blob)
             except CloudError as exc:
                 with self._cond:
                     self._fatal = exc
                     self._cond.notify_all()
                 continue
             self._view.add_wal(item.meta)
-            self._stats.add(wal_objects=1, wal_bytes=len(item.blob))
+            self._bus.emit(
+                events.WAL_OBJECT, key=item.meta.key, nbytes=len(item.blob),
+                at=self._clock.now(),
+            )
             self._ack_q.put(item.batch_id)
-
-    def _put_with_retries(self, key: str, blob: bytes) -> None:
-        attempts = 0
-        while True:
-            try:
-                self._cloud.put(key, blob)
-                return
-            except CloudError:
-                attempts += 1
-                if attempts > self._config.max_retries:
-                    raise
-                self._stats.add(upload_retries=1)
-                backoff = self._config.retry_backoff * (2 ** (attempts - 1))
-                self._clock.sleep(min(backoff, 2.0))
 
     # -- Unlocker -------------------------------------------------------------------------
 
@@ -342,6 +369,9 @@ class CommitPipeline:
             self._next_batch_to_remove += 1
             self._last_sync_end = self._clock.now()
             self._tb_anchor = self._last_sync_end
+            self._bus.emit(
+                events.BATCH_UNLOCKED, count=count, at=self._last_sync_end,
+            )
         self._cond.notify_all()
 
 

@@ -47,6 +47,18 @@ class GinjaConfig:
     coalesce_writes: bool = True
     #: Base backoff between retries, in seconds (doubles per attempt).
     retry_backoff: float = 0.1
+    #: Upper bound on any single backoff sleep (was a hardcoded 2 s).
+    retry_backoff_cap: float = 2.0
+    #: Fraction of each backoff randomized symmetrically (0 = none),
+    #: to de-synchronize uploader threads retrying into an outage.
+    retry_jitter: float = 0.0
+    #: Per-verb overrides of ``max_retries`` (keys: PUT/GET/LIST/DELETE).
+    retry_budgets: dict[str, int] = field(default_factory=dict)
+
+    # -- observability ---------------------------------------------------------
+    #: Events kept verbatim by a TraceRecorder attached to the run
+    #: (aggregates are exact regardless; this bounds the ring buffer).
+    trace_capacity: int = 2048
 
     # -- §5.4: compression / encryption / integrity ---------------------------
     compress: bool = False
@@ -95,6 +107,12 @@ class GinjaConfig:
             raise ConfigError("encryption requires a password")
         if self.dump_threshold < 1.0:
             raise ConfigError("dump_threshold below 1.0 would dump constantly")
+        if self.retry_backoff < 0 or self.retry_backoff_cap <= 0:
+            raise ConfigError("retry backoff values must be positive")
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ConfigError("retry_jitter must be within [0, 1]")
+        if self.trace_capacity < 1:
+            raise ConfigError("trace_capacity must be >= 1")
 
     @classmethod
     def no_loss(cls, **overrides) -> "GinjaConfig":

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.common.clock import Clock, SYSTEM_CLOCK
 from repro.common.errors import GinjaError
+from repro.common.events import EventBus
 from repro.core.bootstrap import RecoveryReport, boot, reboot, recover_files
 from repro.core.checkpointer import CheckpointCollector, CheckpointUploader
 from repro.core.cloud_view import CloudView
@@ -32,6 +33,7 @@ from repro.core.config import GinjaConfig
 from repro.core.processors import DatabaseProcessor
 from repro.core.stats import GinjaStats
 from repro.cloud.interface import ObjectStore
+from repro.cloud.transport import build_transport
 from repro.db.profiles import DBMSProfile
 from repro.storage.interface import FileSystem
 from repro.storage.interposer import InterposedFS
@@ -55,7 +57,14 @@ class Ginja:
         self.profile = profile
         self.cloud = cloud
         self.clock = clock
-        self.stats = GinjaStats()
+        #: Every component narrates itself here; subscribe a
+        #: TraceRecorder (or anything callable) to watch a run live.
+        self.bus = EventBus()
+        self.stats = GinjaStats().attach(self.bus)
+        #: The retry-wrapped, traced transport all cloud I/O goes through.
+        self.transport = build_transport(
+            cloud, self.config, bus=self.bus, clock=clock
+        )
         self.view = CloudView()
         self.codec = ObjectCodec(
             compress=self.config.compress,
@@ -73,10 +82,11 @@ class Ginja:
             clock=clock,
         )
         self.pipeline = CommitPipeline(
-            self.config, cloud, self.codec, self.view, self.stats, clock=clock
+            self.config, self.transport, self.codec, self.view, self.bus,
+            clock=clock,
         )
         self.checkpointer = CheckpointUploader(
-            self.config, cloud, self.view, self.stats, clock=clock
+            self.config, self.transport, self.view, self.bus, clock=clock
         )
         self.collector = CheckpointCollector(
             self.config,
@@ -85,7 +95,7 @@ class Ginja:
             inner_fs,
             profile,
             self.checkpointer.queue,
-            self.stats,
+            self.bus,
         )
         self.processor = DatabaseProcessor(profile, self.pipeline, self.collector)
         self._running = False
@@ -103,15 +113,15 @@ class Ginja:
         if mode == "boot":
             boot(
                 self.fs.inner,
-                self.cloud,
+                self.transport,
                 self.codec,
                 self.view,
                 self.profile,
                 self.config,
-                self.stats,
+                self.bus,
             )
         elif mode == "reboot":
-            if reboot(self.cloud, self.view) == 0:
+            if reboot(self.transport, self.view) == 0:
                 raise GinjaError("reboot mode found no Ginja objects in the bucket")
             self.checkpointer.seed_sequence(self.view.max_db_seq() + 1)
         elif mode == "attached":

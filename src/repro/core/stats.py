@@ -1,9 +1,19 @@
-"""Runtime counters the experiments read off a running Ginja."""
+"""Runtime counters the experiments read off a running Ginja.
+
+The counters are fed by events: subscribe a :class:`GinjaStats` to the
+run's bus with :meth:`GinjaStats.attach` and every pipeline/checkpointer/
+transport event is translated into the matching counter delta.  The
+explicit :meth:`GinjaStats.add` remains for callers that account by
+hand (and for tests).
+"""
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
+
+from repro.common import events
+from repro.common.events import Event, EventBus
 
 
 @dataclass
@@ -38,22 +48,41 @@ class GinjaStats:
                 setattr(self, name, getattr(self, name) + delta)
 
     def snapshot(self) -> dict[str, float]:
+        # Derived from the dataclass fields so a counter added later can
+        # never be silently dropped from experiment reports.
         with self._lock:
-            return {
-                name: getattr(self, name)
-                for name in (
-                    "wal_objects",
-                    "wal_bytes",
-                    "wal_batches",
-                    "db_objects",
-                    "db_bytes",
-                    "dumps",
-                    "checkpoints_seen",
-                    "gc_deletes",
-                    "gc_delete_failures",
-                    "upload_retries",
-                    "blocks",
-                    "blocked_seconds",
-                    "codec_bytes_in",
-                )
-            }
+            return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    # -- event-bus subscription ---------------------------------------------
+
+    def attach(self, bus: EventBus) -> "GinjaStats":
+        """Subscribe to a bus; pipeline/transport events feed counters."""
+        bus.subscribe(self.handle_event)
+        return self
+
+    def handle_event(self, event: Event) -> None:
+        """Translate one observability event into counter deltas."""
+        kind = event.kind
+        if kind == events.RETRY:
+            self.add(upload_retries=1)
+        elif kind == events.GC_DELETE:
+            if event.ok:
+                self.add(gc_deletes=1)
+            else:
+                self.add(gc_delete_failures=1)
+        elif kind == events.WAL_OBJECT:
+            self.add(wal_objects=1, wal_bytes=event.nbytes)
+        elif kind == events.WAL_BATCH:
+            self.add(wal_batches=1)
+        elif kind == events.DB_OBJECT:
+            self.add(db_objects=1, db_bytes=event.nbytes)
+        elif kind == events.DUMP_COMPLETE:
+            self.add(dumps=1)
+        elif kind == events.CHECKPOINT_END:
+            self.add(checkpoints_seen=1)
+        elif kind == events.COMMIT_BLOCKED:
+            self.add(blocks=1)
+        elif kind == events.COMMIT_UNBLOCKED:
+            self.add(blocked_seconds=event.latency)
+        elif kind == events.CODEC:
+            self.add(codec_bytes_in=event.nbytes)

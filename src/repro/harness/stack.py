@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigError
 from repro.common.units import MiB
+from repro.core.events import TraceRecorder
 from repro.cloud.latency import LatencyModel, WAN_LATENCY
 from repro.cloud.memory import InMemoryObjectStore
 from repro.cloud.simulated import SimulatedCloud
@@ -80,6 +81,9 @@ class Stack:
     fs: object                      # what the DBMS writes to
     cloud: SimulatedCloud | None
     ginja: Ginja | None
+    #: Bounded event trace subscribed to the Ginja bus (ginja mode only);
+    #: ``trace.render()`` is what ``repro.cli --trace`` prints.
+    trace: TraceRecorder | None = None
 
     def create_db(self) -> MiniDB:
         """Initialize the database and (for ginja mode) boot the cloud."""
@@ -133,6 +137,8 @@ def build_stack(config: StackConfig | None = None, **overrides) -> Stack:
             fuse_overhead=config.fuse_overhead,
             time_scale=1.0,
         )
+        trace = TraceRecorder(capacity=config.ginja.trace_capacity)
+        trace.attach(ginja.bus)
         return Stack(config=config, inner_fs=inner, fs=ginja.fs, cloud=cloud,
-                     ginja=ginja)
+                     ginja=ginja, trace=trace)
     raise ConfigError(f"unknown fs_mode {config.fs_mode!r}")

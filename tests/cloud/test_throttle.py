@@ -63,8 +63,9 @@ class TestThrottle:
 class TestPipelineUnderThrottle:
     def test_uploads_survive_throttling_via_retries(self):
         """Ginja's retry/backoff absorbs SlowDown without losing data."""
-        import time
+        from repro.common.events import EventBus
         from repro.cloud.memory import InMemoryObjectStore
+        from repro.cloud.transport import build_transport
         from repro.core.cloud_view import CloudView
         from repro.core.codec import ObjectCodec
         from repro.core.commit_pipeline import CommitPipeline
@@ -77,9 +78,11 @@ class TestPipelineUnderThrottle:
         config = GinjaConfig(batch=1, safety=100, batch_timeout=0.005,
                              safety_timeout=30.0, uploaders=4,
                              max_retries=50, retry_backoff=0.002)
-        stats = GinjaStats()
-        pipeline = CommitPipeline(config, cloud, ObjectCodec(), CloudView(),
-                                  stats)
+        bus = EventBus()
+        stats = GinjaStats().attach(bus)
+        transport = build_transport(cloud, config, bus=bus)
+        pipeline = CommitPipeline(config, transport, ObjectCodec(),
+                                  CloudView(), bus)
         pipeline.start()
         try:
             for i in range(40):

@@ -7,8 +7,10 @@ import time
 
 import pytest
 
+from repro.common.events import EventBus
 from repro.cloud.memory import InMemoryObjectStore
 from repro.cloud.simulated import SimulatedCloud
+from repro.cloud.transport import build_transport
 from repro.core.checkpointer import CheckpointCollector, CheckpointUploader
 from repro.core.cloud_view import CloudView
 from repro.core.codec import ObjectCodec
@@ -33,11 +35,13 @@ def make_stack(config=None, fs=None):
     backend = InMemoryObjectStore()
     cloud = SimulatedCloud(backend=backend, time_scale=0.0)
     view = CloudView()
-    stats = GinjaStats()
+    bus = EventBus()
+    stats = GinjaStats().attach(bus)
     codec = ObjectCodec()
-    uploader = CheckpointUploader(config, cloud, view, stats)
+    transport = build_transport(cloud, config, bus=bus)
+    uploader = CheckpointUploader(config, transport, view, bus)
     collector = CheckpointCollector(
-        config, codec, view, fs, POSTGRES_PROFILE, uploader.queue, stats
+        config, codec, view, fs, POSTGRES_PROFILE, uploader.queue, bus
     )
     return config, fs, backend, view, stats, codec, uploader, collector
 

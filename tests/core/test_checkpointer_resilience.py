@@ -11,7 +11,9 @@ from __future__ import annotations
 import pytest
 
 from repro.common.errors import CloudError
+from repro.common.events import EventBus
 from repro.cloud.memory import InMemoryObjectStore
+from repro.cloud.transport import build_transport
 from repro.core.checkpointer import CheckpointCollector, CheckpointUploader
 from repro.core.cloud_view import CloudView
 from repro.core.codec import ObjectCodec
@@ -44,11 +46,15 @@ def run_checkpoint(store, config=None):
     fs = MemoryFileSystem()
     fs.write("base/t", 0, b"\x00" * 100)
     view = CloudView()
-    stats = GinjaStats()
-    uploader = CheckpointUploader(config, store, view, stats)
+    bus = EventBus()
+    stats = GinjaStats().attach(bus)
+    # The transport's RetryLayer owns the fatal-vs-skippable policy the
+    # uploader used to hand-roll.
+    transport = build_transport(store, config, bus=bus)
+    uploader = CheckpointUploader(config, transport, view, bus)
     collector = CheckpointCollector(
         config, ObjectCodec(), view, fs, POSTGRES_PROFILE,
-        uploader.queue, stats,
+        uploader.queue, bus,
     )
     # One confirmed WAL object that GC will try to delete.
     view.next_wal_ts()

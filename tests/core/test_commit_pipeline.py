@@ -12,9 +12,11 @@ import time
 import pytest
 
 from repro.common.errors import GinjaError
+from repro.common.events import EventBus
 from repro.cloud.faults import FaultPolicy
 from repro.cloud.memory import InMemoryObjectStore
 from repro.cloud.simulated import SimulatedCloud
+from repro.cloud.transport import build_transport
 from repro.core.cloud_view import CloudView
 from repro.core.codec import ObjectCodec
 from repro.core.commit_pipeline import CommitPipeline, _merge_chunks, _split_chunks
@@ -34,8 +36,10 @@ def make_pipeline(config=None, faults=None, backend=None):
         uploaders=2, max_retries=2, retry_backoff=0.005,
     )
     view = CloudView()
-    stats = GinjaStats()
-    pipeline = CommitPipeline(config, cloud, ObjectCodec(), view, stats)
+    bus = EventBus()
+    stats = GinjaStats().attach(bus)
+    transport = build_transport(cloud, config, bus=bus)
+    pipeline = CommitPipeline(config, transport, ObjectCodec(), view, bus)
     return pipeline, backend, view, stats
 
 
@@ -152,6 +156,19 @@ class TestCoalescing:
         merged = _merge_chunks([(0, b"aaaa"), (2, b"bb"), (10, b"cc")])
         assert merged == [(0, b"aabb"), (10, b"cc")]
 
+    def test_merge_chunks_shorter_rewrite_shrinks_the_run(self):
+        """A later overlapping write wins from its offset on, even when
+        that truncates the merged run."""
+        merged = _merge_chunks([(0, b"aaaaaa"), (2, b"B")])
+        assert merged == [(0, b"aaB")]
+
+    def test_merge_chunks_interior_rewrite_at_run_start(self):
+        merged = _merge_chunks([(4, b"old-old"), (4, b"new")])
+        assert merged == [(4, b"new")]
+
+    def test_merge_chunks_empty_batch(self):
+        assert _merge_chunks([]) == []
+
     def test_split_chunks_respects_cap(self):
         groups = _split_chunks([(0, b"x" * 250)], max_bytes=100)
         assert [len(g[0][1]) for g in groups] == [100, 100, 50]
@@ -159,6 +176,34 @@ class TestCoalescing:
 
     def test_split_chunks_empty(self):
         assert _split_chunks([], max_bytes=100) == []
+
+    def test_single_write_over_object_cap_splits_into_wal_objects(self):
+        """One submit larger than max_object_bytes becomes several WAL
+        objects whose chunks reassemble the original write exactly."""
+        cap = 64 * 1024  # the smallest max_object_bytes config allows
+        total = 4 * cap - 1024
+        config = GinjaConfig(batch=1, safety=10, batch_timeout=0.01,
+                             safety_timeout=5.0, uploaders=2,
+                             max_object_bytes=cap)
+        pipe, backend, view, _stats = make_pipeline(config)
+        pipe.start()
+        try:
+            pipe.submit("seg", 0, b"z" * total)
+            assert pipe.drain(timeout=5.0)
+            objects = decode_backend(backend)
+            assert len(objects) == 4  # ceil(total / cap)
+            rebuilt = bytearray(total)
+            covered = 0
+            for _ts, (_meta, chunks) in sorted(objects.items()):
+                for offset, data in chunks:
+                    assert len(data) <= cap
+                    rebuilt[offset:offset + len(data)] = data
+                    covered += len(data)
+            assert covered == total
+            assert bytes(rebuilt) == b"z" * total
+            assert view.confirmed_ts() == 3  # all four confirmed in order
+        finally:
+            pipe.stop(drain_timeout=5.0)
 
 
 class TestSafetyBlocking:

@@ -62,11 +62,12 @@ class TestConfigIntegration:
 
     def test_pipeline_flushes_on_scheduled_timeout(self):
         """End to end: a business-hours schedule drives T_B batching."""
+        from repro.common.events import EventBus
         from repro.cloud.simulated import SimulatedCloud
+        from repro.cloud.transport import build_transport
         from repro.core.cloud_view import CloudView
         from repro.core.codec import ObjectCodec
         from repro.core.commit_pipeline import CommitPipeline
-        from repro.core.stats import GinjaStats
 
         schedule = SyncSchedule(business_timeout=0.05, off_hours_timeout=60.0,
                                 hour_fn=lambda: 10)
@@ -74,8 +75,10 @@ class TestConfigIntegration:
                              safety_timeout=60.0, uploaders=1,
                              sync_schedule=schedule)
         cloud = SimulatedCloud(time_scale=0.0)
-        pipeline = CommitPipeline(config, cloud, ObjectCodec(), CloudView(),
-                                  GinjaStats())
+        bus = EventBus()
+        transport = build_transport(cloud, config, bus=bus)
+        pipeline = CommitPipeline(config, transport, ObjectCodec(),
+                                  CloudView(), bus)
         pipeline.start()
         try:
             pipeline.submit("seg", 0, b"x")

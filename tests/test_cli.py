@@ -53,6 +53,15 @@ class TestDemo:
         (bucket / "WAL%2F000000000000_x_0").write_bytes(b"junk")
         assert main(["demo", "--bucket-dir", str(bucket)]) == 2
 
+    def test_demo_trace_dumps_per_verb_summary(self, capsys):
+        """--trace prints the event-sourced transport summary."""
+        assert main(["demo", "--rows", "30", "--trace",
+                     "--segment-size", "256KB"]) == 0
+        out = capsys.readouterr().out
+        assert "cloud trace (from events)" in out
+        assert "PUT" in out
+        assert "mean lat" in out
+
 
 class TestRecoverVerify:
     @pytest.fixture

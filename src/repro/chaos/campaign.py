@@ -1,0 +1,265 @@
+"""Seed-sweep drill campaigns with failure shrinking.
+
+A campaign expands a (scenario × crash point × seed) grid, runs every
+cell as an independent drill (each on its own manual clock and private
+bucket, so cells parallelize freely), and collects the verdicts into a
+:class:`CampaignReport` whose JSON form is byte-identical across reruns
+with the same seeds.
+
+When a drill fails, the campaign *shrinks* it: scenario knobs are
+removed one at a time (drop the latency storm, drop an outage window,
+halve the workload, ...) and the drill re-run, greedily keeping any
+simplification that still fails, until no single removal reproduces the
+failure.  The report then carries a minimal reproducing scenario
+instead of the original haystack.
+
+The module also hosts the RPO-oracle **mutation check**: a drill run
+with the Safety back-pressure deliberately disabled (unbounded S under
+a permanent outage) must make the RPO oracle report a violation, while
+the bounded control drill passes — proving the oracle has teeth.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Sequence
+
+from repro.chaos.crashpoints import (
+    CRASH_POINTS,
+    STANDARD_TAXONOMY,
+    CrashPoint,
+    queue_depth_point,
+)
+from repro.chaos.drill import DrillResult, resolve_crash_point, run_drill
+from repro.chaos.scenarios import SCENARIOS, Scenario
+
+
+@dataclass(frozen=True)
+class DrillSpec:
+    """One cell of the campaign grid."""
+
+    scenario: Scenario
+    crash_point: CrashPoint
+    seed: int
+
+    @property
+    def id(self) -> str:
+        return f"{self.scenario.name}/{self.crash_point.name}/{self.seed}"
+
+
+def expand_grid(
+    scenarios: Sequence[Scenario],
+    crash_points: Sequence[str | CrashPoint] | None,
+    seeds: Sequence[int],
+) -> list[DrillSpec]:
+    """The deterministic cell ordering every campaign uses.
+
+    ``crash_points=None`` pairs each scenario with its own preferred
+    points (``Scenario.crash_points``) falling back to the standard
+    five-stage taxonomy; an explicit list overrides both.
+    """
+    specs: list[DrillSpec] = []
+    for scenario in scenarios:
+        if crash_points is not None:
+            points = [resolve_crash_point(p) for p in crash_points]
+        else:
+            names = scenario.crash_points or STANDARD_TAXONOMY
+            points = [CRASH_POINTS[name] for name in names]
+        for point in points:
+            for seed in seeds:
+                specs.append(DrillSpec(scenario, point, seed))
+    return specs
+
+
+def shrink_failure(
+    spec: DrillSpec, *, timeout: float = 30.0, max_rounds: int = 12
+) -> Scenario:
+    """Greedily minimize a failing drill's scenario.
+
+    Each round tries every one-step simplification and adopts the first
+    that still fails; stops when none do (a local minimum) or after
+    ``max_rounds``.  Re-runs use the same crash point and seed, so the
+    result is a directly replayable minimal repro.
+    """
+    current = spec.scenario
+    for _ in range(max_rounds):
+        for candidate in current.simplifications():
+            result = run_drill(
+                candidate, spec.crash_point, spec.seed, timeout=timeout
+            )
+            if not result.ok:
+                current = candidate
+                break
+        else:
+            break
+    if current is spec.scenario:
+        return current
+    return replace(current, name=f"{spec.scenario.name}-minimal")
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign produced.
+
+    ``to_json()`` is the canonical artifact: only run-to-run-stable
+    fields (grid identity and verdict booleans), serialized with sorted
+    keys — two campaigns over the same seeds produce byte-identical
+    files, which CI enforces.  ``render()`` is the human view and may
+    include racy-but-informative counts.
+    """
+
+    seeds: list[int]
+    results: list[DrillResult] = field(default_factory=list)
+    failures: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def canonical(self) -> dict:
+        drills = sorted(
+            (result.canonical() for result in self.results),
+            key=lambda row: (row["scenario"], row["crash_point"],
+                             row["seed"]),
+        )
+        return {
+            "version": 1,
+            "seeds": list(self.seeds),
+            "drills": drills,
+            "total": len(self.results),
+            "failed": sum(1 for r in self.results if not r.ok),
+            "failures": self.failures,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.canonical(), sort_keys=True, indent=2) + "\n"
+
+    def render(self) -> str:
+        header = (
+            f"{'scenario':<14} {'crash point':<18} {'seed':>4} "
+            f"{'acked':>5} {'trig':>4}  verdicts"
+        )
+        lines = [header, "-" * len(header)]
+        for result in self.results:
+            marks = " ".join(
+                f"{v.name}{'+' if v.ok else '!'}" for v in result.verdicts
+            )
+            lines.append(
+                f"{result.scenario:<14} {result.crash_point:<18} "
+                f"{result.seed:>4} {result.committed:>5} "
+                f"{'yes' if result.triggered else 'no':>4}  {marks}"
+            )
+        failed = sum(1 for r in self.results if not r.ok)
+        lines.append(
+            f"{len(self.results)} drill(s), {failed} failing"
+            + ("" if not self.failures else
+               f", {len(self.failures)} shrunk repro(s) below")
+        )
+        for failure in self.failures:
+            lines.append(f"  FAIL {failure['drill']}:")
+            for name, ok in sorted(failure["oracles"].items()):
+                if not ok:
+                    lines.append(f"    {name}: {failure['details'][name]}")
+            lines.append(
+                f"    minimal scenario: {failure['minimal_scenario']}"
+            )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    scenarios: Sequence[Scenario] | None = None,
+    *,
+    crash_points: Sequence[str | CrashPoint] | None = None,
+    seeds: Iterable[int] = (0, 1, 2),
+    jobs: int = 4,
+    shrink: bool = True,
+    timeout: float = 30.0,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignReport:
+    """Run the full grid; shrink whatever fails."""
+    if scenarios is None:
+        scenarios = list(SCENARIOS.values())
+    seed_list = list(seeds)
+    specs = expand_grid(scenarios, crash_points, seed_list)
+    report = CampaignReport(seeds=seed_list)
+
+    def one(spec: DrillSpec) -> DrillResult:
+        result = run_drill(
+            spec.scenario, spec.crash_point, spec.seed, timeout=timeout
+        )
+        if progress is not None:
+            progress(result.summary())
+        return result
+
+    with ThreadPoolExecutor(max_workers=max(1, jobs)) as pool:
+        report.results = list(pool.map(one, specs))
+
+    for spec, result in zip(specs, report.results):
+        if result.ok:
+            continue
+        minimal = spec.scenario
+        if shrink:
+            if progress is not None:
+                progress(f"shrinking {spec.id} ...")
+            minimal = shrink_failure(spec, timeout=timeout)
+        report.failures.append({
+            "drill": spec.id,
+            "oracles": {v.name: v.ok for v in result.verdicts},
+            "details": {v.name: v.detail for v in result.verdicts},
+            "minimal_scenario": minimal.describe(),
+        })
+    return report
+
+
+# ---------------------------------------------------------------------------
+# the RPO-oracle mutation check
+
+
+def mutation_scenario() -> Scenario:
+    """Blackout with the Safety back-pressure disabled (unbounded S).
+
+    The pipeline keeps acknowledging rows it can never upload; once the
+    unconfirmed queue is 100 deep — far past the nominal S + B + 1 = 26
+    — the drill crashes.  A sound RPO oracle must flag the loss.
+    """
+    return Scenario(
+        name="rpo-mutant",
+        rows=150,
+        checkpoint_at=None,
+        outages=((4.0, 1e9),),
+        unbounded_safety=True,
+        max_retries=30_000,
+        retry_backoff=0.001,
+        description="unbounded S under a permanent outage — the "
+                    "mutation the RPO oracle must catch",
+    )
+
+
+def mutation_check(seed: int = 0, *, timeout: float = 30.0) -> dict:
+    """Prove the RPO oracle has teeth.
+
+    Returns ``{"detected": bool, "mutant": ..., "control": ...}`` where
+    ``detected`` requires the mutant drill's RPO verdict to *fail* while
+    the bounded control drill (same blackout, Safety enabled) passes.
+    """
+    mutant = mutation_scenario()
+    control = replace(
+        mutant, name="rpo-control", unbounded_safety=False,
+    )
+    mutant_result = run_drill(
+        mutant, queue_depth_point(100), seed, timeout=timeout
+    )
+    control_result = run_drill(
+        control, CRASH_POINTS["backpressure"], seed, timeout=timeout
+    )
+
+    def rpo(result: DrillResult) -> bool:
+        return next(v.ok for v in result.verdicts if v.name == "rpo")
+
+    return {
+        "detected": (not rpo(mutant_result)) and rpo(control_result),
+        "mutant": mutant_result,
+        "control": control_result,
+    }

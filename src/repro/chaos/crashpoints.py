@@ -1,0 +1,223 @@
+"""Event-bus-driven crash injection.
+
+A :class:`CrashPoint` names one distinct stage of Ginja's pipelines at
+which the primary dies.  Instead of hardcoded sleeps or polling of
+pipeline internals, an injector *subscribes to the event bus*
+(:mod:`repro.core.events`) and fires on the Nth event matching the
+point's predicate — the subscriber runs synchronously on the emitting
+thread, so the disaster image (a snapshot of the backend bucket) is
+captured at exactly the moment the taxonomy names:
+
+========================  =====================================================
+crash point               moment captured
+========================  =====================================================
+``pre-put``               a WAL PUT has been issued but not yet stored
+``mid-batch``             a batch is claimed, its objects not yet uploaded
+``post-ack``              a WAL object is ACKed but its batch not yet unlocked
+``during-checkpoint``     the first DB-object part is stored, the rest missing
+``during-gc``             the first GC DELETE has removed a WAL object
+``backpressure``          a writer just blocked on the Safety limit
+``queue-depth``           the unconfirmed queue reached a configured depth
+========================  =====================================================
+
+The ``backpressure`` and ``queue-depth`` points ride on the
+``commit_blocked`` / ``queue_depth`` events the pipeline now emits, so
+no drill ever reaches into :class:`CommitPipeline` state.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common import events
+from repro.common.events import Event, EventBus
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """A declarative trigger: die on the Nth event matching a predicate.
+
+    Attributes:
+        name: stable identifier used in reports and on the CLI.
+        kind: the event kind to watch.
+        key_prefix: only events whose ``key`` starts with this match.
+        occurrence: fire on the Nth match (1-based).
+        min_count: only events with ``count >= min_count`` match (used
+            by the queue-depth point).
+        require_ok: only ``ok=True`` events match when set.
+    """
+
+    name: str
+    kind: str
+    key_prefix: str = ""
+    occurrence: int = 1
+    min_count: int = 0
+    require_ok: bool = False
+    description: str = ""
+
+    def matches(self, event: Event) -> bool:
+        if event.kind != self.kind:
+            return False
+        if self.key_prefix and not event.key.startswith(self.key_prefix):
+            return False
+        if self.min_count and event.count < self.min_count:
+            return False
+        if self.require_ok and not event.ok:
+            return False
+        return True
+
+def queue_depth_point(depth: int) -> CrashPoint:
+    """A crash point firing when the unconfirmed queue reaches ``depth``.
+
+    Rides on the pipeline's ``queue_depth`` event; the RPO-oracle
+    mutation check uses it to crash long after the nominal S would have
+    blocked the writer.
+    """
+    return CrashPoint(
+        name=f"queue-depth@{depth}", kind=events.QUEUE_DEPTH,
+        min_count=depth,
+        description=f"die once {depth} updates sit unconfirmed",
+    )
+
+
+class EventLog:
+    """A thread-safe append-only event record for post-drill oracles."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[Event] = []
+
+    def __call__(self, event: Event) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def upto(self, index: int | None = None) -> list[Event]:
+        """Events recorded before ``index`` (all of them when None)."""
+        with self._lock:
+            if index is None:
+                return list(self._events)
+            return self._events[:index]
+
+    def attach(self, bus: EventBus) -> "EventLog":
+        bus.subscribe(self)
+        return self
+
+
+class CrashPointInjector:
+    """Watches a bus for a :class:`CrashPoint` and captures the disaster.
+
+    ``capture`` is called synchronously on the emitting thread the
+    moment the trigger fires — for drills it is
+    ``backend.snapshot``, so the disaster image is exactly what an
+    atomic bucket copy would have seen at that pipeline stage.  The
+    injector never *stops* anything itself (a bus subscriber must not
+    re-enter pipeline locks); the drill's watchdog observes
+    :attr:`fired` and performs the actual :meth:`Ginja.crash`.
+    """
+
+    def __init__(
+        self,
+        point: CrashPoint,
+        capture: Callable[[], dict[str, bytes]],
+        *,
+        log: EventLog | None = None,
+    ):
+        self._point = point
+        self._capture = capture
+        self._log = log
+        self._lock = threading.Lock()
+        self._matched = 0
+        self._fired = threading.Event()
+        #: The disaster image, set atomically when the trigger fires.
+        self.snapshot: dict[str, bytes] | None = None
+        #: Length of ``log`` at fire time (oracles audit events[:index]).
+        self.event_index: int | None = None
+        #: The event that pulled the trigger.
+        self.trigger_event: Event | None = None
+
+    @property
+    def point(self) -> CrashPoint:
+        return self._point
+
+    @property
+    def fired(self) -> bool:
+        return self._fired.is_set()
+
+    def wait(self, timeout: float) -> bool:
+        """Block (real time) until the trigger fires, or timeout."""
+        return self._fired.wait(timeout)
+
+    def attach(self, bus: EventBus) -> "CrashPointInjector":
+        bus.subscribe(self)
+        return self
+
+    def __call__(self, event: Event) -> None:
+        if self._fired.is_set() or not self._point.matches(event):
+            return
+        with self._lock:
+            if self._fired.is_set():
+                return
+            self._matched += 1
+            if self._matched < self._point.occurrence:
+                return
+            self.snapshot = dict(self._capture())
+            self.event_index = len(self._log) if self._log is not None else None
+            self.trigger_event = event
+            self._fired.set()
+
+
+# ---------------------------------------------------------------------------
+# the standard taxonomy
+
+
+def _standard_points() -> dict[str, CrashPoint]:
+    points = [
+        CrashPoint(
+            name="pre-put", kind=events.PUT_START, key_prefix="WAL/",
+            description="die after a WAL PUT is issued, before it lands",
+        ),
+        CrashPoint(
+            name="mid-batch", kind=events.WAL_BATCH, occurrence=2,
+            description="die with a claimed batch's objects still in flight",
+        ),
+        CrashPoint(
+            name="post-ack", kind=events.WAL_OBJECT, occurrence=2,
+            description="die after a WAL object is ACKed but before its "
+                        "batch unlocks (the consecutive-timestamp window)",
+        ),
+        CrashPoint(
+            name="during-checkpoint", kind=events.DB_OBJECT,
+            description="die after the first DB-object part of a "
+                        "checkpoint uploads, leaving the group incomplete",
+        ),
+        CrashPoint(
+            name="during-gc", kind=events.GC_DELETE, require_ok=True,
+            description="die mid-GC, after the first WAL DELETE succeeds",
+        ),
+        CrashPoint(
+            name="backpressure", kind=events.COMMIT_BLOCKED,
+            description="die the moment a writer blocks on the Safety "
+                        "limit",
+        ),
+        CrashPoint(
+            name="end-of-run", kind="__never__",
+            description="no injected crash: the drill's fallback disaster "
+                        "image is taken after the workload finishes",
+        ),
+    ]
+    return {point.name: point for point in points}
+
+
+#: The built-in crash-point taxonomy, keyed by name.
+CRASH_POINTS: dict[str, CrashPoint] = _standard_points()
+
+#: The five-stage taxonomy every scenario pairs with by default.
+STANDARD_TAXONOMY: tuple[str, ...] = (
+    "pre-put", "mid-batch", "post-ack", "during-checkpoint", "during-gc",
+)

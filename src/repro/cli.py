@@ -6,7 +6,10 @@ Subcommands:
 * ``frontier``— print the Figure-1 $budget capacity frontier;
 * ``demo``    — run the protect → disaster → recover story end to end;
 * ``recover`` — rebuild database files from a directory-backed bucket;
-* ``verify``  — §5.4 backup verification against a directory bucket.
+* ``verify``  — §5.4 backup verification against a directory bucket;
+* ``chaos``   — run a deterministic disaster-drill campaign
+  (scenario × crash point × seed) and judge it with the RPO /
+  recovery / GC / billing oracles.
 
 The ``recover``/``verify`` commands operate on
 :class:`~repro.cloud.DirectoryObjectStore` buckets (one file per
@@ -196,6 +199,63 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a disaster-drill campaign (or the oracle mutation check)."""
+    from repro.chaos import SCENARIOS, run_campaign
+    from repro.chaos.campaign import mutation_check
+
+    if args.list:
+        from repro.chaos.crashpoints import CRASH_POINTS
+
+        table = TextTable(["scenario", "description"],
+                          title="chaos scenarios")
+        for scenario in SCENARIOS.values():
+            table.add(scenario.name, scenario.description)
+        print(table)
+        table = TextTable(["crash point", "description"],
+                          title="crash points")
+        for point in CRASH_POINTS.values():
+            table.add(point.name, point.description)
+        print(table)
+        return 0
+
+    if args.mutation_check:
+        outcome = mutation_check(seed=args.mutation_seed)
+        print(outcome["mutant"].summary())
+        print(outcome["control"].summary())
+        if outcome["detected"]:
+            print("mutation check: RPO oracle flagged the unbounded-S "
+                  "mutant and passed the bounded control — oracle has "
+                  "teeth")
+            return 0
+        print("mutation check FAILED: the RPO oracle did not distinguish "
+              "the mutant from the control", file=sys.stderr)
+        return 1
+
+    scenarios = None
+    if args.scenario:
+        unknown = [name for name in args.scenario if name not in SCENARIOS]
+        if unknown:
+            print(f"error: unknown scenario(s) {unknown}; see "
+                  f"'ginja-repro chaos --list'", file=sys.stderr)
+            return 2
+        scenarios = [SCENARIOS[name] for name in args.scenario]
+    report = run_campaign(
+        scenarios,
+        crash_points=args.crash_point or None,
+        seeds=range(args.seeds),
+        jobs=args.jobs,
+        shrink=not args.no_shrink,
+        progress=(lambda line: print(f"  {line}")) if args.verbose else None,
+    )
+    print(report.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"report written to {args.out}")
+    return 0 if report.ok else 1
+
+
 # ---------------------------------------------------------------------------
 # argument parsing
 
@@ -262,6 +322,37 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--compress", action="store_true")
     verify.add_argument("--password", default=None)
     verify.set_defaults(func=cmd_verify)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic disaster-drill campaign with RPO/recovery/"
+             "GC/billing oracles",
+    )
+    chaos.add_argument("--seeds", type=int, default=3,
+                       help="sweep seeds 0..N-1 (default 3)")
+    chaos.add_argument("--scenario", action="append", default=[],
+                       metavar="NAME",
+                       help="restrict to these scenarios (repeatable)")
+    chaos.add_argument("--crash-point", action="append", default=[],
+                       metavar="NAME",
+                       help="override every scenario's crash points "
+                            "(repeatable)")
+    chaos.add_argument("--jobs", type=int, default=4,
+                       help="concurrent drills (default 4)")
+    chaos.add_argument("--out", default="",
+                       help="write the canonical JSON report here "
+                            "(byte-identical across reruns)")
+    chaos.add_argument("--no-shrink", action="store_true",
+                       help="skip minimizing failing scenarios")
+    chaos.add_argument("--verbose", action="store_true",
+                       help="print each drill as it completes")
+    chaos.add_argument("--list", action="store_true",
+                       help="list scenarios and crash points, then exit")
+    chaos.add_argument("--mutation-check", action="store_true",
+                       help="prove the RPO oracle flags an unbounded-S "
+                            "mutant (exit 0 iff detected)")
+    chaos.add_argument("--mutation-seed", type=int, default=0)
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

@@ -95,8 +95,11 @@ class RetryPolicy:
 
     def backoff(self, attempt: int, rng: random.Random | None = None) -> float:
         """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        # Clamp the exponent before the power: at large attempt counts
+        # (long outage drills) float ** overflows well before min() runs.
+        exponent = min(attempt - 1, 128)
         delay = min(
-            self.base_backoff * self.multiplier ** (attempt - 1),
+            self.base_backoff * self.multiplier ** exponent,
             self.backoff_cap,
         )
         if self.jitter > 0 and rng is not None:

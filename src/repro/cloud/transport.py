@@ -377,7 +377,7 @@ def build_transport(
     faults: FaultPolicy | None = None,
     metered: bool = False,
     time_scale: float = 1.0,
-    seed: int = 0,
+    seed: int | None = None,
     epoch: float | None = None,
     rng: random.Random | None = None,
 ) -> ObjectStore:
@@ -402,14 +402,19 @@ def build_transport(
         faults: include a FaultLayer with this policy.
         metered: include the MeterLayer (billing events).
         time_scale: LatencyLayer sleep scaling.
-        seed: RNG seed when ``rng`` is not shared in by the caller.
+        seed: RNG seed when ``rng`` is not shared in by the caller;
+            defaults to ``config.seed`` so every layer of a
+            config-assembled stack draws from one deterministic stream.
         epoch: store-time zero for fault windows and billing timestamps
             (default: ``clock.now()`` at build time).
         rng: shared RNG for latency jitter, fault sampling and retry
             jitter — one stream, so composed runs are reproducible.
     """
     bus = bus or NULL_BUS
-    rng = rng or random.Random(seed)
+    if rng is None:
+        if seed is None:
+            seed = config.seed if config is not None else 0
+        rng = random.Random(seed)
     if epoch is None:
         epoch = clock.now()
     store = backend

@@ -43,6 +43,11 @@ WAL_BATCH = "wal_batch"
 WAL_OBJECT = "wal_object"
 #: The unlocker removed one acked batch from the queue head.
 BATCH_UNLOCKED = "batch_unlocked"
+#: One update entered the queue; ``count`` is the unconfirmed depth
+#: (chaos drills trigger on this instead of polling pipeline internals).
+QUEUE_DEPTH = "queue_depth"
+#: The unlocker woke blocked submitters; ``count`` is the depth left.
+WAITER_UNLOCK = "waiter_unlock"
 #: Bytes fed through the codec (compress/encrypt/MAC input).
 CODEC = "codec"
 #

@@ -229,6 +229,7 @@ class CheckpointUploader:
         self.queue: "queue.Queue" = queue.Queue()
         self._thread: threading.Thread | None = None
         self._fatal: Exception | None = None
+        self._aborting = False
         #: Monotonic checkpoint sequence; disambiguates DB objects whose
         #: WAL frontier ts coincides.  Continue from the cloud's max after
         #: reboot/recovery via :meth:`seed_sequence`.
@@ -255,6 +256,21 @@ class CheckpointUploader:
             self._thread.join(timeout=10.0)
             self._thread = None
 
+    def abort(self) -> None:
+        """Abrupt primary loss: discard queued objects without draining.
+
+        Enqueued-but-not-uploaded checkpoints are dropped, exactly as a
+        power failure would drop them.  The uploader is unusable
+        afterwards (see :meth:`CommitPipeline.abort`).
+        """
+        self._aborting = True
+        if self._fatal is None:
+            self._fatal = GinjaError("primary crashed")
+        self.queue.put(_STOP)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
     def drain(self, timeout: float = 30.0) -> bool:
         """Wait until the queue is empty AND no upload is in progress.
 
@@ -278,7 +294,7 @@ class CheckpointUploader:
     def _loop(self) -> None:
         while True:
             item = self.queue.get()
-            if item is _STOP:
+            if item is _STOP or self._aborting:
                 self.queue.task_done()
                 return
             try:

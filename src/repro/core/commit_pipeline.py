@@ -153,6 +153,27 @@ class CommitPipeline:
             thread.join(timeout=10.0)
         self._threads.clear()
 
+    def abort(self, reason: Exception | None = None) -> None:
+        """Abrupt primary loss: stop all threads *without* draining.
+
+        Unlike :meth:`stop`, queued updates are dropped exactly as a
+        power failure would drop them, and any submitter blocked on the
+        Safety limit is released with an error.  The pipeline is
+        unusable afterwards; chaos drills and failover tests recover
+        from the cloud instead.
+        """
+        with self._cond:
+            if self._fatal is None:
+                self._fatal = reason or GinjaError("primary crashed")
+            self._stop = True
+            self._cond.notify_all()
+        for _ in range(self._config.uploaders):
+            self._upload_q.put(_STOP)
+        self._ack_q.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+
     def drain(self, timeout: float = 30.0) -> bool:
         """Block until every queued update is confirmed (or timeout).
 
@@ -187,6 +208,9 @@ class CommitPipeline:
             if self._fatal is not None:
                 raise GinjaError("commit pipeline failed") from self._fatal
             self._entries.append(entry)
+            self._bus.emit(
+                events.QUEUE_DEPTH, key=path, count=len(self._entries), at=now,
+            )
             self._cond.notify_all()
             while True:
                 if self._fatal is not None:
@@ -359,6 +383,7 @@ class CommitPipeline:
     def _remove_completed_prefix_locked(self) -> None:
         """Pop acked batches from the queue head strictly in order — the
         consecutive-timestamp unlock rule (Alg. 2 lines 20-22)."""
+        removed = False
         while self._next_batch_to_remove in self._acked:
             batch_id = self._next_batch_to_remove
             self._acked.remove(batch_id)
@@ -369,8 +394,14 @@ class CommitPipeline:
             self._next_batch_to_remove += 1
             self._last_sync_end = self._clock.now()
             self._tb_anchor = self._last_sync_end
+            removed = True
             self._bus.emit(
                 events.BATCH_UNLOCKED, count=count, at=self._last_sync_end,
+            )
+        if removed:
+            self._bus.emit(
+                events.WAITER_UNLOCK, count=len(self._entries),
+                at=self._clock.now(),
             )
         self._cond.notify_all()
 

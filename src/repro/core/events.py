@@ -50,9 +50,11 @@ from repro.common.events import (  # noqa: F401  (re-exported taxonomy)
     OUTAGE,
     PUT_END,
     PUT_START,
+    QUEUE_DEPTH,
     RETRY,
     Subscriber,
     VERB_END_EVENTS,
+    WAITER_UNLOCK,
     WAL_BATCH,
     WAL_OBJECT,
 )

@@ -147,6 +147,23 @@ class Ginja:
         ok = self.pipeline.drain(timeout=timeout)
         return self.checkpointer.drain(timeout=timeout) and ok
 
+    def crash(self) -> None:
+        """Simulate abrupt primary loss (the disaster of §5.3).
+
+        Interception stops and both pipelines are torn down *without*
+        draining: unconfirmed updates and queued checkpoints are dropped
+        exactly as a power failure would drop them, and writers blocked
+        on the Safety limit are released with an error.  The instance is
+        dead afterwards; the only way forward is :meth:`recover` on a
+        fresh file system (chaos drills and failover tests do exactly
+        that).
+        """
+        self.fs.set_interceptor(None)
+        if self._running:
+            self.pipeline.abort()
+            self.checkpointer.abort()
+        self._running = False
+
     # -- observability ----------------------------------------------------------------
 
     @property

@@ -104,6 +104,18 @@ class Stack:
         if self.ginja is not None:
             self.ginja.stop(drain_timeout=drain_timeout)
 
+    def crash(self) -> None:
+        """Abrupt primary loss: drop in-flight interposer/pipeline state
+        without draining (see :meth:`~repro.core.ginja.Ginja.crash`).
+
+        The cloud bucket keeps whatever had been confirmed — recover
+        from it with :meth:`~repro.core.ginja.Ginja.recover` to model
+        the standby side of the disaster.  A no-op for the native/fuse
+        baselines, which have no replication state to lose.
+        """
+        if self.ginja is not None:
+            self.ginja.crash()
+
 
 def build_stack(config: StackConfig | None = None, **overrides) -> Stack:
     """Assemble a stack; keyword overrides patch a default StackConfig."""

@@ -1,0 +1,93 @@
+"""Campaign grid, report determinism, and failure shrinking."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.chaos import SCENARIOS, run_campaign, shrink_failure
+from repro.chaos.campaign import DrillSpec, expand_grid
+from repro.chaos.crashpoints import CRASH_POINTS, STANDARD_TAXONOMY
+from repro.chaos.scenarios import Scenario
+
+#: A grid small enough for unit tests but crossing a real fault
+#: scenario with two distinct pipeline stages.
+SMALL = dict(crash_points=["pre-put", "during-gc"], seeds=range(2), jobs=4)
+
+
+class TestGrid:
+    def test_explicit_points_override_scenario_preferences(self):
+        specs = expand_grid([SCENARIOS["blackout"]], ["pre-put"], [0])
+        assert [s.crash_point.name for s in specs] == ["pre-put"]
+
+    def test_scenario_preferences_else_standard_taxonomy(self):
+        specs = expand_grid(
+            [SCENARIOS["baseline"], SCENARIOS["blackout"]], None, [0]
+        )
+        names = [s.crash_point.name for s in specs]
+        assert names[:5] == list(STANDARD_TAXONOMY)
+        assert names[5:] == list(SCENARIOS["blackout"].crash_points)
+
+    def test_grid_is_scenario_major_seed_minor(self):
+        specs = expand_grid([SCENARIOS["baseline"]], ["pre-put"], [0, 1])
+        assert [(s.crash_point.name, s.seed) for s in specs] \
+            == [("pre-put", 0), ("pre-put", 1)]
+
+
+class TestCampaign:
+    def test_small_campaign_green(self):
+        report = run_campaign([SCENARIOS["baseline"]], **SMALL)
+        assert report.ok
+        assert len(report.results) == 4
+        assert report.failures == []
+        assert "0 failing" in report.render()
+
+    def test_reports_are_byte_identical_across_runs(self):
+        scenarios = [SCENARIOS["baseline"], SCENARIOS["flaky"]]
+        first = run_campaign(scenarios, **SMALL).to_json()
+        second = run_campaign(scenarios, **SMALL).to_json()
+        assert first == second
+
+    def test_canonical_excludes_racy_fields(self):
+        report = run_campaign([SCENARIOS["baseline"]], **SMALL)
+        drill = report.canonical()["drills"][0]
+        assert set(drill) == {"scenario", "crash_point", "seed", "status",
+                              "oracles"}
+
+    def test_progress_callback_sees_every_drill(self):
+        lines: list[str] = []
+        run_campaign([SCENARIOS["baseline"]],
+                     crash_points=["pre-put"], seeds=range(2), jobs=2,
+                     progress=lines.append)
+        assert len(lines) == 2
+
+
+class TestShrinking:
+    """Drive shrinking with a scenario that deterministically fails:
+    a zero-dollar budget trips the billing oracle on every drill."""
+
+    def _failing(self) -> Scenario:
+        return replace(
+            SCENARIOS["flaky"], name="broke", budget_dollars=0.0,
+        )
+
+    def test_shrink_reaches_a_simpler_still_failing_scenario(self):
+        spec = DrillSpec(self._failing(), CRASH_POINTS["pre-put"], 0)
+        minimal = shrink_failure(spec)
+        assert minimal.name == "broke-minimal"
+        # The failure has nothing to do with the fault schedule, so
+        # shrinking strips it entirely.
+        assert minimal.error_rate == 0.0
+        assert minimal.error_bursts == ()
+        assert minimal.rows < spec.scenario.rows
+
+    def test_campaign_reports_minimal_repro(self):
+        report = run_campaign(
+            [self._failing()], crash_points=["pre-put"], seeds=[0], jobs=1,
+        )
+        assert not report.ok
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure["drill"] == "broke/pre-put/0"
+        assert failure["oracles"]["billing"] is False
+        assert failure["minimal_scenario"]["name"] == "broke-minimal"
+        assert "billing" in report.render()

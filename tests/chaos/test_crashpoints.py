@@ -1,0 +1,130 @@
+"""Crash points, the injector, and the pipeline events they ride on."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.common import events
+from repro.common.events import Event, EventBus
+from repro.common.units import KiB
+from repro.chaos import CRASH_POINTS, CrashPoint, CrashPointInjector, EventLog
+from repro.chaos.crashpoints import STANDARD_TAXONOMY, queue_depth_point
+from repro.cloud.memory import InMemoryObjectStore
+from repro.core.config import GinjaConfig
+from repro.core.ginja import Ginja
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import POSTGRES_PROFILE
+from repro.storage.memory import MemoryFileSystem
+
+
+def _event(kind, **kw):
+    return Event(kind=kind, at=0.0, **kw)
+
+
+class TestCrashPoint:
+    def test_catalog_covers_every_pipeline_stage(self):
+        assert set(STANDARD_TAXONOMY) <= set(CRASH_POINTS)
+        assert {"backpressure", "end-of-run"} <= set(CRASH_POINTS)
+
+    def test_matches_filters_kind_prefix_count_and_ok(self):
+        point = CrashPoint(name="x", kind=events.PUT_START,
+                           key_prefix="WAL/")
+        assert point.matches(_event(events.PUT_START, key="WAL/000_f_0"))
+        assert not point.matches(_event(events.PUT_START, key="DB/x"))
+        assert not point.matches(_event(events.PUT_END, key="WAL/000_f_0"))
+
+        depth = queue_depth_point(10)
+        assert depth.kind == events.QUEUE_DEPTH
+        assert depth.matches(_event(events.QUEUE_DEPTH, count=10))
+        assert not depth.matches(_event(events.QUEUE_DEPTH, count=9))
+
+        gc = CRASH_POINTS["during-gc"]
+        assert gc.matches(_event(events.GC_DELETE, key="WAL/0", ok=True))
+        assert not gc.matches(_event(events.GC_DELETE, key="WAL/0",
+                                     ok=False))
+
+
+class TestInjector:
+    def test_fires_on_nth_occurrence_and_freezes_state(self):
+        bus = EventBus()
+        state = {"objects": 0}
+        log = EventLog().attach(bus)
+        point = CrashPoint(name="x", kind=events.WAL_BATCH, occurrence=3)
+        injector = CrashPointInjector(
+            point, lambda: {"n": bytes([state["objects"]])}, log=log
+        ).attach(bus)
+
+        for _ in range(2):
+            state["objects"] += 1
+            bus.emit(events.WAL_BATCH, count=5)
+        assert not injector.fired
+
+        state["objects"] += 1
+        bus.emit(events.WAL_BATCH, count=5)
+        assert injector.fired
+        assert injector.snapshot == {"n": bytes([3])}
+        # The log subscribed first, so the trigger event is in-record.
+        assert injector.event_index == 3
+        assert injector.trigger_event.kind == events.WAL_BATCH
+
+        # Further matches never overwrite the frozen disaster.
+        state["objects"] += 1
+        bus.emit(events.WAL_BATCH, count=5)
+        assert injector.snapshot == {"n": bytes([3])}
+        assert injector.event_index == 3
+
+    def test_wait_unblocks_another_thread(self):
+        bus = EventBus()
+        injector = CrashPointInjector(
+            CrashPoint(name="x", kind=events.OUTAGE), dict
+        ).attach(bus)
+        seen = threading.Event()
+
+        def waiter():
+            if injector.wait(5.0):
+                seen.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        bus.emit(events.OUTAGE)
+        thread.join(5.0)
+        assert seen.is_set()
+
+    def test_event_log_upto(self):
+        log = EventLog()
+        for index in range(4):
+            log(_event(events.RETRY, attempt=index))
+        assert len(log) == 4
+        assert [e.attempt for e in log.upto(2)] == [0, 1]
+        assert len(log.upto()) == 4
+
+
+class TestPipelineEventPlumbing:
+    """The events crashpoints ride on are emitted by the real pipeline
+    (satellite of this PR: no polling of pipeline internals)."""
+
+    def test_queue_depth_and_waiter_unlock_emitted(self):
+        engine = EngineConfig(wal_segment_size=64 * KiB,
+                              auto_checkpoint=False)
+        disk = MemoryFileSystem()
+        MiniDB.create(disk, POSTGRES_PROFILE, engine).close()
+        ginja = Ginja(disk, InMemoryObjectStore(), POSTGRES_PROFILE,
+                      GinjaConfig(batch=5, safety=50, batch_timeout=0.02,
+                                  safety_timeout=5.0))
+        ginja.start(mode="boot")
+        log = EventLog().attach(ginja.bus)
+        db = MiniDB.open(ginja.fs, POSTGRES_PROFILE, engine)
+        for index in range(20):
+            db.put("t", f"k{index}", b"v")
+        assert ginja.drain(timeout=10.0)
+        ginja.stop()
+        kinds = {event.kind for event in log.upto()}
+        assert events.QUEUE_DEPTH in kinds
+        assert events.WAITER_UNLOCK in kinds
+        depths = [e.count for e in log.upto()
+                  if e.kind == events.QUEUE_DEPTH]
+        assert max(depths) >= 1
+        # After a full drain the last unlock leaves an empty queue.
+        unlocks = [e.count for e in log.upto()
+                   if e.kind == events.WAITER_UNLOCK]
+        assert unlocks[-1] == 0

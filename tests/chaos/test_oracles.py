@@ -1,0 +1,134 @@
+"""Oracle soundness — including the mutation checks proving they bite."""
+
+from __future__ import annotations
+
+from repro.common import events
+from repro.common.events import Event
+from repro.chaos import SCENARIOS, run_drill
+from repro.chaos.campaign import mutation_check
+from repro.chaos.oracles import (
+    Disaster,
+    _billing_oracle,
+    _gc_oracle,
+    run_oracles,
+)
+from repro.chaos.scenarios import Scenario
+from repro.core.data_model import CHECKPOINT, DUMP, DBObjectMeta, WALObjectMeta
+from repro.db.profiles import POSTGRES_PROFILE
+
+
+def _gc_event(key: str, ok: bool = True) -> Event:
+    return Event(kind=events.GC_DELETE, key=key, ok=ok)
+
+
+def _disaster(snapshot: dict, evts: list[Event]) -> Disaster:
+    return Disaster(
+        scenario=Scenario(name="synthetic"), seed=0,
+        snapshot=snapshot, committed={}, events=evts,
+    )
+
+
+class TestGCOracle:
+    def test_covered_wal_delete_passes(self):
+        checkpoint = DBObjectMeta(ts=10, type=CHECKPOINT, size=3)
+        snapshot = {checkpoint.key: b"x"}
+        deleted = WALObjectMeta(ts=7, filename="wal", offset=0)
+        verdict = _gc_oracle(_disaster(snapshot, [_gc_event(deleted.key)]))
+        assert verdict.ok
+
+    def test_uncovered_wal_delete_fails(self):
+        """A GC bug that deletes a WAL object *beyond* the checkpoint
+        frontier destroys committed updates — the oracle must see it."""
+        checkpoint = DBObjectMeta(ts=10, type=CHECKPOINT, size=3)
+        snapshot = {checkpoint.key: b"x"}
+        deleted = WALObjectMeta(ts=11, filename="wal", offset=0)
+        verdict = _gc_oracle(_disaster(snapshot, [_gc_event(deleted.key)]))
+        assert not verdict.ok
+        assert deleted.key in verdict.detail
+
+    def test_incomplete_group_does_not_cover(self):
+        """A half-uploaded checkpoint (part 0 of 2) is unusable for
+        recovery, so WAL deletes against its frontier are violations."""
+        part = DBObjectMeta(ts=10, type=CHECKPOINT, size=3,
+                            part=0, nparts=2)
+        snapshot = {part.key: b"x"}
+        deleted = WALObjectMeta(ts=7, filename="wal", offset=0)
+        verdict = _gc_oracle(_disaster(snapshot, [_gc_event(deleted.key)]))
+        assert not verdict.ok
+
+    def test_db_delete_requires_superseding_dump(self):
+        old = DBObjectMeta(ts=5, type=CHECKPOINT, size=3, seq=1)
+        dump = DBObjectMeta(ts=9, type=DUMP, size=3, seq=2)
+        verdict = _gc_oracle(
+            _disaster({dump.key: b"x"}, [_gc_event(old.key)])
+        )
+        assert verdict.ok
+        verdict = _gc_oracle(_disaster({}, [_gc_event(old.key)]))
+        assert not verdict.ok
+
+    def test_failed_deletes_are_ignored(self):
+        deleted = WALObjectMeta(ts=99, filename="wal", offset=0)
+        verdict = _gc_oracle(
+            _disaster({}, [_gc_event(deleted.key, ok=False)])
+        )
+        assert verdict.ok
+
+
+class TestBillingOracle:
+    def test_missing_meter_fails(self):
+        assert not _billing_oracle(_disaster({}, [])).ok
+
+    def test_oversized_batch_fails(self):
+        from repro.cloud.metering import RequestMeter
+
+        disaster = _disaster({}, [Event(kind=events.WAL_BATCH, count=6)])
+        disaster.meter = RequestMeter()
+        verdict = _billing_oracle(disaster)
+        assert not verdict.ok
+        assert "exceeded B=5" in verdict.detail
+
+    def test_within_envelope_passes(self):
+        from repro.cloud.metering import RequestMeter
+
+        disaster = _disaster({}, [])
+        disaster.meter = RequestMeter()
+        assert _billing_oracle(disaster).ok
+
+
+class TestDrillOracles:
+    def test_healthy_drill_passes_every_oracle(self):
+        result = run_drill(SCENARIOS["baseline"], "during-gc", seed=0)
+        assert result.ok, result.summary()
+        assert [v.name for v in result.verdicts] \
+            == ["rpo", "recovery", "gc", "billing", "liveness"]
+
+    def test_end_of_run_point_uses_fallback_snapshot(self):
+        result = run_drill(SCENARIOS["baseline"], "end-of-run", seed=0)
+        assert not result.triggered
+        assert result.ok, result.summary()
+
+    def test_oracles_judge_disaster_not_live_state(self):
+        """run_oracles works from the frozen Disaster alone."""
+        result = run_drill(SCENARIOS["baseline"], "post-ack", seed=1)
+        assert result.ok, result.summary()
+
+
+class TestMutationCheck:
+    """Acceptance: disabling the Safety back-pressure (unbounded S under
+    a permanent outage) must make the RPO oracle report a violation,
+    while the bounded control drill stays green."""
+
+    def test_rpo_oracle_has_teeth(self):
+        outcome = mutation_check(seed=0)
+        assert outcome["detected"], (
+            outcome["mutant"].summary(),
+            outcome["control"].summary(),
+        )
+        mutant_rpo = next(v for v in outcome["mutant"].verdicts
+                          if v.name == "rpo")
+        assert not mutant_rpo.ok
+        assert "bound S+B+1 = 26" in mutant_rpo.detail
+        # The mutant's damage is *only* an RPO violation: the disaster
+        # image itself still recovers to a consistent database.
+        others = [v for v in outcome["mutant"].verdicts if v.name != "rpo"]
+        assert all(v.ok for v in others)

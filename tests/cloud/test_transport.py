@@ -97,6 +97,12 @@ class TestRetryPolicy:
         policy = RetryPolicy.from_config(GinjaConfig(retry_backoff_cap=8.0))
         assert policy.backoff(12) == 8.0
 
+    def test_huge_attempt_counts_do_not_overflow(self):
+        """Long-outage drills retry tens of thousands of times; the cap
+        must apply before the exponential blows past float range."""
+        policy = RetryPolicy(base_backoff=0.1, multiplier=2.0, backoff_cap=0.5)
+        assert policy.backoff(30_000) == 0.5
+
     def test_jitter_stays_within_the_band(self):
         policy = RetryPolicy(base_backoff=1.0, backoff_cap=1.0, jitter=0.25)
         rng = random.Random(7)
@@ -305,3 +311,33 @@ class TestFaultAndTracing:
             stack.put("k", b"v")
         (end,) = rec.of(events.PUT_END)
         assert end.ok is False
+
+
+class TestSeedPlumbing:
+    """GinjaConfig.seed feeds one shared RNG to every stochastic layer."""
+
+    def _rngs(self, stack):
+        layers, layer = [], stack
+        while layer is not None:
+            layers.append(layer)
+            layer = getattr(layer, "inner", None)
+        return [l._rng for l in layers if hasattr(l, "_rng")]
+
+    def test_config_seed_reaches_all_stochastic_layers(self):
+        stack = build_transport(
+            InMemoryObjectStore(), GinjaConfig(seed=1234),
+            latency=FLAT_LATENCY, faults=FaultPolicy(), metered=True,
+            time_scale=0.0,
+        )
+        rngs = self._rngs(stack)
+        assert len(rngs) == 3  # retry, fault, latency
+        assert all(r is rngs[0] for r in rngs)  # one stream, one knob
+        assert rngs[0].random() == random.Random(1234).random()
+
+    def test_explicit_rng_overrides_config_seed(self):
+        rng = random.Random(7)
+        stack = build_transport(
+            InMemoryObjectStore(), GinjaConfig(seed=1), rng=rng,
+            tracing=False,
+        )
+        assert stack._rng is rng

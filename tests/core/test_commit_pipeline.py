@@ -360,3 +360,47 @@ class TestConcurrency:
             assert view.confirmed_ts() == view.last_assigned_ts()
         finally:
             pipe.stop(drain_timeout=5.0)
+
+
+class TestAbort:
+    def test_abort_releases_blocked_writer_and_skips_drain(self):
+        """Abrupt primary loss: a writer parked on the Safety limit must
+        be released with an error, and nothing further is uploaded.
+
+        The pipeline is deliberately *not* started: with no aggregator
+        claiming batches the queue can only shrink via a drain, so an
+        empty bucket after abort proves none happened.
+        """
+        config = GinjaConfig(batch=2, safety=2, batch_timeout=30.0,
+                             safety_timeout=30.0, uploaders=1)
+        pipe, backend, _view, _stats = make_pipeline(config)
+        for i in range(2):
+            pipe.submit("seg", i * 512, b"u")
+        blocked = threading.Event()
+        errors = []
+
+        def third_writer():
+            blocked.set()
+            try:
+                pipe.submit("seg", 2 * 512, b"u")
+            except GinjaError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=third_writer)
+        thread.start()
+        blocked.wait(timeout=2)
+        time.sleep(0.05)  # let the writer reach the Safety wait
+        pipe.abort()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert errors, "blocked writer was not released with an error"
+        # No drain on abort: the queued batch never reached the cloud.
+        assert backend.list("WAL/") == []
+        with pytest.raises(GinjaError):
+            pipe.submit("seg", 9999, b"u")
+
+    def test_abort_is_idempotent(self):
+        pipe, _backend, _view, _stats = make_pipeline()
+        pipe.start()
+        pipe.abort()
+        pipe.abort()  # must not raise or hang

@@ -1,0 +1,106 @@
+"""Failover under overlapping faults.
+
+The nastiest §6-style drill: the primary dies *mid-checkpoint* (its
+last DB object half-registered, GC not yet run) while a cloud outage
+covers the standby's first detection attempt.  The coordinator must
+fail its first takeover cleanly (the bucket is unreachable), then
+succeed once the outage lifts — recovering a consistent database with
+loss inside the analytic bound.
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import ManualClock
+from repro.common.units import KiB
+from repro.chaos.crashpoints import CRASH_POINTS, CrashPointInjector
+from repro.cloud.faults import FaultPolicy, Outage
+from repro.cloud.memory import InMemoryObjectStore
+from repro.cloud.simulated import SimulatedCloud
+from repro.core.config import GinjaConfig
+from repro.core.ginja import Ginja
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import POSTGRES_PROFILE
+from repro.failover import FailoverCoordinator, FailureDetector, HeartbeatWriter
+from repro.storage.memory import MemoryFileSystem
+
+ENGINE = EngineConfig(wal_segment_size=64 * KiB, auto_checkpoint=False)
+ROWS = 80
+
+
+def test_failover_rides_out_outage_after_crash_mid_checkpoint():
+    clock = ManualClock()
+    backend = InMemoryObjectStore()
+    # The outage starts the moment the primary dies (below) and lasts 10
+    # virtual seconds — long enough to cover the standby's first
+    # detection/recovery attempt at a 2-second poll interval.
+    faults = FaultPolicy()
+    cloud = SimulatedCloud(backend=backend, faults=faults,
+                           time_scale=1.0, clock=clock, seed=5)
+    config = GinjaConfig(batch=5, safety=20, batch_timeout=0.02,
+                         safety_timeout=5.0, seed=5)
+
+    disk = MemoryFileSystem()
+    MiniDB.create(disk, POSTGRES_PROFILE, ENGINE).close()
+    primary = Ginja(disk, cloud, POSTGRES_PROFILE, config, clock=clock)
+    primary.start(mode="boot")
+    heartbeat = HeartbeatWriter(cloud)
+    heartbeat.beat_once()
+
+    db = MiniDB.open(primary.fs, POSTGRES_PROFILE, ENGINE)
+    committed = {}
+    for index in range(ROWS):
+        key = f"k{index}"
+        db.put("t", key, f"v{index}".encode())
+        committed[key] = f"v{index}".encode()
+        if index % 10 == 0:
+            heartbeat.beat_once()
+
+    # Kill the primary the instant the checkpoint's first DB object
+    # lands — the upload pipeline dies with GC still pending.
+    injector = CrashPointInjector(
+        CRASH_POINTS["during-checkpoint"], backend.snapshot
+    ).attach(primary.bus)
+    db.checkpoint()
+    assert injector.wait(10.0), "checkpoint upload never started"
+    primary.crash()
+    assert not primary.running
+
+    # The outage begins with the disaster and hides the bucket from the
+    # standby's first detection polls.
+    now = clock.now()
+    faults.outages.append(Outage(start=now, end=now + 10.0))
+
+    standby = FailoverCoordinator(
+        cloud, POSTGRES_PROFILE, ginja_config=config,
+        engine_config=ENGINE,
+        detector=FailureDetector(cloud, misses_allowed=3),
+        poll_interval=2.0, clock=clock,
+    )
+    first = standby.run()
+    assert not first.failed_over
+    assert first.error is not None  # declared death, but bucket dark
+    assert first.polls >= 3
+
+    # Outage lifts; a fresh attempt promotes the standby.
+    clock.advance(12.0)
+    second = FailoverCoordinator(
+        cloud, POSTGRES_PROFILE, ginja_config=config,
+        engine_config=ENGINE,
+        detector=FailureDetector(cloud, misses_allowed=3),
+        poll_interval=2.0, clock=clock,
+    ).run()
+    assert second.failed_over, second.error
+    assert second.db is not None
+
+    recovered = {
+        key: second.db.get("t", key)
+        for key in committed if second.db.get("t", key) is not None
+    }
+    phantoms = [key for key, value in recovered.items()
+                if value != committed[key]]
+    assert phantoms == []
+    lost = len(committed) - len(recovered)
+    assert lost <= config.safety + config.batch + 1, (
+        f"lost {lost} rows, beyond S+B+1"
+    )
+    second.ginja.stop(drain_timeout=5.0)

@@ -138,3 +138,36 @@ class TestMeasureRecovery:
                                engine_config=config.engine_config(),
                                network=SAME_REGION_LATENCY)
         assert ec2.modeled_network_seconds < wan.modeled_network_seconds
+
+
+class TestStackCrash:
+    def test_ginja_crash_leaves_recoverable_disaster_image(self):
+        from repro.core.ginja import Ginja
+        from repro.db.engine import MiniDB
+        from repro.storage.memory import MemoryFileSystem
+
+        stack = build_stack(fast_config(fs_mode="ginja"))
+        db = stack.create_db()
+        for i in range(30):
+            db.put("t", f"k{i}", f"v{i}".encode())
+        stack.crash()
+        assert stack.ginja is not None and not stack.ginja.running
+        stack.crash()  # idempotent
+
+        ginja, _report = Ginja.recover(
+            stack.cloud, MemoryFileSystem(), stack.config.profile,
+            stack.config.ginja,
+        )
+        recovered_db = MiniDB.open(ginja.fs, stack.config.profile,
+                                   stack.config.engine_config())
+        recovered = sum(
+            1 for i in range(30)
+            if recovered_db.get("t", f"k{i}") == f"v{i}".encode()
+        )
+        bound = stack.config.ginja.safety + stack.config.ginja.batch + 1
+        assert 30 - recovered <= bound
+        ginja.stop(drain_timeout=5.0)
+
+    def test_crash_is_noop_for_unprotected_modes(self):
+        build_stack(fast_config(fs_mode="native")).crash()
+        build_stack(fast_config(fs_mode="fuse")).crash()

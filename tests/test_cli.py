@@ -114,3 +114,31 @@ class TestRecoverVerify:
         assert main(["verify", str(populated_bucket),
                      "--segment-size", "256KB"]) == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestChaos:
+    ARGS = ["chaos", "--scenario", "baseline", "--crash-point", "pre-put",
+            "--crash-point", "during-gc", "--seeds", "2", "--jobs", "2"]
+
+    def test_small_campaign_green(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "0 failing" in out and "during-gc" in out
+
+    def test_report_artifact_is_deterministic(self, tmp_path, capsys):
+        out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(self.ARGS + ["--out", str(out_a)]) == 0
+        assert main(self.ARGS + ["--out", str(out_b)]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+    def test_mutation_check_detects(self, capsys):
+        assert main(["chaos", "--mutation-check"]) == 0
+        assert "oracle has teeth" in capsys.readouterr().out
+
+    def test_list_scenarios_and_points(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "blackout" in out and "during-gc" in out
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["chaos", "--scenario", "nope"]) == 2

@@ -63,6 +63,10 @@ class DrillResult:
     committed: int
     recovered_bound: int
     verdicts: list[OracleVerdict] = field(default_factory=list)
+    #: The disaster image's bucket contents.  Deliberately *not* part of
+    #: ``canonical()`` — it exists so callers (``chaos --dump-buckets``)
+    #: can persist each crash-point image for offline fsck runs.
+    snapshot: dict[str, bytes] = field(default_factory=dict, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -217,4 +221,5 @@ def run_drill(
         committed=len(committed),
         recovered_bound=scenario.loss_bound(),
         verdicts=verdicts,
+        snapshot=dict(snapshot),
     )

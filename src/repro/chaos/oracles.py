@@ -32,6 +32,7 @@ from repro.cloud.metering import RequestMeter
 from repro.cloud.pricing import PriceBook, S3_STANDARD_2017
 from repro.core.data_model import DBObjectMeta, WALObjectMeta, parse_any
 from repro.core.ginja import Ginja
+from repro.fsck.invariants import BucketIndex
 from repro.core.verification import verify_backup
 from repro.chaos.scenarios import Scenario
 from repro.db.engine import MiniDB
@@ -188,16 +189,12 @@ def _gc_oracle(disaster: Disaster) -> OracleVerdict:
     DB-object group at an equal-or-later frontier present in the
     snapshot, DB objects by a complete later dump.
     """
-    parts: dict[tuple, set[int]] = {}
-    complete: list[DBObjectMeta] = []
-    for key in disaster.snapshot:
-        meta = parse_any(key)
-        if isinstance(meta, DBObjectMeta):
-            parts.setdefault(meta.group, set()).add(meta.part)
-            if len(parts[meta.group]) == meta.nparts:
-                complete.append(meta)
-    covered_ts = max((meta.ts for meta in complete), default=-1)
-    dump_orders = [meta.order for meta in complete if meta.is_dump]
+    # The completeness/frontier arithmetic is the fsck invariant
+    # catalog's — one definition of "covered by a checkpoint" for the
+    # oracles, the audit pass and reboot alike.
+    index = BucketIndex.from_keys(disaster.snapshot)
+    covered_ts = index.db_frontier_ts()
+    dump_orders = index.complete_dump_orders()
     bad: list[str] = []
     deletes = 0
     for event in disaster.events:

@@ -7,11 +7,15 @@ Subcommands:
 * ``demo``    — run the protect → disaster → recover story end to end;
 * ``recover`` — rebuild database files from a directory-backed bucket;
 * ``verify``  — §5.4 backup verification against a directory bucket;
+* ``fsck``    — audit a bucket against the recoverability invariant
+  catalog (:mod:`repro.fsck`) and optionally repair it; the exit code
+  is the (remaining) violation count;
 * ``chaos``   — run a deterministic disaster-drill campaign
   (scenario × crash point × seed) and judge it with the RPO /
-  recovery / GC / billing oracles.
+  recovery / GC / billing oracles; ``--dump-buckets`` persists each
+  crash-point disaster image as a directory bucket for offline fsck.
 
-The ``recover``/``verify`` commands operate on
+The ``recover``/``verify``/``fsck`` commands operate on
 :class:`~repro.cloud.DirectoryObjectStore` buckets (one file per
 object), which is what the examples and the demo write when given
 ``--bucket-dir``.
@@ -20,6 +24,8 @@ object), which is what the examples and the demo write when given
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.cloud.directory import DirectoryObjectStore
@@ -199,6 +205,46 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """Audit a bucket's recoverability invariants; optionally repair."""
+    from repro.core.pitr import RetentionPolicy
+    from repro.fsck import audit, repair
+
+    bucket = DirectoryObjectStore(args.bucket_dir)
+    retention = (
+        RetentionPolicy(generations=args.retention)
+        if args.retention is not None else None
+    )
+    report = audit(bucket, retention=retention)
+    repair_report = None
+    if args.repair and not report.ok:
+        repair_report = repair(bucket, mode="conservative",
+                               retention=retention)
+        # Convergence check: the exit code reflects what repair could
+        # not fix, which CI asserts is zero for disaster images.
+        report = audit(bucket, retention=retention)
+    if args.json:
+        payload = {"audit": report.to_json()}
+        if repair_report is not None:
+            payload["repair"] = repair_report.to_json()
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        print(f"{args.bucket_dir}: {report.summary()}")
+        for violation in report.violations:
+            print(f"  {violation.rule}: {violation.key} ({violation.detail})")
+        if repair_report is not None:
+            skipped = (
+                f", {len(repair_report.skipped)} delete(s) skipped"
+                if repair_report.skipped else ""
+            )
+            print(f"repair: deleted {len(repair_report.deleted)} "
+                  f"object(s){skipped}; "
+                  f"{report.violation_count} violation(s) remain")
+    # Exit code = violation count, capped so a pathological bucket does
+    # not wrap around the byte-sized exit status back to "clean".
+    return min(report.violation_count, 99)
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run a disaster-drill campaign (or the oracle mutation check)."""
     from repro.chaos import SCENARIOS, run_campaign
@@ -253,6 +299,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report.to_json())
         print(f"report written to {args.out}")
+    if args.dump_buckets:
+        for result in report.results:
+            name = f"{result.scenario}__{result.crash_point}__{result.seed}"
+            image = DirectoryObjectStore(os.path.join(args.dump_buckets, name))
+            for key, body in sorted(result.snapshot.items()):
+                image.put(key, body)
+        print(f"{len(report.results)} disaster image(s) written under "
+              f"{args.dump_buckets}")
     return 0 if report.ok else 1
 
 
@@ -323,6 +377,23 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--password", default=None)
     verify.set_defaults(func=cmd_verify)
 
+    fsck = sub.add_parser(
+        "fsck",
+        help="audit a bucket's recoverability invariants "
+             "(exit code = violation count)",
+    )
+    fsck.add_argument("bucket_dir")
+    fsck.add_argument("--repair", action="store_true",
+                      help="conservatively delete provably-stale objects, "
+                           "then re-audit (exit code = remaining violations)")
+    fsck.add_argument("--json", action="store_true",
+                      help="emit the audit (and repair) report as JSON")
+    fsck.add_argument("--retention", type=int, default=None, metavar="N",
+                      help="the bucket's PITR retention generations; omit "
+                           "when unknown (superseded dump generations are "
+                           "then never flagged or deleted)")
+    fsck.set_defaults(func=cmd_fsck)
+
     chaos = sub.add_parser(
         "chaos",
         help="deterministic disaster-drill campaign with RPO/recovery/"
@@ -342,6 +413,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", default="",
                        help="write the canonical JSON report here "
                             "(byte-identical across reruns)")
+    chaos.add_argument("--dump-buckets", default="", metavar="DIR",
+                       help="persist each drill's disaster image as a "
+                            "directory bucket under DIR "
+                            "(<scenario>__<crash_point>__<seed>/)")
     chaos.add_argument("--no-shrink", action="store_true",
                        help="skip minimizing failing scenarios")
     chaos.add_argument("--verbose", action="store_true",

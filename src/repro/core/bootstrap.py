@@ -114,25 +114,30 @@ def _pack_dump_parts(
     return groups or [[]]
 
 
-def reboot(cloud: ObjectStore, view: CloudView) -> int:
-    """Rebuild the cloudView from a LIST (Alg. 1, Reboot).
+def reboot(cloud: ObjectStore, view: CloudView, retention=None) -> int:
+    """Rebuild the cloudView from an audited LIST (Alg. 1, Reboot).
 
-    Assumes the cloud is synchronized with the local files (a safe stop).
-    Returns the number of Ginja objects found.
+    The naive version of this function ingested the LIST via
+    ``add_listed`` and assumed the remaining WAL timestamps form one
+    contiguous run — but ``add_listed`` advances ``_next_wal_ts`` past
+    any crash-induced gap, stranding the confirmed frontier forever
+    (every future WAL object lands beyond the gap, where recovery never
+    reaches).  It now runs the :mod:`repro.fsck` audit-and-resync
+    repair instead: provably-stale objects (orphans beyond the first
+    gap, skipped GC deletes, incomplete multi-part groups) are removed
+    and the view's counters are clamped to the verified frontier.
+
+    ``retention`` is the instance's PITR policy when known; ``None``
+    leaves possibly-retained snapshot generations untouched.
+    Returns the number of Ginja objects found in the LIST.
     """
-    count = 0
-    for info in cloud.list():
-        meta = parse_any(info.key)
-        if meta is None:
-            continue
-        view.add_listed(info.key)
-        count += 1
-    wal = view.wal_objects()
-    if wal:
-        # After GC the remaining WAL timestamps form one contiguous run;
-        # everything below its start was superseded by checkpoints.
-        view.force_frontier(wal[0].ts - 1)
-    return count
+    # Imported lazily: repro.core's package __init__ imports this module
+    # eagerly, and repro.fsck imports repro.core — a module-level import
+    # here would close that cycle.
+    from repro.fsck.repair import repair
+
+    report = repair(cloud, view=view, mode="resync", retention=retention)
+    return report.audit.objects
 
 
 @dataclass

@@ -33,7 +33,7 @@ import threading
 from dataclasses import dataclass
 
 from repro.common.clock import Clock, SYSTEM_CLOCK
-from repro.common.errors import CloudError, GinjaError
+from repro.common.errors import GinjaError
 from repro.common import events
 from repro.common.events import EventBus, NULL_BUS
 from repro.core.cloud_view import CloudView
@@ -230,6 +230,9 @@ class CheckpointUploader:
         self._thread: threading.Thread | None = None
         self._fatal: Exception | None = None
         self._aborting = False
+        # Signalled by the worker after every task_done (and on death),
+        # so drain() can wait instead of polling the queue counter.
+        self._idle = threading.Condition()
         #: Monotonic checkpoint sequence; disambiguates DB objects whose
         #: WAL frontier ts coincides.  Continue from the cloud's max after
         #: reboot/recovery via :meth:`seed_sequence`.
@@ -266,6 +269,8 @@ class CheckpointUploader:
         self._aborting = True
         if self._fatal is None:
             self._fatal = GinjaError("primary crashed")
+        with self._idle:
+            self._idle.notify_all()
         self.queue.put(_STOP)
         if self._thread is not None:
             self._thread.join(timeout=5.0)
@@ -279,11 +284,18 @@ class CheckpointUploader:
         where a dequeued-but-in-flight object looks drained.
         """
         deadline = self._clock.now() + timeout
-        while self.queue.unfinished_tasks > 0:
-            if self._clock.now() >= deadline or self._fatal is not None:
-                return False
-            self._clock.sleep(0.01)
-        return True
+        with self._idle:
+            # Woken by the worker's task_done path; no 10 ms poll loop
+            # (which also *advanced* a ManualClock, silently shrinking
+            # virtual-time deadlines in drills).
+            while self.queue.unfinished_tasks > 0 and self._fatal is None:
+                remaining = deadline - self._clock.now()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(timeout=remaining)
+            # A poisoned uploader never drained successfully, even if the
+            # failing task was consumed from the queue.
+            return self._fatal is None and self.queue.unfinished_tasks == 0
 
     @property
     def failed(self) -> Exception | None:
@@ -294,16 +306,23 @@ class CheckpointUploader:
     def _loop(self) -> None:
         while True:
             item = self.queue.get()
-            if item is _STOP or self._aborting:
-                self.queue.task_done()
-                return
             try:
+                if item is _STOP or self._aborting:
+                    return
                 self._upload(item)
-            except CloudError as exc:
-                self._fatal = exc
+            except BaseException as exc:  # noqa: BLE001 - worker loop boundary
+                # A CloudError here has exhausted the transport's PUT
+                # budget; any other fault (codec, view bookkeeping) is
+                # equally fatal.  Either way the thread must record it —
+                # dying silently would leave drain() waiting forever.
+                self._fatal = (
+                    exc if isinstance(exc, Exception) else GinjaError(repr(exc))
+                )
                 return
             finally:
                 self.queue.task_done()
+                with self._idle:
+                    self._idle.notify_all()
 
     def seed_sequence(self, next_seq: int) -> None:
         self._next_seq = next_seq

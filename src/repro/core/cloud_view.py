@@ -64,6 +64,32 @@ class CloudView:
                 self._confirmed_ts += 1
                 self._next_wal_ts = max(self._next_wal_ts, self._confirmed_ts + 1)
 
+    def resync(
+        self,
+        wal: list[WALObjectMeta],
+        db: list[DBObjectMeta],
+        *,
+        frontier_ts: int,
+        next_wal_ts: int,
+    ) -> None:
+        """Atomically replace the whole picture with an audited one.
+
+        Used by :mod:`repro.fsck` after a bucket LIST: ``frontier_ts`` is
+        the verified gap-free WAL frontier and ``next_wal_ts`` the first
+        unused timestamp (the first gap).  Unlike :meth:`force_frontier`
+        this may *lower* ``_next_wal_ts`` — the whole point of the repair
+        is to clamp a counter that :meth:`add_listed` advanced past a
+        crash-induced gap, which would strand the frontier forever.
+        """
+        with self._lock:
+            self._wal = {meta.ts: meta for meta in wal}
+            self._db = {}
+            for meta in db:
+                self._db.setdefault(meta.ts, []).append(meta)
+            self._confirmed_ts = frontier_ts
+            self._next_wal_ts = next_wal_ts
+            self._pending.clear()
+
     def add_wal(self, meta: WALObjectMeta) -> None:
         """Record a completed WAL object upload and advance the frontier
         over any now-contiguous prefix."""

@@ -20,7 +20,11 @@ Thread anatomy (the paper's Figure 3):
 
 A PUT that exhausts its retries poisons the pipeline: subsequent
 submits raise, because silently dropping a WAL object would leave a
-permanent timestamp gap that recovery stops at.
+permanent timestamp gap that recovery stops at.  The same discipline
+applies to *any* exception escaping a worker loop (codec faults, view
+bookkeeping errors): the loop records it in ``_fatal`` and notifies the
+condition, so Safety-blocked submitters fail fast instead of waiting on
+a thread that silently died.
 
 The pipeline narrates itself on the event bus (``commit_blocked``,
 ``wal_batch``, ``wal_object``, ``batch_unlocked``, ``codec``);
@@ -38,7 +42,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.common.clock import Clock, SYSTEM_CLOCK
-from repro.common.errors import CloudError, GinjaError
+from repro.common.errors import GinjaError
 from repro.common import events
 from repro.common.events import EventBus, NULL_BUS
 from repro.core.cloud_view import CloudView
@@ -239,9 +243,32 @@ class CommitPipeline:
                 at=self._clock.now(),
             )
 
+    def _poison(self, exc: BaseException) -> None:
+        """Record the first fatal error and release every blocked waiter.
+
+        Called from every worker loop: a thread that dies without setting
+        ``_fatal`` leaves Safety-blocked submitters waiting on a condition
+        nobody will ever notify again.
+        """
+        with self._cond:
+            if self._fatal is None:
+                self._fatal = (
+                    exc if isinstance(exc, Exception) else GinjaError(repr(exc))
+                )
+            self._cond.notify_all()
+
     # -- Aggregator ---------------------------------------------------------------------
 
     def _aggregator_loop(self) -> None:
+        # Everything the body touches outside the lock — codec encode,
+        # timestamp assignment, payload framing — must poison on failure,
+        # not just the uploaders' CloudError path.
+        try:
+            self._aggregate_forever()
+        except BaseException as exc:  # noqa: BLE001 - worker loop boundary
+            self._poison(exc)
+
+    def _aggregate_forever(self) -> None:
         while True:
             with self._cond:
                 while not self._stop:
@@ -344,25 +371,31 @@ class CommitPipeline:
             if item is _STOP:
                 return
             try:
-                # The transport's RetryLayer absorbs transient errors; an
-                # error surfacing here has exhausted its budget and must
-                # poison the pipeline.
+                # The transport's RetryLayer absorbs transient errors; a
+                # CloudError surfacing here has exhausted its budget.  Any
+                # other exception (view bookkeeping, event handler) is just
+                # as fatal — the batch will never ack, so it must poison
+                # the pipeline rather than kill this thread silently.
                 self._cloud.put(item.meta.key, item.blob)
-            except CloudError as exc:
-                with self._cond:
-                    self._fatal = exc
-                    self._cond.notify_all()
+                self._view.add_wal(item.meta)
+                self._bus.emit(
+                    events.WAL_OBJECT, key=item.meta.key, nbytes=len(item.blob),
+                    at=self._clock.now(),
+                )
+            except BaseException as exc:  # noqa: BLE001 - worker loop boundary
+                self._poison(exc)
                 continue
-            self._view.add_wal(item.meta)
-            self._bus.emit(
-                events.WAL_OBJECT, key=item.meta.key, nbytes=len(item.blob),
-                at=self._clock.now(),
-            )
             self._ack_q.put(item.batch_id)
 
     # -- Unlocker -------------------------------------------------------------------------
 
     def _unlocker_loop(self) -> None:
+        try:
+            self._unlock_forever()
+        except BaseException as exc:  # noqa: BLE001 - worker loop boundary
+            self._poison(exc)
+
+    def _unlock_forever(self) -> None:
         while True:
             item = self._ack_q.get()
             if item is _STOP:
@@ -407,16 +440,27 @@ class CommitPipeline:
 
 
 def _merge_chunks(chunks: list[tuple[int, bytes]]) -> list[tuple[int, bytes]]:
-    """Join adjacent/overlapping (offset, data) runs, later data winning."""
+    """Join adjacent/overlapping (offset, data) runs, later data winning
+    over exactly the bytes it covers.
+
+    A write fully contained inside an earlier run must be spliced *into*
+    it: truncating the run at the write's end would drop the run's
+    suffix from the WAL object, and recovery would then restore stale
+    bytes the DBMS had already durably overwritten.
+    """
     merged: list[tuple[int, bytearray]] = []
     for offset, data in chunks:
         if merged:
             last_offset, last_data = merged[-1]
             last_end = last_offset + len(last_data)
             if offset <= last_end:
-                overlap_from = offset - last_offset
-                del last_data[overlap_from:]
-                last_data.extend(data)
+                start = offset - last_offset
+                end = start + len(data)
+                if end >= len(last_data):
+                    del last_data[start:]
+                    last_data.extend(data)
+                else:
+                    last_data[start:end] = data
                 continue
         merged.append((offset, bytearray(data)))
     return [(offset, bytes(data)) for offset, data in merged]

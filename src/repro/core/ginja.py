@@ -121,7 +121,7 @@ class Ginja:
                 self.bus,
             )
         elif mode == "reboot":
-            if reboot(self.transport, self.view) == 0:
+            if reboot(self.transport, self.view, self.config.retention) == 0:
                 raise GinjaError("reboot mode found no Ginja objects in the bucket")
             self.checkpointer.seed_sequence(self.view.max_db_seq() + 1)
         elif mode == "attached":
@@ -221,7 +221,7 @@ class Ginja:
         report = recover_files(cloud, ginja.codec, fresh_fs, upto_ts=upto_ts)
         for key in report.stale_keys:
             cloud.delete(key)
-        reboot(cloud, ginja.view)
+        reboot(cloud, ginja.view, ginja.config.retention)
         ginja.view.force_frontier(report.last_applied_wal_ts)
         ginja.checkpointer.seed_sequence(ginja.view.max_db_seq() + 1)
         ginja.start(mode="attached")

@@ -21,6 +21,7 @@ from repro.cloud.interface import ObjectStore
 from repro.db.engine import EngineConfig, MiniDB
 from repro.db.profiles import DBMSProfile
 from repro.failover.heartbeat import FailureDetector
+from repro.fsck.repair import repair as fsck_repair
 from repro.storage.memory import MemoryFileSystem
 
 #: Called with the recovered database once failover completes.
@@ -35,6 +36,9 @@ class FailoverResult:
     polls: int = 0
     recovered_rows: int = 0
     files_restored: int = 0
+    #: Pre-promotion bucket audit: violations found and keys repaired.
+    audit_violations: int = 0
+    repaired_keys: list[str] = field(default_factory=list)
     error: str | None = None
     #: Set when failover succeeded — the standby's live pieces.
     ginja: Ginja | None = field(default=None, repr=False)
@@ -80,6 +84,19 @@ class FailoverCoordinator:
 
     def _failover(self, result: FailoverResult) -> FailoverResult:
         try:
+            # Audit the bucket before promoting: the primary died mid-flight,
+            # so the bucket may hold orphans beyond a WAL gap or half-uploaded
+            # DB groups.  A conservative repair removes what recovery would
+            # have to skip anyway, and the audit counts go in the result so
+            # the operator sees what the disaster left behind.
+            retention = (
+                self._ginja_config.retention if self._ginja_config else None
+            )
+            repaired = fsck_repair(
+                self._cloud, mode="conservative", retention=retention
+            )
+            result.audit_violations = repaired.audit.violation_count
+            result.repaired_keys = list(repaired.deleted)
             standby_fs = MemoryFileSystem()
             ginja, report = Ginja.recover(
                 self._cloud, standby_fs, self._profile, self._ginja_config

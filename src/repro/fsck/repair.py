@@ -1,0 +1,146 @@
+"""The repair pass: make a bucket (and optionally a view) recoverable.
+
+Two modes, both driven by a fresh audit:
+
+* ``conservative`` — delete only what is *provably* stale: WAL orphans
+  beyond the first gap (recovery can never reach them, and leaving them
+  would collide with reassigned timestamps once the counter is
+  clamped), WAL at or below the DB frontier (skipped GC deletes),
+  incomplete multi-part DB groups (crashed mid-upload; recovery ignores
+  them) and, when the retention policy is known, complete groups below
+  the retention floor.  Deletes go through the store as-is, so a retry
+  transport's skippable-DELETE policy applies: an exhausted DELETE is
+  recorded as skipped, never fatal.
+* ``resync`` — everything ``conservative`` does, plus rebuild the given
+  :class:`~repro.core.cloud_view.CloudView` from the repaired LIST and
+  clamp ``_next_wal_ts`` to the first gap.  This closes the reboot bug
+  where ``add_listed`` advanced the counter past a crash-induced gap,
+  stranding the confirmed frontier forever.  The deletions are not
+  optional here: a rebuilt view must not reuse a timestamp an orphan
+  still holds (two WAL objects at one ts makes recovery ambiguous).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import CloudError, GinjaError
+from repro.core.cloud_view import CloudView
+from repro.core.pitr import RetentionPolicy
+from repro.cloud.interface import ObjectStore
+from repro.fsck.audit import AuditReport, audit_index
+from repro.fsck.invariants import BucketIndex
+
+MODES = ("conservative", "resync")
+
+
+@dataclass
+class RepairReport:
+    """What one repair pass did (and what it found first)."""
+
+    mode: str = "conservative"
+    #: The audit that drove the repair (pre-repair state).
+    audit: AuditReport = field(default_factory=AuditReport)
+    #: Keys successfully deleted.
+    deleted: list[str] = field(default_factory=list)
+    #: Keys whose DELETE failed and was skipped (retry-exhausted).
+    skipped: list[str] = field(default_factory=list)
+    #: Ginja objects present after the repair.
+    objects: int = 0
+    #: The frontier the view was resynced to (resync mode only).
+    frontier_ts: int | None = None
+    #: The clamped next-timestamp counter (resync mode only).
+    next_wal_ts: int | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "mode": self.mode,
+            "deleted": sorted(self.deleted),
+            "skipped": sorted(self.skipped),
+            "objects": self.objects,
+            "frontier_ts": self.frontier_ts,
+            "next_wal_ts": self.next_wal_ts,
+            "audit": self.audit.to_json(),
+        }
+
+
+def _stale_keys(report: AuditReport) -> list[str]:
+    """Provably-stale keys, in a stable delete order."""
+    doomed: list[str] = []
+    doomed.extend(report.orphans)
+    doomed.extend(report.redundant_wal)
+    doomed.extend(report.incomplete_groups)
+    doomed.extend(report.stale_db)
+    return doomed
+
+
+def repair(
+    store: ObjectStore,
+    *,
+    view: CloudView | None = None,
+    mode: str = "conservative",
+    retention: RetentionPolicy | None = None,
+) -> RepairReport:
+    """Audit ``store`` and fix what the audit found.
+
+    Returns the :class:`RepairReport`; re-run :func:`~repro.fsck.audit.audit`
+    afterwards to verify convergence (the CLI and CI do exactly that).
+    """
+    if mode not in MODES:
+        raise GinjaError(f"unknown repair mode: {mode!r}")
+    if mode == "resync" and view is None:
+        raise GinjaError("resync repair needs a CloudView to rebuild")
+
+    index = BucketIndex.from_store(store)
+    report = RepairReport(mode=mode)
+    report.audit = audit_index(index, view, retention=retention)
+
+    for key in _stale_keys(report.audit):
+        try:
+            store.delete(key)
+        except CloudError:
+            # Mirror the GC policy: a DELETE that cannot go through is
+            # skipped, never fatal — the orphan wastes bytes but a later
+            # fsck run will retry it.
+            report.skipped.append(key)
+            continue
+        report.deleted.append(key)
+
+    # Drop doomed keys from the index so the resync below (and the
+    # reported object count) reflect the repaired bucket.  Skipped
+    # deletes are dropped too, matching the checkpointer's GC: the
+    # orphan is invisible to recovery either way, and a view that kept
+    # it would advance the frontier across a ts the run never reused.
+    removed = set(report.deleted) | set(report.skipped)
+    for ts in [ts for ts, meta in index.wal.items() if meta.key in removed]:
+        del index.wal[ts]
+    for group in [
+        group
+        for group, metas in index.groups.items()
+        if any(meta.key in removed for meta in metas)
+    ]:
+        index.groups[group] = [
+            meta for meta in index.groups[group] if meta.key not in removed
+        ]
+        if not index.groups[group]:
+            del index.groups[group]
+    report.objects = index.object_count
+
+    if mode == "resync":
+        frontier, _gaps, _orphans = index.wal_frontier()
+        wal = [index.wal[ts] for ts in sorted(index.wal)]
+        db = [
+            meta
+            for _group, metas in sorted(index.groups.items())
+            for meta in metas
+        ]
+        view.resync(wal, db, frontier_ts=frontier, next_wal_ts=frontier + 1)
+        report.frontier_ts = frontier
+        report.next_wal_ts = frontier + 1
+    return report
+
+
+def resync_view(store: ObjectStore, view: CloudView) -> RepairReport:
+    """Convenience wrapper: full resync repair with an unknown retention
+    policy (nothing the policy governs is deleted)."""
+    return repair(store, view=view, mode="resync")

@@ -285,3 +285,109 @@ class TestFreeze:
         assert finished.is_set()
         # The writer had to wait for the dump assembly to finish.
         assert blocked_result and blocked_result[0] - start > 0.1
+
+
+class TestWorkerFaults:
+    """Any exception escaping the worker must poison the uploader, and
+    drain() must wait on the worker's condition instead of polling —
+    before these guards a non-CloudError killed the thread silently and
+    drain spun on ``clock.sleep(0.01)``, eating virtual-time deadlines."""
+
+    def _stack(self, store, clock=None):
+        import threading  # noqa: F401 - used by callers via module scope
+
+        config = GinjaConfig(max_retries=0, retry_backoff=0.001)
+        fs = MemoryFileSystem()
+        fs.write("base/t", 0, b"\x00" * 64)
+        view = CloudView()
+        transport = build_transport(store, config)
+        kwargs = {"clock": clock} if clock is not None else {}
+        uploader = CheckpointUploader(config, transport, view, **kwargs)
+        collector = CheckpointCollector(
+            config, ObjectCodec(), view, fs, POSTGRES_PROFILE, uploader.queue
+        )
+        return uploader, collector
+
+    def _enqueue_one(self, collector):
+        collector.begin()
+        collector.add_write("base/t", 0, b"x")
+        collector.end()
+
+    def test_non_cloud_error_poisons_thread(self):
+        class PutExplodes(InMemoryObjectStore):
+            def put(self, key, data):
+                raise ValueError("not a CloudError")
+
+        uploader, collector = self._stack(PutExplodes())
+        uploader.start()
+        try:
+            self._enqueue_one(collector)
+            # Pre-fix the thread died without setting _fatal and this
+            # drain polled its whole 5 s timeout away before failing.
+            assert uploader.drain(timeout=5.0) is False
+            assert isinstance(uploader.failed, ValueError)
+        finally:
+            uploader.stop(drain_timeout=0.1)
+
+    def test_drain_honors_deadline_with_a_stuck_upload(self):
+        import threading
+
+        release = threading.Event()
+
+        class SlowPut(InMemoryObjectStore):
+            def put(self, key, data):
+                release.wait(5.0)
+                super().put(key, data)
+
+        uploader, collector = self._stack(SlowPut())
+        uploader.start()
+        try:
+            self._enqueue_one(collector)
+            start = time.monotonic()
+            assert uploader.drain(timeout=0.2) is False
+            assert time.monotonic() - start < 2.0
+            release.set()
+            assert uploader.drain(timeout=5.0) is True
+        finally:
+            release.set()
+            uploader.stop(drain_timeout=1.0)
+
+    def test_drain_deadline_is_virtual_time_not_self_advanced(self):
+        """Under a ManualClock the old poll loop *advanced* the clock by
+        10 ms per iteration, so a stuck upload consumed the virtual
+        deadline instantly.  The condition-based drain only observes the
+        clock: the deadline passes when someone else advances it."""
+        import threading
+
+        from repro.common.clock import ManualClock
+
+        release = threading.Event()
+
+        class SlowPut(InMemoryObjectStore):
+            def put(self, key, data):
+                release.wait(10.0)
+                super().put(key, data)
+
+        clock = ManualClock()
+        uploader, collector = self._stack(SlowPut(), clock=clock)
+        uploader.start()
+        outcome = []
+        try:
+            self._enqueue_one(collector)
+            drainer = threading.Thread(
+                target=lambda: outcome.append(uploader.drain(timeout=1.0))
+            )
+            drainer.start()
+            # The old implementation returned (False) almost instantly
+            # here, having advanced the clock past the deadline itself.
+            drainer.join(timeout=0.3)
+            assert drainer.is_alive()
+            assert clock.now() == 0.0
+            clock.advance(2.0)  # now the deadline has truly passed
+            drainer.join(timeout=5.0)
+            assert not drainer.is_alive()
+            assert outcome == [False]
+            assert clock.now() == 2.0
+        finally:
+            release.set()
+            uploader.stop(drain_timeout=1.0)

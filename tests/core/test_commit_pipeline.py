@@ -156,15 +156,24 @@ class TestCoalescing:
         merged = _merge_chunks([(0, b"aaaa"), (2, b"bb"), (10, b"cc")])
         assert merged == [(0, b"aabb"), (10, b"cc")]
 
-    def test_merge_chunks_shorter_rewrite_shrinks_the_run(self):
-        """A later overlapping write wins from its offset on, even when
-        that truncates the merged run."""
+    def test_merge_chunks_contained_write_preserves_the_suffix(self):
+        """A later write contained inside an earlier run replaces exactly
+        the bytes it covers — truncating the run would drop durable bytes
+        from the WAL object and recovery would restore stale data."""
         merged = _merge_chunks([(0, b"aaaaaa"), (2, b"B")])
-        assert merged == [(0, b"aaB")]
+        assert merged == [(0, b"aaBaaa")]
 
     def test_merge_chunks_interior_rewrite_at_run_start(self):
         merged = _merge_chunks([(4, b"old-old"), (4, b"new")])
-        assert merged == [(4, b"new")]
+        assert merged == [(4, b"new-old")]
+
+    def test_merge_chunks_contained_write_regression(self):
+        """The ISSUE 3 case: old run covers [0, 100), a new write covers
+        [10, 15); the merged run must still carry the old [15, 100)."""
+        old = bytes(range(100))
+        patch = b"\xff" * 5
+        merged = _merge_chunks([(0, old), (10, patch)])
+        assert merged == [(0, old[:10] + patch + old[15:])]
 
     def test_merge_chunks_empty_batch(self):
         assert _merge_chunks([]) == []
@@ -329,6 +338,58 @@ class TestFailureHandling:
             assert pipe.failed is not None
             with pytest.raises(GinjaError):
                 pipe.submit("seg", 512, b"y")
+        finally:
+            pipe.stop(drain_timeout=0.1)
+
+    def test_codec_fault_poisons_pipeline(self):
+        """A non-CloudError fault in the aggregator (codec encode) must
+        poison the pipeline: without the catch-all worker guards the
+        thread dies silently, ``failed`` stays None and Safety-blocked
+        submitters wait forever instead of raising."""
+
+        class ExplodingCodec(ObjectCodec):
+            def encode(self, payload: bytes) -> bytes:
+                raise RuntimeError("codec fault")
+
+        config = GinjaConfig(batch=1, safety=2, batch_timeout=0.01,
+                             safety_timeout=5.0, uploaders=1)
+        cloud = SimulatedCloud(backend=InMemoryObjectStore(), time_scale=0.0)
+        pipe = CommitPipeline(
+            config, build_transport(cloud, config), ExplodingCodec(), CloudView()
+        )
+        pipe.start()
+        try:
+            pipe.submit("seg", 0, b"x")  # claims a batch -> encode -> boom
+            deadline = time.monotonic() + 5
+            while pipe.failed is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pipe.failed is not None
+            with pytest.raises(GinjaError):
+                pipe.submit("seg", 512, b"y")
+        finally:
+            pipe.stop(drain_timeout=0.1)
+
+    def test_uploader_non_cloud_error_poisons_pipeline(self):
+        """The uploader loop must treat *any* exception as fatal, not
+        just the CloudError the retry layer re-raises."""
+
+        class BrokenStore(InMemoryObjectStore):
+            def put(self, key: str, data: bytes) -> None:
+                raise ValueError("not a CloudError")
+
+        config = GinjaConfig(batch=1, safety=10, batch_timeout=0.01,
+                             safety_timeout=5.0, uploaders=1)
+        pipe, _backend, _view, _stats = make_pipeline(config, backend=BrokenStore())
+        pipe.start()
+        try:
+            pipe.submit("seg", 0, b"x")
+            deadline = time.monotonic() + 5
+            while pipe.failed is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pipe.failed is not None
+            with pytest.raises(GinjaError):
+                pipe.submit("seg", 512, b"y")
+            assert not pipe.drain(timeout=0.1)
         finally:
             pipe.stop(drain_timeout=0.1)
 

@@ -1,0 +1,165 @@
+"""Replay equivalence: the coalescing upload path loses no bytes.
+
+Property under test: pushing a commit stream through the pipeline's
+transform chain — coalesce to latest-per-offset, sort, ``_merge_chunks``,
+``_split_chunks``, codec round-trip — then replaying the resulting WAL
+objects in timestamp order produces a segment byte-identical to naively
+applying every write in commit order.
+
+The streams follow the WAL write pattern the coalescer is designed for
+(and that real engines produce):
+
+* adjacent appends — a new run starts where the previous one ended;
+* growing same-offset tail rewrites — the partially-filled tail page is
+  re-written in place, never shrinking (this is what coalescing
+  collapses);
+* interior patches at increasing offsets strictly inside the closed
+  region below the tail run (the tail-run rewrite itself may extend
+  past everything previously written).
+
+Under this model, offset order of the coalesced survivors matches
+temporal order wherever writes overlap, which is exactly the assumption
+``_merge_chunks`` encodes.  The contained-write case is the regression:
+the old merge truncated the enclosing run at the patch's end, dropping
+its suffix from the WAL object.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.codec import ObjectCodec
+from repro.core.commit_pipeline import _merge_chunks, _split_chunks
+from repro.core.data_model import decode_wal_payload, encode_wal_payload
+
+CODEC = ObjectCodec()
+SPLIT_CAP = 97  # prime and tiny, so groups straddle run boundaries often
+
+
+def naive_replay(writes: list[tuple[int, bytes]], size: int) -> bytes:
+    image = bytearray(size)
+    for offset, data in writes:
+        image[offset:offset + len(data)] = data
+    return bytes(image)
+
+
+def pipeline_replay(writes: list[tuple[int, bytes]], size: int) -> bytes:
+    """The aggregator's transform chain plus recovery's apply loop."""
+    latest: dict[int, bytes] = {}
+    for offset, data in writes:
+        latest[offset] = data
+    chunks = _merge_chunks(sorted(latest.items()))
+    image = bytearray(size)
+    for group in _split_chunks(chunks, SPLIT_CAP):
+        if not group:
+            continue
+        payload = CODEC.decode(CODEC.encode(encode_wal_payload(group)))
+        for offset, data in decode_wal_payload(payload):
+            image[offset:offset + len(data)] = data
+    return bytes(image)
+
+
+def stream_size(writes: list[tuple[int, bytes]]) -> int:
+    return max(offset + len(data) for offset, data in writes)
+
+
+def assert_equivalent(writes: list[tuple[int, bytes]]) -> None:
+    size = stream_size(writes)
+    assert pipeline_replay(writes, size) == naive_replay(writes, size)
+
+
+def generate_stream(seed: int) -> list[tuple[int, bytes]]:
+    rng = random.Random(seed)
+
+    def body(length: int) -> bytes:
+        return bytes(rng.randrange(256) for _ in range(length))
+
+    writes: list[tuple[int, bytes]] = []
+    tail_start, tail_len = 0, rng.randint(1, 40)
+    writes.append((tail_start, body(tail_len)))
+    closed: list[tuple[int, int]] = []  # (start, end) of closed runs
+    patch_floor: dict[int, int] = {}  # run start -> next allowed patch start
+    for _ in range(rng.randint(20, 60)):
+        roll = rng.random()
+        if roll < 0.45:
+            # Rewrite the tail run in place, longer than before.
+            tail_len += rng.randint(1, 40)
+            writes.append((tail_start, body(tail_len)))
+        elif roll < 0.80:
+            # Close the tail; append the next run right after it.
+            closed.append((tail_start, tail_start + tail_len))
+            tail_start += tail_len
+            tail_len = rng.randint(1, 40)
+            writes.append((tail_start, body(tail_len)))
+        else:
+            # Patch strictly inside ONE closed run — never at the run's
+            # own start (that would be a shrinking same-offset rewrite,
+            # which the WAL pattern does not produce) and never across a
+            # run boundary (the next run's splice would outrank a patch
+            # written after it).  Patches within a run move rightward so
+            # they stay disjoint.
+            rooms = [
+                (start, end) for start, end in closed
+                if patch_floor.get(start, start + 1) < end
+            ]
+            if not rooms:
+                continue
+            run_start, run_end = rng.choice(rooms)
+            start = rng.randint(patch_floor.get(run_start, run_start + 1),
+                                run_end - 1)
+            length = rng.randint(1, run_end - start)
+            writes.append((start, body(length)))
+            patch_floor[run_start] = start + length
+    return writes
+
+
+class TestDeterministicShapes:
+    def test_contained_write_keeps_the_run_suffix(self):
+        """The regression shape: a short patch inside a long run."""
+        assert_equivalent([(0, bytes(range(100))), (10, b"\xff" * 5)])
+
+    def test_overlapping_runs(self):
+        assert_equivalent([(0, b"a" * 30), (20, b"b" * 30)])
+
+    def test_adjacent_runs(self):
+        assert_equivalent([(0, b"a" * 10), (10, b"b" * 10), (20, b"c" * 10)])
+
+    def test_growing_tail_rewrites_coalesce(self):
+        writes = [(0, b"x" * n) for n in (8, 24, 64, 120)]
+        assert_equivalent(writes)
+        latest = dict(writes)
+        merged = _merge_chunks(sorted(latest.items()))
+        assert merged == [(0, b"x" * 120)]  # coalesced to one run
+
+    def test_cap_straddling_run_splits_losslessly(self):
+        run = bytes(i % 251 for i in range(3 * SPLIT_CAP + 11))
+        assert_equivalent([(0, run), (SPLIT_CAP, b"\x00" * 7)])
+
+    def test_patch_extending_past_the_tail(self):
+        assert_equivalent([(0, b"a" * 50), (40, b"b" * 30)])
+
+
+class TestSeededStreams:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_pipeline_image_matches_naive_replay(self, seed):
+        writes = generate_stream(seed)
+        assert len(writes) >= 10
+        assert_equivalent(writes)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_every_byte_written_once_survives(self, seed):
+        """Bytes in closed runs never regress to zero (the truncation
+        bug's signature: a dropped suffix reads back as zeros)."""
+        writes = generate_stream(seed)
+        size = stream_size(writes)
+        image = pipeline_replay(writes, size)
+        covered = bytearray(size)
+        for offset, data in writes:
+            for position in range(offset, offset + len(data)):
+                covered[position] = 1
+        naive = naive_replay(writes, size)
+        for position in range(size):
+            if covered[position]:
+                assert image[position] == naive[position]

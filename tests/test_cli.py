@@ -116,6 +116,61 @@ class TestRecoverVerify:
         assert "FAIL" in capsys.readouterr().out
 
 
+class TestFsck:
+    @pytest.fixture
+    def populated_bucket(self, tmp_path, capsys):
+        bucket = tmp_path / "bucket"
+        assert main(["demo", "--rows", "25", "--bucket-dir", str(bucket),
+                     "--segment-size", "256KB"]) == 0
+        capsys.readouterr()
+        return bucket
+
+    @staticmethod
+    def _wal_files(bucket):
+        return sorted(p for p in bucket.iterdir()
+                      if p.name.startswith("WAL%2F"))
+
+    def test_clean_bucket_exits_zero(self, populated_bucket, capsys):
+        assert main(["fsck", str(populated_bucket)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_exit_code_counts_violations(self, populated_bucket, capsys):
+        wal = self._wal_files(populated_bucket)
+        assert len(wal) >= 2
+        wal[0].unlink()  # every later WAL object is now orphaned
+        code = main(["fsck", str(populated_bucket)])
+        out = capsys.readouterr().out
+        assert code == len(wal)  # 1 gap + (n-1) orphans
+        assert "wal-orphan" in out and "wal-gap" in out
+
+    def test_repair_converges_and_recovery_works(self, populated_bucket,
+                                                 tmp_path, capsys):
+        import json as json_module
+        self._wal_files(populated_bucket)[0].unlink()
+        assert main(["fsck", str(populated_bucket), "--repair",
+                     "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["audit"]["ok"] is True
+        assert payload["repair"]["deleted"]
+        # A second audit agrees the bucket is clean...
+        assert main(["fsck", str(populated_bucket), "--json"]) == 0
+        capsys.readouterr()
+        # ...and the repaired bucket restores and verifies.
+        assert main(["recover", str(populated_bucket),
+                     str(tmp_path / "restored")]) == 0
+        assert main(["verify", str(populated_bucket),
+                     "--segment-size", "256KB"]) == 0
+
+    def test_json_reports_violations(self, populated_bucket, capsys):
+        import json as json_module
+        self._wal_files(populated_bucket)[0].unlink()
+        code = main(["fsck", str(populated_bucket), "--json"])
+        payload = json_module.loads(capsys.readouterr().out)
+        assert code == payload["audit"]["violation_count"] > 0
+        assert payload["audit"]["orphans"]
+        assert "repair" not in payload
+
+
 class TestChaos:
     ARGS = ["chaos", "--scenario", "baseline", "--crash-point", "pre-put",
             "--crash-point", "during-gc", "--seeds", "2", "--jobs", "2"]
@@ -142,3 +197,18 @@ class TestChaos:
 
     def test_unknown_scenario_rejected(self, capsys):
         assert main(["chaos", "--scenario", "nope"]) == 2
+
+    def test_dump_buckets_then_fsck_converges(self, tmp_path, capsys):
+        """The CI chaos-smoke contract: every dumped disaster image is
+        repairable, and a repaired image audits clean."""
+        images = tmp_path / "images"
+        assert main(["chaos", "--scenario", "baseline",
+                     "--crash-point", "mid-batch", "--seeds", "1",
+                     "--dump-buckets", str(images)]) == 0
+        capsys.readouterr()
+        dumped = sorted(p for p in images.iterdir() if p.is_dir())
+        assert dumped, "no disaster images written"
+        for image in dumped:
+            assert main(["fsck", str(image), "--repair"]) == 0
+            assert main(["fsck", str(image)]) == 0
+            capsys.readouterr()

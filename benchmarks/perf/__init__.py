@@ -1,0 +1,14 @@
+"""Perf-regression microbenchmarks for the commit pipeline's hot path.
+
+Run the full harness and write the canonical report::
+
+    PYTHONPATH=src python -m benchmarks.perf.run --out BENCH_pipeline.json
+
+Check a fresh run against the committed report (CI's perf-smoke job)::
+
+    PYTHONPATH=src python -m benchmarks.perf.run --check BENCH_pipeline.json
+
+Correctness-level smoke tests (tiny sizes, no timing assertions)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf
+"""

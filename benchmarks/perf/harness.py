@@ -1,0 +1,380 @@
+"""Microbenchmarks: pipeline throughput, codec bandwidth, merge/replay.
+
+Every benchmark runs twice — a **baseline** series that reproduces the
+pre-optimization implementation (serial inline encode on the Aggregator
+thread, the legacy copy-chain codec and list-join payload framing) and
+an **optimized** series on the shipped code (parallel encode stage,
+zero-copy assembly).  Committing both series makes the report
+self-describing: the regression signal is the per-benchmark ratio, which
+is far more stable across machines than absolute MB/s.
+
+Notes on machines: the parallel-encode win only exists with >1 CPU
+(zlib/AES/HMAC release the GIL, but one core can still only run one of
+them at a time).  On a single-core runner the pipeline ratio collapses
+to the zero-copy/memoization gains alone; the report records the CPU
+count so readers (and the CI band check) can interpret the numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+import platform
+import random
+import time
+import zlib
+
+from repro.cloud.memory import InMemoryObjectStore
+from repro.cloud.simulated import SimulatedCloud
+from repro.cloud.transport import build_transport
+from repro.common.serialize import pack_bytes, pack_u32, pack_u64
+from repro.core.cloud_view import CloudView
+from repro.core.codec import ObjectCodec, _MAC_BYTES
+from repro.core.commit_pipeline import CommitPipeline, _merge_chunks
+from repro.core.config import GinjaConfig
+from repro.core.data_model import (
+    WALObjectMeta,
+    decode_wal_payload,
+    encode_wal_payload,
+)
+
+SCHEMA = "ginja-perf-v1"
+PASSWORD = "bench-password"
+
+
+# ---------------------------------------------------------------------------
+# Baseline replicas (the pre-optimization implementations, kept verbatim
+# so the baseline series measures the CPU profile this PR replaced).
+
+
+class LegacyCodec(ObjectCodec):
+    """The old copy-chain encoder/decoder: ``head + body`` then
+    ``signed + mac`` concatenations on encode, ``bytes`` slices on
+    decode."""
+
+    def encode(self, payload) -> bytes:  # type: ignore[override]
+        flags = 0
+        body = bytes(payload)
+        if self.compressing:
+            body = zlib.compress(body, 1)
+            flags |= 0x01
+        iv = b""
+        if self.encrypting:
+            iv = os.urandom(16)
+            body = _legacy_aes(self._cipher_key, iv, body)
+            flags |= 0x02
+        head = bytes([flags]) + iv
+        signed = head + body
+        mac = hmac.new(self._mac_key, signed, hashlib.sha1).digest()
+        return signed + mac
+
+    def decode(self, blob) -> bytes:  # type: ignore[override]
+        blob = bytes(blob)
+        mac = blob[-_MAC_BYTES:]
+        signed = blob[:-_MAC_BYTES]
+        expected = hmac.new(self._mac_key, signed, hashlib.sha1).digest()
+        if not hmac.compare_digest(mac, expected):
+            raise ValueError("MAC mismatch")
+        flags = signed[0]
+        offset = 1
+        iv = b""
+        if flags & 0x02:
+            iv = signed[offset:offset + 16]
+            offset += 16
+        body = signed[offset:]
+        if flags & 0x02:
+            body = _legacy_aes(self._cipher_key, iv, body)
+        if flags & 0x01:
+            body = zlib.decompress(body)
+        return body
+
+
+def _legacy_aes(key: bytes, iv: bytes, data: bytes) -> bytes:
+    from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+
+    cipher = Cipher(algorithms.AES(key), modes.CTR(iv))
+    enc = cipher.encryptor()
+    return enc.update(data) + enc.finalize()
+
+
+def legacy_encode_wal_payload(chunks) -> bytes:
+    """The old list-join framing (one copy per field, one final join)."""
+    out = [pack_u32(len(chunks))]
+    for offset, data in chunks:
+        out.append(pack_u64(offset))
+        out.append(pack_bytes(bytes(data)))
+    return b"".join(out)
+
+
+def legacy_merge_chunks(chunks):
+    """The old merge: every run widened into a bytearray up front."""
+    merged = []
+    for offset, data in chunks:
+        if merged:
+            last_offset, last_data = merged[-1]
+            last_end = last_offset + len(last_data)
+            if offset <= last_end:
+                start = offset - last_offset
+                end = start + len(data)
+                if end >= len(last_data):
+                    del last_data[start:]
+                    last_data.extend(data)
+                else:
+                    last_data[start:end] = data
+                continue
+        merged.append((offset, bytearray(data)))
+    return [(offset, bytes(data)) for offset, data in merged]
+
+
+# ---------------------------------------------------------------------------
+# Workload material
+
+
+def page_stream(seed: int, pages: int, page_size: int):
+    """Deterministic, mildly compressible page writes at distinct offsets."""
+    rng = random.Random(seed)
+    template = bytes(rng.randrange(256) for _ in range(page_size // 4))
+    out = []
+    for i in range(pages):
+        filler = bytes([rng.randrange(256)]) * (page_size - len(template) - 8)
+        out.append((i * page_size, b"%08d" % i + template + filler))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Benchmarks.  Each returns updates/s, MB/s or ops/s for one series —
+# the best of ``repeats`` passes, which filters scheduler noise far
+# better than averaging (the best pass is the least-perturbed one).
+
+
+def _best(passes) -> float:
+    return max(passes)
+
+
+def bench_pipeline(*, optimized: bool, updates: int, page_size: int,
+                   uploaders: int = 5, encoders: int = 4,
+                   batch: int = 50, seed: int = 1234,
+                   repeats: int = 2) -> float:
+    """Submit→unlock throughput with compress+encrypt on a zero-latency
+    cloud — the CPU-bound shape where the encode stage matters.
+
+    ``optimized=False`` replays the pre-PR pipeline: inline serial
+    encode on the Aggregator with the legacy copy-chain codec.
+    """
+    config = GinjaConfig(
+        batch=batch, safety=updates + batch, batch_timeout=0.005,
+        safety_timeout=120.0, uploaders=uploaders, encoders=encoders,
+        encode_inline=not optimized, compress=True, encrypt=True,
+        password=PASSWORD,
+    )
+    codec_cls = ObjectCodec if optimized else LegacyCodec
+    codec = codec_cls(compress=True, encrypt=True, password=PASSWORD)
+    writes = page_stream(seed, updates, page_size)
+    rates = []
+    for _ in range(repeats):
+        cloud = SimulatedCloud(backend=InMemoryObjectStore(), time_scale=0.0)
+        pipe = CommitPipeline(
+            config, build_transport(cloud, config), codec, CloudView()
+        )
+        pipe.start()
+        try:
+            start = time.perf_counter()
+            for offset, data in writes:
+                pipe.submit("seg", offset, data)
+            if not pipe.drain(timeout=600.0):
+                raise RuntimeError("pipeline failed to drain")
+            elapsed = time.perf_counter() - start
+        finally:
+            pipe.stop(drain_timeout=30.0)
+        rates.append(updates / elapsed)
+    return _best(rates)
+
+
+def bench_codec(*, optimized: bool, payload_bytes: int, rounds: int,
+                seed: int = 99, decode: bool = False,
+                repeats: int = 3) -> float:
+    """Codec bandwidth in MB/s (compress+encrypt+MAC, one big payload)."""
+    codec_cls = ObjectCodec if optimized else LegacyCodec
+    codec = codec_cls(compress=True, encrypt=True, password=PASSWORD)
+    rng = random.Random(seed)
+    quarter = bytes(rng.randrange(256) for _ in range(payload_bytes // 4))
+    payload = (quarter + b"\x00" * (payload_bytes // 4)) * 2
+    payload = payload[:payload_bytes]
+    blob = codec.encode(payload)  # warm-up (and the decode input)
+    rates = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            if decode:
+                codec.decode(blob)
+            else:
+                codec.encode(payload)
+        elapsed = time.perf_counter() - start
+        rates.append(payload_bytes * rounds / elapsed / 1e6)
+    return _best(rates)
+
+
+def bench_merge(*, optimized: bool, runs: int, run_bytes: int,
+                rounds: int, seed: int = 7) -> float:
+    """Aggregator merge throughput in ops (merge calls) per second over
+    mostly non-overlapping run lists — the shape the zero-copy pass-through
+    targets."""
+    rng = random.Random(seed)
+    chunks = []
+    position = 0
+    for _ in range(runs):
+        data = bytes([rng.randrange(256)]) * run_bytes
+        chunks.append((position, data))
+        position += run_bytes + (0 if rng.random() < 0.1 else 64)
+    merge = _merge_chunks if optimized else legacy_merge_chunks
+    merge(chunks)  # warm-up
+    rates = []
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            merge(chunks)
+        elapsed = time.perf_counter() - start
+        rates.append(rounds / elapsed)
+    return _best(rates)
+
+
+def bench_replay(*, optimized: bool, objects: int, object_bytes: int,
+                 seed: int = 17) -> float:
+    """Recovery replay bandwidth in MB/s: decode WAL objects from an
+    in-memory bucket and apply their chunks to a file image."""
+    codec_cls = ObjectCodec if optimized else LegacyCodec
+    codec = codec_cls(compress=True, encrypt=True, password=PASSWORD)
+    frame = encode_wal_payload if optimized else legacy_encode_wal_payload
+    store = InMemoryObjectStore()
+    writes = page_stream(seed, objects, object_bytes)
+    for ts, (offset, data) in enumerate(writes):
+        meta = WALObjectMeta(ts=ts, filename="seg", offset=offset)
+        store.put(meta.key, codec.encode(frame([(offset, data)])))
+    total = objects * object_bytes
+    rates = []
+    for _ in range(3):
+        image = bytearray(total)
+        start = time.perf_counter()
+        for info in store.list("WAL/"):
+            payload = codec.decode(store.get(info.key))
+            for offset, data in decode_wal_payload(payload):
+                image[offset:offset + len(data)] = data
+        elapsed = time.perf_counter() - start
+        for offset, data in writes:
+            if bytes(image[offset:offset + len(data)]) != data:
+                raise RuntimeError("replayed image does not match the stream")
+        rates.append(total / elapsed / 1e6)
+    return _best(rates)
+
+
+# ---------------------------------------------------------------------------
+# The full suite
+
+
+def run_suite(scale: float = 1.0) -> dict:
+    """Run every benchmark at ``scale`` (1.0 = the committed report's
+    sizes; the smoke test uses a tiny fraction) and return the canonical
+    report structure."""
+
+    def n(value: int, floor: int = 1) -> int:
+        return max(floor, int(value * scale))
+
+    results = {}
+
+    pipeline = {
+        series: bench_pipeline(
+            optimized=(series == "optimized"),
+            updates=n(2000, 20), page_size=8192,
+        )
+        for series in ("baseline", "optimized")
+    }
+    results["pipeline_submit_unlock"] = {
+        "unit": "updates/s",
+        "config": "compress+encrypt, uploaders=5, encoders=4, B=50, 8 KiB pages",
+        # The ratio scales with core count (the baseline is serial inline
+        # encode); the band check only compares it against a report from
+        # a machine with the same CPU count.
+        "parallel": True,
+        **pipeline,
+    }
+
+    for name, decode in (("codec_encode", False), ("codec_decode", True)):
+        series = {
+            s: bench_codec(
+                optimized=(s == "optimized"),
+                payload_bytes=n(4 * 1024 * 1024, 64 * 1024),
+                rounds=n(8, 2), decode=decode,
+            )
+            for s in ("baseline", "optimized")
+        }
+        results[name] = {
+            "unit": "MB/s",
+            "config": "compress+encrypt+MAC, 4 MiB payload",
+            **series,
+        }
+
+    merge = {
+        s: bench_merge(
+            optimized=(s == "optimized"),
+            runs=n(400, 16), run_bytes=4096, rounds=n(200, 5),
+        )
+        for s in ("baseline", "optimized")
+    }
+    results["merge_chunks"] = {
+        "unit": "ops/s",
+        "config": "400 runs x 4 KiB, ~90% non-overlapping",
+        **merge,
+    }
+
+    replay = {
+        s: bench_replay(
+            optimized=(s == "optimized"),
+            objects=n(200, 8), object_bytes=16384,
+        )
+        for s in ("baseline", "optimized")
+    }
+    results["recovery_replay"] = {
+        "unit": "MB/s",
+        "config": "16 KiB WAL objects, compress+encrypt",
+        **replay,
+    }
+
+    for entry in results.values():
+        entry["speedup"] = (
+            entry["optimized"] / entry["baseline"] if entry["baseline"] else 0.0
+        )
+
+    return {
+        "schema": SCHEMA,
+        "machine": {
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "scale": scale,
+        "benchmarks": results,
+    }
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"perf report ({report['machine']['cpus']} CPUs, "
+        f"scale={report['scale']})",
+        f"  {'benchmark':24} {'baseline':>12} {'optimized':>12} "
+        f"{'speedup':>8}  unit",
+    ]
+    for name, entry in report["benchmarks"].items():
+        lines.append(
+            f"  {name:24} {entry['baseline']:>12.1f} "
+            f"{entry['optimized']:>12.1f} {entry['speedup']:>7.2f}x  "
+            f"{entry['unit']}"
+        )
+    return "\n".join(lines)
+
+
+def dump(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

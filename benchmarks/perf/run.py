@@ -1,0 +1,105 @@
+"""CLI for the perf harness: write or check ``BENCH_pipeline.json``.
+
+Write the canonical report (committed at the repo root)::
+
+    PYTHONPATH=src python -m benchmarks.perf.run --out BENCH_pipeline.json
+
+Check a fresh run against the committed report::
+
+    PYTHONPATH=src python -m benchmarks.perf.run --check BENCH_pipeline.json
+
+The check gates on each benchmark's **speedup ratio** (optimized over
+baseline), not on absolute throughput: MB/s moves with runner hardware,
+but the ratio between two series measured back-to-back on the same
+machine is stable.  The default band is generous (±40%) because CI
+runners are noisy; a real regression — the encode stage serializing, a
+copy chain reappearing — moves the ratio far more than that.  A fresh
+optimized series slower than its own baseline by more than the band
+fails regardless of the committed numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from benchmarks.perf.harness import dump, render, run_suite, SCHEMA
+
+
+def check(report: dict, committed: dict, band: float) -> list[str]:
+    """Return a list of failure messages (empty = pass)."""
+    failures: list[str] = []
+    if committed.get("schema") != SCHEMA:
+        return [f"committed report has schema {committed.get('schema')!r}, "
+                f"expected {SCHEMA!r}"]
+    same_cpus = (
+        report["machine"].get("cpus") == committed["machine"].get("cpus")
+    )
+    for name, entry in committed["benchmarks"].items():
+        fresh = report["benchmarks"].get(name)
+        if fresh is None:
+            failures.append(f"{name}: missing from the fresh run")
+            continue
+        want, got = entry["speedup"], fresh["speedup"]
+        if entry.get("parallel") and not same_cpus:
+            # The parallel-pipeline ratio scales with core count; against
+            # a report from a different machine only the floor applies —
+            # more cores must never make the optimized series *slower*.
+            if got < want * (1 - band):
+                failures.append(
+                    f"{name}: speedup {got:.2f}x below the committed "
+                    f"{want:.2f}x floor (band {band:.0%}; CPU counts differ: "
+                    f"{report['machine'].get('cpus')} vs "
+                    f"{committed['machine'].get('cpus')})"
+                )
+        else:
+            low, high = want * (1 - band), want * (1 + band)
+            if not low <= got <= high:
+                failures.append(
+                    f"{name}: speedup {got:.2f}x outside "
+                    f"[{low:.2f}x, {high:.2f}x] "
+                    f"(committed {want:.2f}x +/- {band:.0%})"
+                )
+        if got < 1 - band:
+            failures.append(
+                f"{name}: optimized series is {got:.2f}x of baseline — "
+                "slower than the code it replaced"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", help="write the canonical report here")
+    parser.add_argument("--check", help="compare a fresh run against this report")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale (1.0 = canonical sizes)")
+    parser.add_argument("--band", type=float, default=0.4,
+                        help="allowed relative deviation of each speedup ratio")
+    args = parser.parse_args(argv)
+    if not args.out and not args.check:
+        parser.error("need --out and/or --check")
+
+    report = run_suite(scale=args.scale)
+    print(render(report))
+
+    if args.out:
+        dump(report, args.out)
+        print(f"wrote {args.out}")
+
+    if args.check:
+        with open(args.check, encoding="utf-8") as fh:
+            committed = json.load(fh)
+        failures = check(report, committed, args.band)
+        if failures:
+            print("PERF CHECK FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"perf check passed (band +/-{args.band:.0%} on speedup ratios)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

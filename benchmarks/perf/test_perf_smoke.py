@@ -1,0 +1,101 @@
+"""Perf-harness smoke tests: tiny sizes, correctness only, no timing
+assertions (those live in the CI perf-smoke job's band check)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.perf.harness import (
+    LegacyCodec,
+    SCHEMA,
+    bench_codec,
+    bench_merge,
+    bench_pipeline,
+    bench_replay,
+    legacy_encode_wal_payload,
+    legacy_merge_chunks,
+    run_suite,
+)
+from benchmarks.perf.run import check
+from repro.core.codec import ObjectCodec
+from repro.core.commit_pipeline import _merge_chunks
+from repro.core.data_model import decode_wal_payload, encode_wal_payload
+
+PASSWORD = "bench-password"
+
+
+class TestLegacyReplicasMatchShippedCode:
+    """The baseline series is only honest if the legacy replicas are
+    wire-compatible with the shipped implementations."""
+
+    def test_codecs_interoperate_both_ways(self):
+        legacy = LegacyCodec(compress=True, encrypt=True, password=PASSWORD)
+        current = ObjectCodec(compress=True, encrypt=True, password=PASSWORD)
+        payload = b"wal page bytes " * 100
+        assert current.decode(legacy.encode(payload)) == payload
+        assert legacy.decode(bytes(current.encode(payload))) == payload
+
+    def test_payload_framings_are_identical(self):
+        chunks = [(0, b"a" * 100), (512, b"b" * 37), (4096, b"")]
+        assert bytes(encode_wal_payload(chunks)) == \
+            legacy_encode_wal_payload(chunks)
+        assert decode_wal_payload(legacy_encode_wal_payload(chunks)) == chunks
+
+    def test_merges_agree(self):
+        chunks = [(0, b"a" * 64), (64, b"b" * 64), (200, b"c" * 8),
+                  (204, b"D" * 2)]
+        assert _merge_chunks(chunks) == legacy_merge_chunks(chunks)
+
+
+class TestBenchmarksRun:
+    @pytest.mark.parametrize("optimized", [False, True])
+    def test_pipeline_bench_completes(self, optimized):
+        rate = bench_pipeline(optimized=optimized, updates=30, page_size=1024,
+                              uploaders=2, encoders=2, batch=5)
+        assert rate > 0
+
+    @pytest.mark.parametrize("decode", [False, True])
+    def test_codec_bench_completes(self, decode):
+        for optimized in (False, True):
+            rate = bench_codec(optimized=optimized, payload_bytes=32 * 1024,
+                               rounds=2, decode=decode)
+            assert rate > 0
+
+    def test_merge_bench_completes(self):
+        assert bench_merge(optimized=True, runs=20, run_bytes=256,
+                           rounds=3) > 0
+
+    def test_replay_bench_verifies_the_image(self):
+        # bench_replay raises if the replayed image mismatches; a clean
+        # return at both series is the assertion.
+        for optimized in (False, True):
+            assert bench_replay(optimized=optimized, objects=10,
+                                object_bytes=2048) > 0
+
+
+class TestReportSchema:
+    def test_suite_produces_canonical_schema(self):
+        report = run_suite(scale=0.01)
+        assert report["schema"] == SCHEMA
+        assert report["machine"]["cpus"] >= 1
+        for entry in report["benchmarks"].values():
+            assert set(entry) >= {"unit", "baseline", "optimized", "speedup"}
+            assert entry["baseline"] > 0
+            assert entry["optimized"] > 0
+
+    def test_check_passes_against_itself(self):
+        report = run_suite(scale=0.01)
+        assert check(report, report, band=0.4) == []
+
+    def test_check_flags_a_collapsed_speedup(self):
+        report = run_suite(scale=0.01)
+        import copy
+        committed = copy.deepcopy(report)
+        for entry in committed["benchmarks"].values():
+            entry["speedup"] = entry["speedup"] * 10  # fictitious past glory
+        failures = check(report, committed, band=0.4)
+        assert failures
+
+    def test_check_rejects_unknown_schema(self):
+        report = run_suite(scale=0.01)
+        assert check(report, {"schema": "other"}, band=0.4)

@@ -83,8 +83,13 @@ class RequestMeter:
     # -- event-bus subscription ---------------------------------------------
 
     def attach(self, bus: EventBus) -> "RequestMeter":
-        """Subscribe to a bus; ``meter`` events feed the accounting."""
-        bus.subscribe(self.handle_event)
+        """Subscribe to a bus; ``meter`` events feed the accounting.
+
+        The subscription is filtered to ``meter`` so a bus whose only
+        listeners are meters/counters reports ``wants() == False`` for
+        the pipeline's per-write events and never builds them.
+        """
+        bus.subscribe(self.handle_event, kinds={events.METER})
         return self
 
     def handle_event(self, event: Event) -> None:

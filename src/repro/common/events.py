@@ -50,6 +50,12 @@ QUEUE_DEPTH = "queue_depth"
 WAITER_UNLOCK = "waiter_unlock"
 #: Bytes fed through the codec (compress/encrypt/MAC input).
 CODEC = "codec"
+#: One WAL object handed to the encode stage; ``count`` is the encode
+#: queue depth after the handoff.
+ENCODE_QUEUED = "encode_queued"
+#: One WAL object finished encoding; ``nbytes`` is the encoded size and
+#: ``count`` the encode queue depth left.
+ENCODE_DONE = "encode_done"
 #
 # Checkpointer events (emitted by repro.core.checkpointer):
 CHECKPOINT_BEGIN = "checkpoint_begin"
@@ -101,27 +107,68 @@ class EventBus:
     pipeline emits from its uploader threads), so they must be fast and
     must never raise; a raising subscriber is counted, not propagated,
     because an observability bug must not poison the data path.
+
+    A subscriber may declare the event kinds it handles (``kinds=``);
+    events of other kinds are never dispatched to it.  Hot paths use
+    :meth:`wants` to skip building an event nobody would receive — the
+    per-write emits in the commit pipeline cost nothing unless a
+    wildcard subscriber (trace recorder, chaos injector) is attached.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._subscribers: tuple[Subscriber, ...] = ()
+        #: (subscriber, kinds) pairs; ``kinds is None`` means wildcard.
+        self._subscribers: tuple[tuple[Subscriber, frozenset[str] | None], ...] = ()
+        #: Union of all filtered kinds — the fast path for :meth:`wants`.
+        self._wanted: frozenset[str] = frozenset()
+        self._wildcards = 0
         self.subscriber_errors = 0
 
-    def subscribe(self, subscriber: Subscriber) -> Subscriber:
-        """Register a callable; returns it for later :meth:`unsubscribe`."""
+    def _rebuild_index_locked(self) -> None:
+        self._wildcards = sum(
+            1 for _s, kinds in self._subscribers if kinds is None
+        )
+        self._wanted = frozenset(
+            kind
+            for _s, kinds in self._subscribers
+            if kinds is not None
+            for kind in kinds
+        )
+
+    def subscribe(
+        self, subscriber: Subscriber, kinds: frozenset[str] | set[str] | None = None
+    ) -> Subscriber:
+        """Register a callable; returns it for later :meth:`unsubscribe`.
+
+        ``kinds`` restricts delivery to those event kinds; ``None``
+        (the default) receives everything.
+        """
         with self._lock:
-            self._subscribers = self._subscribers + (subscriber,)
+            entry = (subscriber, frozenset(kinds) if kinds is not None else None)
+            self._subscribers = self._subscribers + (entry,)
+            self._rebuild_index_locked()
         return subscriber
 
     def unsubscribe(self, subscriber: Subscriber) -> None:
         with self._lock:
             self._subscribers = tuple(
-                s for s in self._subscribers if s is not subscriber
+                (s, kinds) for s, kinds in self._subscribers if s is not subscriber
             )
+            self._rebuild_index_locked()
+
+    def wants(self, kind: str) -> bool:
+        """True when at least one subscriber would receive ``kind``.
+
+        Callers on hot paths guard their emits with this so the kwargs
+        payload (and the Event) is never built for an audience of zero —
+        always False on :data:`NULL_BUS`.
+        """
+        return self._wildcards > 0 or kind in self._wanted
 
     def publish(self, event: Event) -> None:
-        for subscriber in self._subscribers:  # snapshot tuple: no lock held
+        for subscriber, kinds in self._subscribers:  # snapshot tuple: no lock
+            if kinds is not None and event.kind not in kinds:
+                continue
             try:
                 subscriber(event)
             except Exception:
@@ -130,7 +177,7 @@ class EventBus:
 
     def emit(self, kind: str, **fields) -> None:
         """Convenience: build and publish an :class:`Event`."""
-        if self._subscribers:
+        if self._wildcards > 0 or kind in self._wanted:
             self.publish(Event(kind=kind, **fields))
 
 

@@ -27,6 +27,16 @@ def pack_u32(value: int) -> bytes:
     return _U32.pack(value)
 
 
+def pack_u32_into(buf: bytearray, offset: int, value: int) -> None:
+    """Write a u32 in place — callers assembling a preallocated buffer
+    (the WAL payload hot path) avoid one tiny-bytes allocation per field."""
+    _U32.pack_into(buf, offset, value)
+
+
+def pack_u64_into(buf: bytearray, offset: int, value: int) -> None:
+    _U64.pack_into(buf, offset, value)
+
+
 def take_u32(buf: bytes, offset: int) -> tuple[int, int]:
     if offset + 4 > len(buf):
         raise IntegrityError("truncated u32")

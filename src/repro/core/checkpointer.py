@@ -46,6 +46,7 @@ from repro.core.data_model import (
     encode_checkpoint_payload,
     encode_dump_payload,
 )
+from repro.core.encode_stage import EncodeStage
 from repro.cloud.interface import ObjectStore
 from repro.db.profiles import DBMSProfile
 from repro.storage.interface import FileSystem
@@ -75,6 +76,7 @@ class CheckpointCollector:
         profile: DBMSProfile,
         out_queue: "queue.Queue",
         bus: EventBus | None = None,
+        encode_stage: EncodeStage | None = None,
     ):
         self._config = config
         self._codec = codec
@@ -83,6 +85,11 @@ class CheckpointCollector:
         self._profile = profile
         self._queue = out_queue
         self._bus = bus or NULL_BUS
+        #: Shared encoder pool (the Ginja facade passes the same stage the
+        #: commit pipeline uses, so DB-object codec work overlaps WAL
+        #: traffic instead of serializing on the DBMS's checkpoint
+        #: thread).  ``None`` — or a stopped stage — encodes inline.
+        self._stage = encode_stage
         self._active = False
         self._ts = -1
         self._writes: dict[tuple[str, int], bytes] = {}
@@ -162,16 +169,37 @@ class CheckpointCollector:
     def _db_files(self) -> list[str]:
         return [p for p in self._fs.files() if self._profile.is_db_file(p)]
 
+    def _encode_part(self, payload: bytes) -> bytes:
+        """Frame→codec one part; runs on an encoder worker (or inline)."""
+        if self._bus.wants(events.CODEC):
+            self._bus.emit(events.CODEC, nbytes=len(payload))
+        return self._codec.encode(payload)
+
+    def _encode_groups(self, groups: list, encode_payload) -> list[bytes]:
+        """Encode every part, on the shared stage when one is attached.
+
+        :meth:`EncodeStage.map` preserves order, re-raises the first
+        failure in this (the DBMS checkpoint) thread, and degrades to
+        inline execution when the stage is not running — the exact
+        semantics the old serial loop had.
+        """
+        jobs = [
+            (lambda group=group: self._encode_part(encode_payload(group)))
+            for group in groups
+        ]
+        if self._stage is not None:
+            return self._stage.map(jobs)
+        return [job() for job in jobs]
+
     def _build_incremental(self) -> _PendingObject:
         writes = [
             (path, offset, self._writes[(path, offset)])
             for path, offset in self._order
         ]
-        parts: list[bytes] = []
-        for group in _split_writes(writes, self._config.max_object_bytes):
-            payload = encode_checkpoint_payload(group)
-            self._bus.emit(events.CODEC, nbytes=len(payload))
-            parts.append(self._codec.encode(payload))
+        parts = self._encode_groups(
+            _split_writes(writes, self._config.max_object_bytes),
+            encode_checkpoint_payload,
+        )
         if not parts:
             parts.append(self._codec.encode(encode_checkpoint_payload([])))
         return _PendingObject(ts=self._ts, type=CHECKPOINT, payloads=parts)
@@ -194,11 +222,10 @@ class CheckpointCollector:
                 files.append((self._profile.wal_path(0), header))
         finally:
             self._set_frozen(False)
-        parts: list[bytes] = []
-        for group in _split_files(files, self._config.max_object_bytes):
-            payload = encode_dump_payload(group)
-            self._bus.emit(events.CODEC, nbytes=len(payload))
-            parts.append(self._codec.encode(payload))
+        parts = self._encode_groups(
+            _split_files(files, self._config.max_object_bytes),
+            encode_dump_payload,
+        )
         if not parts:
             parts.append(self._codec.encode(encode_dump_payload([])))
         return _PendingObject(ts=self._ts, type=DUMP, payloads=parts)

@@ -23,6 +23,7 @@ too.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import hmac
 import os
@@ -38,7 +39,13 @@ _KDF_ITERATIONS = 10_000
 _KDF_SALT = b"ginja-repro-v1"  # fixed: objects must be decodable anywhere
 
 
+@functools.lru_cache(maxsize=64)
 def _derive_key(secret: str, purpose: bytes, length: int) -> bytes:
+    # Memoized: PBKDF2's 10k iterations are deliberately slow, and
+    # codecs are constructed freely (every Ginja instance, every chaos
+    # drill, every failover candidate).  The derivation is a pure
+    # function of its arguments, so same secret/purpose/length must —
+    # and now does — pay the iteration cost exactly once per process.
     return hashlib.pbkdf2_hmac(
         "sha256", secret.encode("utf-8"), _KDF_SALT + purpose, _KDF_ITERATIONS,
         dklen=length,
@@ -76,7 +83,16 @@ class ObjectCodec:
 
     # -- encode ------------------------------------------------------------------
 
-    def encode(self, payload: bytes) -> bytes:
+    def encode(self, payload) -> bytearray:
+        """Encode one payload (any bytes-like object) for the cloud.
+
+        The wire image ``flags|iv|body|mac`` is assembled exactly once
+        into a preallocated buffer: the MAC is streamed over the
+        assembled prefix with ``hmac.update`` and written in place, so
+        no intermediate ``head + body`` / ``signed + mac`` copies exist.
+        The returned buffer is a ``bytearray`` (bytes-like, never
+        mutated again); stores and the decoder treat it opaquely.
+        """
         flags = 0
         body = payload
         if self._compress:
@@ -88,17 +104,31 @@ class ObjectCodec:
             iv = os.urandom(_IV_BYTES)
             body = _aes_ctr(self._cipher_key, iv, body)
             flags |= _FLAG_ENCRYPTED
-        head = bytes([flags]) + iv
-        mac = hmac.new(self._mac_key, head + body, hashlib.sha1).digest()
-        return head + body + mac
+        head_len = 1 + len(iv)
+        out = bytearray(head_len + len(body) + _MAC_BYTES)
+        out[0] = flags
+        out[1:head_len] = iv
+        out[head_len:head_len + len(body)] = body
+        mac = hmac.new(self._mac_key, digestmod=hashlib.sha1)
+        mac.update(memoryview(out)[:-_MAC_BYTES])
+        out[-_MAC_BYTES:] = mac.digest()
+        return out
 
     # -- decode ------------------------------------------------------------------
 
-    def decode(self, blob: bytes) -> bytes:
-        if len(blob) < 1 + _MAC_BYTES:
+    def decode(self, blob) -> bytes:
+        """Verify and decode one object; accepts any bytes-like object.
+
+        Recovery replay feeds large downloaded blobs through here: all
+        header/body slicing is done on a ``memoryview``, so the only
+        copies are the codec transforms themselves (and one final copy
+        for the plain passthrough case).
+        """
+        view = memoryview(blob)
+        if len(view) < 1 + _MAC_BYTES:
             raise IntegrityError("object too short to contain a MAC")
-        mac = blob[-_MAC_BYTES:]
-        signed = blob[:-_MAC_BYTES]
+        mac = view[-_MAC_BYTES:]
+        signed = view[:-_MAC_BYTES]
         expected = hmac.new(self._mac_key, signed, hashlib.sha1).digest()
         if not hmac.compare_digest(mac, expected):
             raise IntegrityError("object MAC verification failed")
@@ -108,7 +138,7 @@ class ObjectCodec:
         if flags & _FLAG_ENCRYPTED:
             if not self._encrypt:
                 raise IntegrityError("object is encrypted but no password given")
-            iv = signed[offset:offset + _IV_BYTES]
+            iv = bytes(signed[offset:offset + _IV_BYTES])
             if len(iv) < _IV_BYTES:
                 raise IntegrityError("truncated IV")
             offset += _IV_BYTES
@@ -120,10 +150,10 @@ class ObjectCodec:
                 body = zlib.decompress(body)
             except zlib.error as exc:
                 raise IntegrityError(f"object decompression failed: {exc}") from exc
-        return body
+        return body if isinstance(body, bytes) else bytes(body)
 
 
-def _aes_ctr(key: bytes, iv: bytes, data: bytes) -> bytes:
+def _aes_ctr(key: bytes, iv: bytes, data) -> bytes:
     """AES-128-CTR via the ``cryptography`` package (CTR is symmetric,
     so the same call encrypts and decrypts)."""
     from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes

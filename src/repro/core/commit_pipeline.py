@@ -1,6 +1,6 @@
 """Algorithm 2: the commit replication pipeline.
 
-Thread anatomy (the paper's Figure 3):
+Thread anatomy (the paper's Figure 3, grown into three stages):
 
 * DBMS threads call :meth:`CommitPipeline.submit` from the interposer's
   ``after_write`` hook.  The write is already durable locally; submit
@@ -8,30 +8,46 @@ Thread anatomy (the paper's Figure 3):
   unconfirmed or the oldest unconfirmed update is older than T_S.
 * The **Aggregator** thread claims batches of up to B queued updates
   (without removing them), coalesces overwritten pages, splits the
-  result into WAL objects of at most ``max_object_bytes``, assigns
-  timestamps, encodes (compress/encrypt/MAC) and hands the objects to
-  the upload queue.
+  result into WAL objects of at most ``max_object_bytes`` and assigns
+  timestamps — everything ordering-sensitive, so the
+  consecutive-timestamps unlock rule is untouched.  It hands
+  *unencoded* tasks to the encode stage.
+* **Encoder** workers (:class:`~repro.core.encode_stage.EncodeStage`)
+  run the codec (compress/encrypt/MAC) in parallel — zlib, AES and
+  HMAC release the GIL — and push encoded blobs to the upload queue.
+  With ``encode_inline=True`` the Aggregator encodes serially instead
+  (the pre-three-stage behaviour, kept for ablation).
 * **Uploader** threads PUT objects in parallel through the cloud
   transport, whose RetryLayer absorbs transient failures.
 * The **Unlocker** thread receives batch-completion acks and removes
   entries from the queue head strictly in batch order — the
   "consecutive timestamps" rule that makes S a true bound on loss even
-  when parallel uploads complete out of order (§5.3).
+  when parallel uploads (or encodes) complete out of order (§5.3).
 
 A PUT that exhausts its retries poisons the pipeline: subsequent
 submits raise, because silently dropping a WAL object would leave a
 permanent timestamp gap that recovery stops at.  The same discipline
-applies to *any* exception escaping a worker loop (codec faults, view
-bookkeeping errors): the loop records it in ``_fatal`` and notifies the
-condition, so Safety-blocked submitters fail fast instead of waiting on
-a thread that silently died.
+applies to *any* exception escaping a worker loop (codec faults in the
+encode stage, view bookkeeping errors): the loop records it in
+``_fatal`` and notifies the condition, so Safety-blocked submitters
+fail fast instead of waiting on a thread that silently died; and
+:meth:`stop` re-raises the recorded failure, so a poisoned pipeline can
+never report a clean shutdown.
+
+The wire path is copy-free: coalesced runs stay views over the
+submitted pages (``_split_chunks`` slices ``memoryview``s), the WAL
+payload is assembled once into an exactly-sized buffer, and the codec
+writes ``flags|iv|body|mac`` into one preallocated ``bytearray`` with a
+streaming MAC.
 
 The pipeline narrates itself on the event bus (``commit_blocked``,
-``wal_batch``, ``wal_object``, ``batch_unlocked``, ``codec``);
-:class:`~repro.core.stats.GinjaStats` and the trace recorder subscribe
-there instead of being threaded through the constructor.  All waiting
-is condition-based with computed deadlines — an idle pipeline does not
-spin, and a T_B/T_S expiry fires on time.
+``wal_batch``, ``encode_queued``/``encode_done``, ``wal_object``,
+``batch_unlocked``, ``codec``); :class:`~repro.core.stats.GinjaStats`
+and the trace recorder subscribe there instead of being threaded
+through the constructor.  Per-write emits are guarded with
+:meth:`EventBus.wants` so an audience of zero costs nothing.  All
+waiting is condition-based with computed deadlines — an idle pipeline
+does not spin, and a T_B/T_S expiry fires on time.
 """
 
 from __future__ import annotations
@@ -49,6 +65,7 @@ from repro.core.cloud_view import CloudView
 from repro.core.codec import ObjectCodec
 from repro.core.config import GinjaConfig
 from repro.core.data_model import WALObjectMeta, encode_wal_payload
+from repro.core.encode_stage import EncodeStage
 from repro.cloud.interface import ObjectStore
 
 
@@ -58,6 +75,19 @@ class _Entry:
     offset: int
     data: bytes
     enqueued_at: float
+
+
+@dataclass(slots=True)
+class _EncodeTask:
+    """One WAL object planned by the Aggregator, not yet encoded.
+
+    ``chunks`` holds bytes-like runs (often ``memoryview`` slices over
+    the submitted pages — safe because queue entries outlive their
+    batch: the unlocker pops them only after the batch is acked)."""
+
+    batch_id: int
+    meta: WALObjectMeta
+    chunks: list
 
 
 @dataclass(slots=True)
@@ -83,6 +113,11 @@ class CommitPipeline:
         view: the shared picture of what the cloud contains.
         bus: event bus for observability (default: events are dropped).
         clock: time source for T_B/T_S accounting.
+        encode_stage: a shared :class:`EncodeStage` (the Ginja facade
+            passes one pool serving both this pipeline and the
+            checkpoint collector).  ``None`` makes the pipeline build
+            and own a private stage sized by ``config.encoders``
+            (unless ``config.encode_inline`` disables the stage).
     """
 
     def __init__(
@@ -93,6 +128,7 @@ class CommitPipeline:
         view: CloudView,
         bus: EventBus | None = None,
         clock: Clock = SYSTEM_CLOCK,
+        encode_stage: EncodeStage | None = None,
     ):
         self._config = config
         self._cloud = cloud
@@ -100,6 +136,15 @@ class CommitPipeline:
         self._view = view
         self._bus = bus or NULL_BUS
         self._clock = clock
+        if config.encode_inline:
+            self._stage = None
+            self._owns_stage = False
+        elif encode_stage is not None:
+            self._stage = encode_stage
+            self._owns_stage = False
+        else:
+            self._stage = EncodeStage(config.encoders, on_error=self._poison)
+            self._owns_stage = True
 
         self._cond = threading.Condition()
         self._entries: deque[_Entry] = deque()
@@ -128,6 +173,8 @@ class CommitPipeline:
     def start(self) -> None:
         if self._threads:
             raise GinjaError("pipeline already started")
+        if self._owns_stage and not self._stage.running:
+            self._stage.start()
         self._threads.append(
             threading.Thread(target=self._aggregator_loop, name="ginja-aggregator",
                              daemon=True)
@@ -145,17 +192,28 @@ class CommitPipeline:
             thread.start()
 
     def stop(self, drain_timeout: float = 30.0) -> None:
-        """Flush pending updates (best effort), then stop all threads."""
+        """Flush pending updates (best effort), then stop all threads.
+
+        Raises the recorded fatal error if the pipeline was poisoned —
+        a pipeline that dropped WAL objects must not report a clean
+        shutdown (callers that expect the failure catch ``GinjaError``).
+        """
         self.drain(timeout=drain_timeout)
         with self._cond:
             self._stop = True
             self._cond.notify_all()
+        if self._owns_stage:
+            # Encoders first: anything they finish still reaches the
+            # upload queue before the uploaders see their sentinels.
+            self._stage.stop()
         for _ in range(self._config.uploaders):
             self._upload_q.put(_STOP)
         self._ack_q.put(_STOP)
         for thread in self._threads:
             thread.join(timeout=10.0)
         self._threads.clear()
+        if self._fatal is not None:
+            raise GinjaError("commit pipeline failed during shutdown") from self._fatal
 
     def abort(self, reason: Exception | None = None) -> None:
         """Abrupt primary loss: stop all threads *without* draining.
@@ -171,6 +229,8 @@ class CommitPipeline:
                 self._fatal = reason or GinjaError("primary crashed")
             self._stop = True
             self._cond.notify_all()
+        if self._owns_stage:
+            self._stage.stop(discard=True)
         for _ in range(self._config.uploaders):
             self._upload_q.put(_STOP)
         self._ack_q.put(_STOP)
@@ -208,13 +268,18 @@ class CommitPipeline:
         now = self._clock.now()
         entry = _Entry(path=path, offset=offset, data=bytes(data), enqueued_at=now)
         blocked_since: float | None = None
+        # wants() checks hoisted out of the lock: this runs once per
+        # DBMS write, and with only counter subscribers attached the
+        # per-write events have no audience — skip building them.
+        bus = self._bus
         with self._cond:
             if self._fatal is not None:
                 raise GinjaError("commit pipeline failed") from self._fatal
             self._entries.append(entry)
-            self._bus.emit(
-                events.QUEUE_DEPTH, key=path, count=len(self._entries), at=now,
-            )
+            if bus.wants(events.QUEUE_DEPTH):
+                bus.emit(
+                    events.QUEUE_DEPTH, key=path, count=len(self._entries), at=now,
+                )
             self._cond.notify_all()
             while True:
                 if self._fatal is not None:
@@ -228,17 +293,18 @@ class CommitPipeline:
                     break
                 if blocked_since is None:
                     blocked_since = self._clock.now()
-                    self._bus.emit(
-                        events.COMMIT_BLOCKED, key=path,
-                        count=len(self._entries), at=blocked_since,
-                    )
+                    if bus.wants(events.COMMIT_BLOCKED):
+                        bus.emit(
+                            events.COMMIT_BLOCKED, key=path,
+                            count=len(self._entries), at=blocked_since,
+                        )
                 # Both blocking reasons clear only when entries leave the
                 # queue (or the pipeline fails), and every such change
                 # notifies this condition — wait without a timeout.
                 self._cond.wait()
         if blocked_since is not None:
             blocked_for = self._clock.now() - blocked_since
-            self._bus.emit(
+            bus.emit(
                 events.COMMIT_UNBLOCKED, key=path, latency=blocked_for,
                 at=self._clock.now(),
             )
@@ -302,12 +368,12 @@ class CommitPipeline:
                 self._next_batch_id += 1
                 self._claimed += count
                 self._batch_sizes[batch_id] = count
-            objects = self._aggregate(batch_id, batch)
+            tasks = self._plan(batch_id, batch)
             self._bus.emit(
-                events.WAL_BATCH, count=count, nbytes=len(objects),
+                events.WAL_BATCH, count=count, nbytes=len(tasks),
                 at=self._clock.now(),
             )
-            if not objects:
+            if not tasks:
                 # Cannot happen for count > 0, but never leave a batch
                 # that the unlocker would wait on forever.
                 with self._cond:
@@ -315,16 +381,34 @@ class CommitPipeline:
                     self._remove_completed_prefix_locked()
                 continue
             with self._cond:
-                self._inflight_objects[batch_id] = len(objects)
-            for task in objects:
-                self._upload_q.put(task)
+                self._inflight_objects[batch_id] = len(tasks)
+            if self._stage is None:
+                for task in tasks:
+                    self._encode_and_enqueue(task)
+            else:
+                emit_queued = self._bus.wants(events.ENCODE_QUEUED)
+                for task in tasks:
+                    self._stage.submit(
+                        lambda task=task: self._encode_job(task)
+                    )
+                    if emit_queued:
+                        self._bus.emit(
+                            events.ENCODE_QUEUED, key=task.meta.key,
+                            count=self._stage.queue_depth(),
+                            at=self._clock.now(),
+                        )
 
-    def _aggregate(self, batch_id: int, batch: list[_Entry]) -> list[_UploadTask]:
-        """Coalesce page overwrites and build WAL objects (Alg. 2 line 12).
+    def _plan(self, batch_id: int, batch: list[_Entry]) -> list[_EncodeTask]:
+        """Coalesce page overwrites and plan WAL objects (Alg. 2 line 12).
 
         Repeated writes to the same (file, offset) — the partially-filled
         WAL page being rewritten as it fills — collapse to the latest
         content, which is the main source of Ginja's PUT savings.
+
+        This is the ordering-sensitive half of the old aggregate step:
+        timestamps are assigned here, on the single Aggregator thread,
+        in batch order — the encode stage behind it may finish objects
+        in any order without weakening the S bound.
         """
         by_file: dict[str, list[tuple[int, bytes]]] = {}
         if self._config.coalesce_writes:
@@ -343,7 +427,7 @@ class CommitPipeline:
             # upload volume inflates.
             for entry in batch:
                 by_file.setdefault(entry.path, []).append((entry.offset, entry.data))
-        tasks: list[_UploadTask] = []
+        tasks: list[_EncodeTask] = []
         for path in sorted(by_file):
             if self._config.coalesce_writes:
                 chunks = _merge_chunks(sorted(by_file[path]))
@@ -352,16 +436,43 @@ class CommitPipeline:
             for group in _split_chunks(chunks, self._config.max_object_bytes):
                 if not group:
                     continue
-                payload = encode_wal_payload(group)
-                blob = self._codec.encode(payload)
-                self._bus.emit(events.CODEC, nbytes=len(payload), key=path)
                 meta = WALObjectMeta(
                     ts=self._view.next_wal_ts(),
                     filename=path,
                     offset=group[0][0],
                 )
-                tasks.append(_UploadTask(batch_id=batch_id, meta=meta, blob=blob))
+                tasks.append(
+                    _EncodeTask(batch_id=batch_id, meta=meta, chunks=group)
+                )
         return tasks
+
+    # -- Encode stage -------------------------------------------------------------------
+
+    def _encode_job(self, task: _EncodeTask) -> None:
+        """One encode-stage unit: codec the planned object, hand it to the
+        uploaders.  Runs on an encoder worker; any failure — codec fault,
+        payload framing — poisons the pipeline exactly like a dead
+        uploader would, because the batch could otherwise never ack."""
+        try:
+            self._encode_and_enqueue(task)
+        except BaseException as exc:  # noqa: BLE001 - worker job boundary
+            self._poison(exc)
+
+    def _encode_and_enqueue(self, task: _EncodeTask) -> None:
+        payload = encode_wal_payload(task.chunks)
+        blob = self._codec.encode(payload)
+        bus = self._bus
+        if bus.wants(events.CODEC):
+            bus.emit(events.CODEC, nbytes=len(payload), key=task.meta.filename)
+        self._upload_q.put(
+            _UploadTask(batch_id=task.batch_id, meta=task.meta, blob=blob)
+        )
+        if bus.wants(events.ENCODE_DONE):
+            bus.emit(
+                events.ENCODE_DONE, key=task.meta.key, nbytes=len(blob),
+                count=self._stage.queue_depth() if self._stage else 0,
+                at=self._clock.now(),
+            )
 
     # -- Uploaders -----------------------------------------------------------------------
 
@@ -447,13 +558,21 @@ def _merge_chunks(chunks: list[tuple[int, bytes]]) -> list[tuple[int, bytes]]:
     it: truncating the run at the write's end would drop the run's
     suffix from the WAL object, and recovery would then restore stale
     bytes the DBMS had already durably overwritten.
+
+    Non-adjacent runs — the overwhelmingly common case after coalescing
+    — pass through without copying; a run is widened into a
+    ``bytearray`` only when a later run actually touches it.
     """
-    merged: list[tuple[int, bytearray]] = []
+    merged: list[list] = []  # [offset, bytes | bytearray]
     for offset, data in chunks:
         if merged:
-            last_offset, last_data = merged[-1]
+            last = merged[-1]
+            last_offset, last_data = last
             last_end = last_offset + len(last_data)
             if offset <= last_end:
+                if not isinstance(last_data, bytearray):
+                    last_data = bytearray(last_data)
+                    last[1] = last_data
                 start = offset - last_offset
                 end = start + len(data)
                 if end >= len(last_data):
@@ -462,8 +581,8 @@ def _merge_chunks(chunks: list[tuple[int, bytes]]) -> list[tuple[int, bytes]]:
                 else:
                     last_data[start:end] = data
                 continue
-        merged.append((offset, bytearray(data)))
-    return [(offset, bytes(data)) for offset, data in merged]
+        merged.append([offset, data])
+    return [(offset, data) for offset, data in merged]
 
 
 def _split_chunks(
@@ -471,23 +590,34 @@ def _split_chunks(
 ) -> list[list[tuple[int, bytes]]]:
     """Partition runs into groups whose payload stays under ``max_bytes``.
 
-    A single run larger than the cap is sliced across groups.
+    A single run larger than the cap is sliced across groups as
+    ``memoryview`` slices — no copy until :func:`encode_wal_payload`
+    writes the group into its output buffer.  Runs that fit whole are
+    passed through untouched.
     """
     groups: list[list[tuple[int, bytes]]] = []
     current: list[tuple[int, bytes]] = []
     current_bytes = 0
     for offset, data in chunks:
         position = 0
-        while position < len(data):
+        size = len(data)
+        view = None
+        while position < size:
             room = max_bytes - current_bytes
             if room <= 0:
                 groups.append(current)
                 current, current_bytes = [], 0
                 room = max_bytes
-            piece = data[position:position + room]
+            take = min(room, size - position)
+            if position == 0 and take == size:
+                piece = data
+            else:
+                if view is None:
+                    view = memoryview(data)
+                piece = view[position:position + take]
             current.append((offset + position, piece))
-            current_bytes += len(piece)
-            position += len(piece)
+            current_bytes += take
+            position += take
     if current:
         groups.append(current)
     return groups

@@ -37,6 +37,17 @@ class GinjaConfig:
     # -- §6: pipeline shape ---------------------------------------------------
     #: Parallel Uploader threads (the paper's evaluation uses five).
     uploaders: int = 5
+    #: Parallel encoder threads (the middle stage of the three-stage
+    #: pipeline).  zlib/AES/HMAC release the GIL, so with compression or
+    #: encryption on this is real CPU parallelism; the stage is shared
+    #: with the checkpoint collector so DB-object encoding overlaps WAL
+    #: traffic.
+    encoders: int = 4
+    #: Run codec work inline on the Aggregator thread instead of the
+    #: encode stage — the pre-three-stage behaviour, kept for the
+    #: perf-ablation benchmark and for single-core environments where
+    #: the handoff buys nothing.
+    encode_inline: bool = False
     #: Objects are split at this size to optimize upload latency
     #: (footnote 3: 20 MB default).
     max_object_bytes: int = 20 * 1000 * 1000
@@ -105,6 +116,11 @@ class GinjaConfig:
             raise ConfigError("timeouts must be positive")
         if self.uploaders < 1:
             raise ConfigError("need at least one uploader thread")
+        if self.encoders < 1:
+            raise ConfigError(
+                "need at least one encoder thread (set encode_inline=True "
+                "to bypass the encode stage instead)"
+            )
         if self.max_object_bytes < 64 * 1024:
             raise ConfigError("max_object_bytes unreasonably small")
         if self.encrypt and not self.password:

@@ -33,7 +33,9 @@ from repro.common.serialize import (
     pack_bytes,
     pack_str,
     pack_u32,
+    pack_u32_into,
     pack_u64,
+    pack_u64_into,
     take_bytes,
     take_str,
     take_u32,
@@ -91,13 +93,25 @@ class WALObjectMeta:
             raise GinjaError(f"malformed WAL object key: {key!r}") from exc
 
 
-def encode_wal_payload(chunks: list[tuple[int, bytes]]) -> bytes:
-    """Serialize the (offset, data) runs of one WAL object."""
-    out = [pack_u32(len(chunks))]
+def encode_wal_payload(chunks: list[tuple[int, bytes]]) -> bytearray:
+    """Serialize the (offset, data) runs of one WAL object.
+
+    ``data`` may be any bytes-like object (the pipeline's split stage
+    hands in ``memoryview`` slices of the submitted pages); the payload
+    is assembled into one exactly-sized buffer, so each chunk's bytes
+    are copied exactly once on their way to the codec.
+    """
+    total = 4 + sum(12 + len(data) for _offset, data in chunks)
+    out = bytearray(total)
+    pack_u32_into(out, 0, len(chunks))
+    pos = 4
     for offset, data in chunks:
-        out.append(pack_u64(offset))
-        out.append(pack_bytes(data))
-    return b"".join(out)
+        pack_u64_into(out, pos, offset)
+        pack_u32_into(out, pos + 8, len(data))
+        pos += 12
+        out[pos:pos + len(data)] = data
+        pos += len(data)
+    return out
 
 
 def decode_wal_payload(payload: bytes) -> list[tuple[int, bytes]]:

@@ -1,0 +1,203 @@
+"""The encode stage: a sized worker pool for codec work (CPU parallelism).
+
+The paper's Figure 3 overlaps replication with transaction processing,
+and its evaluation runs five parallel uploader threads — but compression,
+encryption and MAC work used to run serially on the single Aggregator
+thread, so with the Fig. 6 configuration (zlib + AES) the uploaders
+starved behind one encoder.  This module is the middle stage of the
+three-stage pipeline::
+
+    Aggregator  →  EncodeStage (N workers)  →  Uploaders
+
+Everything ordering-sensitive (batch claim, coalescing, timestamp
+assignment) stays on the Aggregator; the encode stage only runs pure
+CPU transforms whose outputs are ordered downstream by the unlocker's
+consecutive-timestamp rule.  zlib, ``cryptography``'s AES and ``hmac``
+all release the GIL, so the workers achieve real parallelism in CPython.
+
+The stage is deliberately generic — jobs are plain callables — so the
+:class:`~repro.core.checkpointer.CheckpointCollector` reuses the same
+pool via :meth:`EncodeStage.map` and DB-object encoding overlaps WAL
+traffic instead of serializing behind the DBMS's checkpoint thread.
+
+Failure discipline matches the other worker loops: a job that lets a
+``BaseException`` escape is reported to the stage's ``on_error`` hook
+(the commit pipeline installs its poison function there), never
+swallowed; :meth:`map` re-raises the first failure in the caller.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable
+
+from repro.common.errors import GinjaError
+
+_STOP = object()
+
+
+class _MapJob:
+    """One :meth:`EncodeStage.map` unit: runs on a worker, and — unlike a
+    fire-and-forget job — must resolve even on the discard path, or the
+    mapper would wait forever on a job nobody will run."""
+
+    __slots__ = ("_run",)
+
+    def __init__(self, run: Callable[[bool], None]):
+        self._run = run
+
+    def __call__(self) -> None:
+        self._run(False)
+
+    def cancel(self) -> None:
+        self._run(True)
+
+
+class EncodeStage:
+    """A fixed pool of encoder threads fed from an unbounded FIFO queue.
+
+    Args:
+        workers: pool size (``GinjaConfig.encoders``).
+        on_error: called with the escaping ``BaseException`` when an
+            async job dies; installed by the pipeline to poison itself.
+            ``map`` jobs report to their caller instead.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        on_error: Callable[[BaseException], None] | None = None,
+        name: str = "ginja-encoder",
+    ):
+        if workers < 1:
+            raise GinjaError("encode stage needs at least one worker")
+        self._workers = workers
+        self._name = name
+        self._on_error = on_error
+        self._queue: queue.Queue = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._discard = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return bool(self._threads)
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def start(self) -> None:
+        if self._threads:
+            raise GinjaError("encode stage already started")
+        self._discard = False
+        for index in range(self._workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"{self._name}-{index}", daemon=True
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def stop(self, *, discard: bool = False) -> None:
+        """Stop all workers.
+
+        ``discard=False`` (the drain path) lets queued jobs finish first;
+        ``discard=True`` (the crash path) drops them — workers skip every
+        remaining job, exactly as a power failure would.
+        """
+        if not self._threads:
+            return
+        if discard:
+            self._discard = True
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        self._threads.clear()
+
+    # -- job submission ----------------------------------------------------------
+
+    def submit(self, job: Callable[[], None]) -> None:
+        """Queue one fire-and-forget job (the pipeline's per-object path).
+
+        The job owns its own result delivery (e.g. putting an encoded
+        blob on the upload queue); an escaping exception goes to
+        ``on_error``.
+        """
+        self._queue.put(job)
+
+    def queue_depth(self) -> int:
+        """Jobs waiting in the stage (approximate, for events)."""
+        return self._queue.qsize()
+
+    def map(self, jobs: list[Callable[[], object]]) -> list[object]:
+        """Run ``jobs`` on the pool, block for all, return results in order.
+
+        Used by the checkpoint collector to encode a checkpoint's parts
+        in parallel.  The first exception any job raised is re-raised
+        here, in the calling thread — the collector's caller (the DBMS's
+        checkpointing thread) keeps the kill-the-checkpointer discipline
+        it had when encoding inline.  When the stage is not running the
+        jobs execute inline, so callers never need a fallback path.
+        """
+        if not jobs:
+            return []
+        if not self._threads:
+            return [job() for job in jobs]
+        results: list[object] = [None] * len(jobs)
+        errors: list[BaseException] = []
+        done = threading.Event()
+        remaining = len(jobs)
+        lock = threading.Lock()
+
+        def run(index: int, job: Callable[[], object], cancelled: bool) -> None:
+            nonlocal remaining
+            try:
+                if cancelled:
+                    raise GinjaError("encode stage stopped before the job ran")
+                results[index] = job()
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                with lock:
+                    errors.append(exc)
+            finally:
+                with lock:
+                    remaining -= 1
+                    if remaining == 0:
+                        done.set()
+
+        for index, job in enumerate(jobs):
+            self._queue.put(
+                _MapJob(lambda cancelled, i=index, j=job: run(i, j, cancelled))
+            )
+        done.wait()
+        if errors:
+            raise errors[0]
+        return results
+
+    # -- worker ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            if self._discard:
+                # Fire-and-forget jobs are simply dropped (the crash
+                # semantics), but map jobs must still resolve their latch.
+                if isinstance(item, _MapJob):
+                    item.cancel()
+                continue
+            try:
+                item()
+            except BaseException as exc:  # noqa: BLE001 - worker loop boundary
+                # A dead encoder is as fatal as a dead uploader: without
+                # this hook the pipeline would wait forever on a blob
+                # that will never be enqueued.
+                if self._on_error is not None:
+                    try:
+                        self._on_error(exc)
+                    except Exception:
+                        pass

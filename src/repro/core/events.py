@@ -38,6 +38,8 @@ from repro.common.events import (  # noqa: F401  (re-exported taxonomy)
     DELETE_END,
     DELETE_START,
     DUMP_COMPLETE,
+    ENCODE_DONE,
+    ENCODE_QUEUED,
     Event,
     EventBus,
     GC_DELETE,

@@ -30,6 +30,7 @@ from repro.core.cloud_view import CloudView
 from repro.core.codec import ObjectCodec
 from repro.core.commit_pipeline import CommitPipeline
 from repro.core.config import GinjaConfig
+from repro.core.encode_stage import EncodeStage
 from repro.core.processors import DatabaseProcessor
 from repro.core.stats import GinjaStats
 from repro.cloud.interface import ObjectStore
@@ -81,9 +82,17 @@ class Ginja:
             time_scale=time_scale,
             clock=clock,
         )
+        #: One encoder pool shared by the commit pipeline and the
+        #: checkpoint collector, so DB-object codec work overlaps WAL
+        #: traffic on the same ``config.encoders`` threads.  ``None``
+        #: when ``encode_inline`` disables the stage entirely.
+        self.encode_stage = (
+            None if self.config.encode_inline
+            else EncodeStage(self.config.encoders)
+        )
         self.pipeline = CommitPipeline(
             self.config, self.transport, self.codec, self.view, self.bus,
-            clock=clock,
+            clock=clock, encode_stage=self.encode_stage,
         )
         self.checkpointer = CheckpointUploader(
             self.config, self.transport, self.view, self.bus, clock=clock
@@ -96,6 +105,7 @@ class Ginja:
             profile,
             self.checkpointer.queue,
             self.bus,
+            encode_stage=self.encode_stage,
         )
         self.processor = DatabaseProcessor(profile, self.pipeline, self.collector)
         self._running = False
@@ -128,19 +138,31 @@ class Ginja:
             pass  # view already initialized (the recover() path)
         else:
             raise GinjaError(f"unknown start mode: {mode!r}")
+        if self.encode_stage is not None and not self.encode_stage.running:
+            self.encode_stage.start()
         self.pipeline.start()
         self.checkpointer.start()
         self.fs.set_interceptor(self.processor)
         self._running = True
 
     def stop(self, drain_timeout: float = 30.0) -> None:
-        """Drain both pipelines and deactivate interception."""
+        """Drain both pipelines and deactivate interception.
+
+        A poisoned commit pipeline re-raises its recorded failure from
+        :meth:`CommitPipeline.stop`; the checkpointer and the shared
+        encode stage are still torn down first, so a failed shutdown
+        never leaks threads.
+        """
         if not self._running:
             return
         self.fs.set_interceptor(None)
-        self.pipeline.stop(drain_timeout=drain_timeout)
-        self.checkpointer.stop(drain_timeout=drain_timeout)
-        self._running = False
+        try:
+            self.pipeline.stop(drain_timeout=drain_timeout)
+        finally:
+            self.checkpointer.stop(drain_timeout=drain_timeout)
+            if self.encode_stage is not None:
+                self.encode_stage.stop()
+            self._running = False
 
     def drain(self, timeout: float = 30.0) -> bool:
         """Wait until every pending update and checkpoint is in the cloud."""
@@ -162,6 +184,8 @@ class Ginja:
         if self._running:
             self.pipeline.abort()
             self.checkpointer.abort()
+        if self.encode_stage is not None:
+            self.encode_stage.stop(discard=True)
         self._running = False
 
     # -- observability ----------------------------------------------------------------

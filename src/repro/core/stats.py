@@ -55,9 +55,19 @@ class GinjaStats:
 
     # -- event-bus subscription ---------------------------------------------
 
+    #: The only kinds :meth:`handle_event` reacts to.  Declared at
+    #: subscription time so the bus's ``wants()`` fast path stays False
+    #: for per-write events (``queue_depth``, ``encode_queued``…) when a
+    #: stats counter is the sole subscriber.
+    HANDLED_KINDS = frozenset({
+        events.RETRY, events.GC_DELETE, events.WAL_OBJECT, events.WAL_BATCH,
+        events.DB_OBJECT, events.DUMP_COMPLETE, events.CHECKPOINT_END,
+        events.COMMIT_BLOCKED, events.COMMIT_UNBLOCKED, events.CODEC,
+    })
+
     def attach(self, bus: EventBus) -> "GinjaStats":
         """Subscribe to a bus; pipeline/transport events feed counters."""
-        bus.subscribe(self.handle_event)
+        bus.subscribe(self.handle_event, kinds=self.HANDLED_KINDS)
         return self
 
     def handle_event(self, event: Event) -> None:

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.common.errors import IntegrityError
-from repro.core.codec import ObjectCodec
+from repro.core.codec import ObjectCodec, _derive_key
 
 
 PAYLOAD = b"some WAL page content " * 100
@@ -96,6 +96,29 @@ class TestEncryption:
         blob = codec.encode(PAYLOAD)
         assert codec.decode(blob) == PAYLOAD
         assert len(blob) < len(PAYLOAD)  # compressed before encryption
+
+
+class TestKeyDerivationMemoization:
+    def test_same_password_shares_derived_keys(self):
+        """PBKDF2 is deliberately slow; two codecs built from one
+        password must share the cached derivations (same objects, not
+        just equal bytes) and interoperate on the wire."""
+        a = ObjectCodec(encrypt=True, password="shared-pw")
+        b = ObjectCodec(encrypt=True, password="shared-pw")
+        assert a._cipher_key is b._cipher_key
+        assert a._mac_key is b._mac_key
+        assert b.decode(a.encode(PAYLOAD)) == PAYLOAD
+        assert a.decode(b.encode(PAYLOAD)) == PAYLOAD
+
+    def test_cache_hit_counted(self):
+        before = _derive_key.cache_info().hits
+        ObjectCodec(encrypt=True, password="memo-probe")
+        ObjectCodec(encrypt=True, password="memo-probe")
+        assert _derive_key.cache_info().hits >= before + 2
+
+    def test_distinct_purposes_yield_distinct_keys(self):
+        codec = ObjectCodec(encrypt=True, password="pw-distinct")
+        assert codec._cipher_key != codec._mac_key[:16]
 
 
 @given(st.binary(max_size=5000), st.booleans(), st.booleans())

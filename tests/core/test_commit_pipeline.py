@@ -339,7 +339,10 @@ class TestFailureHandling:
             with pytest.raises(GinjaError):
                 pipe.submit("seg", 512, b"y")
         finally:
-            pipe.stop(drain_timeout=0.1)
+            # stop() re-raises the recorded poison — a failed pipeline
+            # must never report a clean shutdown.
+            with pytest.raises(GinjaError):
+                pipe.stop(drain_timeout=0.1)
 
     def test_codec_fault_poisons_pipeline(self):
         """A non-CloudError fault in the aggregator (codec encode) must
@@ -367,7 +370,8 @@ class TestFailureHandling:
             with pytest.raises(GinjaError):
                 pipe.submit("seg", 512, b"y")
         finally:
-            pipe.stop(drain_timeout=0.1)
+            with pytest.raises(GinjaError):
+                pipe.stop(drain_timeout=0.1)
 
     def test_uploader_non_cloud_error_poisons_pipeline(self):
         """The uploader loop must treat *any* exception as fatal, not
@@ -391,7 +395,8 @@ class TestFailureHandling:
                 pipe.submit("seg", 512, b"y")
             assert not pipe.drain(timeout=0.1)
         finally:
-            pipe.stop(drain_timeout=0.1)
+            with pytest.raises(GinjaError):
+                pipe.stop(drain_timeout=0.1)
 
 
 class TestConcurrency:

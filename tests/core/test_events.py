@@ -49,6 +49,53 @@ class TestEventBus:
         EventBus().emit(events.RETRY)  # must not build or raise anything
 
 
+class TestWants:
+    def test_null_bus_wants_nothing(self):
+        from repro.common.events import NULL_BUS
+        assert not NULL_BUS.wants(events.RETRY)
+        assert not NULL_BUS.wants(events.QUEUE_DEPTH)
+
+    def test_wildcard_subscriber_wants_everything(self):
+        bus = EventBus()
+        bus.subscribe(lambda e: None)
+        assert bus.wants(events.RETRY)
+        assert bus.wants("made-up-kind")
+
+    def test_filtered_subscriber_wants_only_its_kinds(self):
+        bus = EventBus()
+        bus.subscribe(lambda e: None, kinds={events.RETRY, events.CODEC})
+        assert bus.wants(events.RETRY)
+        assert bus.wants(events.CODEC)
+        assert not bus.wants(events.QUEUE_DEPTH)
+
+    def test_unsubscribe_retracts_wants(self):
+        bus = EventBus()
+        handle = bus.subscribe(lambda e: None, kinds={events.RETRY})
+        assert bus.wants(events.RETRY)
+        bus.unsubscribe(handle)
+        assert not bus.wants(events.RETRY)
+
+    def test_filtered_subscriber_never_sees_other_kinds(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds={events.RETRY})
+        bus.emit(events.RETRY, attempt=1)
+        bus.emit(events.CODEC, nbytes=5)  # no audience at all -> not built
+        wild = []
+        bus.subscribe(wild.append)
+        bus.emit(events.CODEC, nbytes=7)  # wildcard gets it, filter does not
+        assert [e.kind for e in seen] == [events.RETRY]
+        assert [e.kind for e in wild] == [events.CODEC]
+
+    def test_emit_skips_event_construction_without_audience(self):
+        bus = EventBus()
+        bus.subscribe(lambda e: None, kinds={events.RETRY})
+        # kwargs invalid for Event: would raise if the Event were built.
+        bus.emit(events.CODEC, not_a_field=1)
+        with pytest.raises(TypeError):
+            bus.emit(events.RETRY, not_a_field=1)
+
+
 class TestTraceRecorder:
     def test_ring_buffer_bounds_retention(self):
         recorder = TraceRecorder(capacity=3)

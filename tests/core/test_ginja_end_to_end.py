@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.common.errors import GinjaError
 from repro.common.units import KiB
 from repro.cloud.memory import InMemoryObjectStore
 from repro.cloud.simulated import SimulatedCloud
@@ -192,7 +193,12 @@ class TestRPO:
             # Disaster strikes now.  The recovered DB may miss at most
             # S + B updates (queue bound plus the batch in flight).
         finally:
-            ginja.stop(drain_timeout=0.2)
+            # The frozen cloud exhausted the PUT budget and poisoned the
+            # pipeline; stop() re-raises that failure after teardown.
+            try:
+                ginja.stop(drain_timeout=0.2)
+            except GinjaError:
+                pass
         ginja2, db2, _ = recover_db(backend, profile)
         try:
             recovered = sum(

@@ -11,6 +11,7 @@ from benchmarks.perf.harness import (
     bench_codec,
     bench_merge,
     bench_pipeline,
+    bench_recovery,
     bench_replay,
     legacy_encode_wal_payload,
     legacy_merge_chunks,
@@ -71,6 +72,21 @@ class TestBenchmarksRun:
         for optimized in (False, True):
             assert bench_replay(optimized=optimized, objects=10,
                                 object_bytes=2048) > 0
+
+    def test_recovery_bench_verifies_the_restore(self):
+        # bench_recovery raises if the restored files mismatch the seeded
+        # workload, so a clean return at both series proves the parallel
+        # engine restored byte-identically to the sequential baseline.
+        for optimized in (False, True):
+            assert bench_recovery(optimized=optimized, objects=8,
+                                  object_bytes=1024, get_latency=0.0005,
+                                  repeats=1) > 0
+
+    def test_recovery_bench_is_floor_gated_across_machines(self):
+        # The committed entry carries "parallel": True so the CI check
+        # never two-sided-bands a latency timing from another machine.
+        report = run_suite(scale=0.01)
+        assert report["benchmarks"]["recovery_parallel_download"]["parallel"]
 
 
 class TestReportSchema:

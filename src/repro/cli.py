@@ -38,7 +38,13 @@ from repro.cloud.pricing import (
 )
 from repro.common.units import parse_bytes
 from repro.core.config import GinjaConfig
-from repro.core.events import TraceRecorder
+from repro.core.events import (
+    Event,
+    OBJECT_RESTORED,
+    RECOVERY_DONE,
+    RECOVERY_PLANNED,
+    TraceRecorder,
+)
 from repro.core.ginja import Ginja
 from repro.core.verification import verify_backup
 from repro.costmodel.budget import BudgetFrontier
@@ -147,9 +153,23 @@ def cmd_demo(args: argparse.Namespace) -> int:
              if recovered.get("demo", f"row-{i}") == f"value-{i}".encode())
     print(f"  recovered {ok}/{args.rows} rows "
           f"({report.files_restored} files, "
-          f"{report.wal_objects_applied} WAL objects)")
+          f"{report.wal_objects_applied} WAL objects; "
+          f"{ginja2.stats.objects_restored} objects / "
+          f"{ginja2.stats.restored_bytes} bytes downloaded)")
     ginja2.stop()
     return 0 if ok == args.rows else 1
+
+
+def _recovery_progress(event: Event) -> None:
+    """Narrate the recovery engine's events (``recover --progress``)."""
+    if event.kind == RECOVERY_PLANNED:
+        print(f"  plan: {event.count} objects ({event.detail})")
+    elif event.kind == OBJECT_RESTORED:
+        print(f"  [{event.count}] {event.verb:10} {event.key} "
+              f"({event.nbytes} bytes)")
+    elif event.kind == RECOVERY_DONE:
+        print(f"  done: {event.count} objects, {event.nbytes} bytes "
+              f"in {event.latency:.2f}s")
 
 
 def cmd_recover(args: argparse.Namespace) -> int:
@@ -165,15 +185,18 @@ def cmd_recover(args: argparse.Namespace) -> int:
         return 2
     config = GinjaConfig(
         compress=args.compress, encrypt=bool(args.password),
-        password=args.password,
+        password=args.password, downloaders=args.downloaders,
     )
-    ginja, report = Ginja.recover(bucket, target, _profile(args.profile),
-                                  config)
+    ginja, report = Ginja.recover(
+        bucket, target, _profile(args.profile), config,
+        on_event=_recovery_progress if args.progress else None,
+    )
     ginja.stop()
     print(f"restored {report.files_restored} files from dump ts="
           f"{report.dump_ts}; applied {report.checkpoints_applied} "
           f"checkpoints and {report.wal_objects_applied} WAL objects "
-          f"({report.bytes_downloaded} bytes downloaded)")
+          f"({report.bytes_downloaded} bytes downloaded, "
+          f"{args.downloaders} downloaders)")
     return 0
 
 
@@ -362,6 +385,12 @@ def build_parser() -> argparse.ArgumentParser:
                          default="postgres")
     recover.add_argument("--compress", action="store_true")
     recover.add_argument("--password", default=None)
+    recover.add_argument("--downloaders", type=int, default=4,
+                         help="parallel recovery download threads "
+                              "(1 = sequential)")
+    recover.add_argument("--progress", action="store_true",
+                         help="narrate the restore object by object "
+                              "(the recovery engine's events)")
     recover.set_defaults(func=cmd_recover)
 
     ls = sub.add_parser("ls", help="inspect a bucket's Ginja contents")

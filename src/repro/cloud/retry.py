@@ -153,13 +153,16 @@ class RetryLayer(ObjectStore):
     def delete(self, key: str) -> None:
         self._run("DELETE", key, lambda: self._inner.delete(key))
 
-    # Helpers the base interface provides must not re-enter the retried
-    # LIST path with different semantics — delegate to the inner store.
+    # The interface helpers are listing-class reads, and they used to
+    # bypass _run entirely — one transient fault in an exists() probe
+    # would surface as a hard error while the verbs around it retried.
+    # They now share the LIST budget (and its non-skippable exhaustion
+    # semantics); the fault layer classifies them the same way.
     def exists(self, key: str) -> bool:
-        return self._inner.exists(key)
+        return self._run("LIST", key, lambda: self._inner.exists(key))
 
     def total_bytes(self, prefix: str = "") -> int:
-        return self._inner.total_bytes(prefix)
+        return self._run("LIST", prefix, lambda: self._inner.total_bytes(prefix))
 
     # -- the one retry loop --------------------------------------------------
 

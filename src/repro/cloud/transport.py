@@ -48,9 +48,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 class TransportLayer(ObjectStore):
     """Base class for layers: delegates every verb to the inner store.
 
-    Subclasses override only the verbs they add behaviour to; ``exists``
-    and ``total_bytes`` always pass straight through so a helper never
-    re-enters a layer with different semantics than the verbs.
+    Subclasses override only the verbs they add behaviour to.  The
+    ``exists``/``total_bytes`` helpers are treated as *listing-class*
+    reads: the RetryLayer retries them under the LIST budget and the
+    FaultLayer subjects them to LIST faults, but they are neither
+    metered nor latency-modeled (real providers answer both from the
+    same index a LIST reads, and billing counts only the four verbs).
     """
 
     def __init__(self, inner: ObjectStore):
@@ -231,6 +234,17 @@ class FaultLayer(TransportLayer):
     def delete(self, key: str) -> None:
         self._check("DELETE", key)
         self._inner.delete(key)
+
+    # Listing-class helpers fail under the same conditions a LIST would
+    # (they read the same index), so the RetryLayer's LIST budget above
+    # has something real to retry.
+    def exists(self, key: str) -> bool:
+        self._check("LIST", key)
+        return self._inner.exists(key)
+
+    def total_bytes(self, prefix: str = "") -> int:
+        self._check("LIST", prefix)
+        return self._inner.total_bytes(prefix)
 
 
 class MeterLayer(TransportLayer):

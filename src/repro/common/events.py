@@ -64,6 +64,18 @@ CHECKPOINT_END = "checkpoint_end"
 DB_OBJECT = "db_object"
 #: A full dump (all parts) confirmed in the cloud.
 DUMP_COMPLETE = "dump"
+#
+# Recovery events (emitted by repro.core.recovery):
+#: The restore plan is fixed; ``count`` is the number of objects to
+#: download, ``detail`` summarizes the dump/checkpoint/WAL breakdown.
+RECOVERY_PLANNED = "recovery_planned"
+#: One planned object was downloaded, decoded and applied in plan
+#: order; ``nbytes`` is the encoded size, ``count`` objects applied so
+#: far, ``verb`` the object family (``dump``/``checkpoint``/``wal``).
+OBJECT_RESTORED = "object_restored"
+#: Recovery finished; ``count`` objects, ``nbytes`` total downloaded,
+#: ``latency`` the wall-clock (store clock) duration of the restore.
+RECOVERY_DONE = "recovery_done"
 
 #: The end-event kinds that fold into per-verb latency summaries.
 VERB_END_EVENTS = {

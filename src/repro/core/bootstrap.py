@@ -10,8 +10,7 @@ boot segment.  (DESIGN.md lists this under substitutions.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
+from repro.common.clock import Clock, SYSTEM_CLOCK
 from repro.common.errors import RecoveryError
 from repro.common import events
 from repro.common.events import EventBus, NULL_BUS
@@ -19,16 +18,17 @@ from repro.core.cloud_view import CloudView
 from repro.core.codec import ObjectCodec
 from repro.core.config import GinjaConfig
 from repro.core.data_model import (
-    CHECKPOINT,
     DBObjectMeta,
     DUMP,
     WALObjectMeta,
-    decode_checkpoint_payload,
-    decode_dump_payload,
-    decode_wal_payload,
     encode_dump_payload,
     encode_wal_payload,
     parse_any,
+)
+from repro.core.recovery import (  # noqa: F401  (RecoveryReport re-exported)
+    RecoveryEngine,
+    RecoveryReport,
+    plan_recovery,
 )
 from repro.cloud.interface import ObjectStore
 from repro.db.profiles import DBMSProfile
@@ -140,28 +140,15 @@ def reboot(cloud: ObjectStore, view: CloudView, retention=None) -> int:
     return report.audit.objects
 
 
-@dataclass
-class RecoveryReport:
-    """What :func:`recover_files` restored, for logs and assertions."""
-
-    dump_ts: int = -1
-    dump_parts: int = 0
-    checkpoints_applied: int = 0
-    wal_objects_applied: int = 0
-    last_applied_wal_ts: int = -1
-    files_restored: int = 0
-    bytes_downloaded: int = 0
-    #: Object keys present in the bucket but unusable (timestamp gaps or
-    #: incomplete multi-part groups) — candidates for cleanup.
-    stale_keys: list[str] = field(default_factory=list)
-
-
 def recover_files(
     cloud: ObjectStore,
     codec: ObjectCodec,
     fs: FileSystem,
     *,
     upto_ts: int | None = None,
+    config: GinjaConfig | None = None,
+    bus: EventBus | None = None,
+    clock: Clock = SYSTEM_CLOCK,
 ) -> RecoveryReport:
     """Rebuild the database files from the cloud (Alg. 1, Recovery).
 
@@ -171,90 +158,25 @@ def recover_files(
     the latest state: only DB objects with ts <= upto_ts are applied and
     no WAL is replayed beyond them.
 
+    The plan comes from one LIST (:func:`~repro.core.recovery
+    .plan_recovery`) and is executed by a
+    :class:`~repro.core.recovery.RecoveryEngine`: with
+    ``config.downloaders > 1`` the GET+decode work is prefetched on a
+    worker pool while payloads are applied strictly in plan order, so
+    the restored image is byte-identical to a sequential replay.
+    Without a ``config`` the restore runs sequentially.
+
     The target file system should be empty; restored files are written
     from scratch.
     """
-    report = RecoveryReport()
-    wal_metas: dict[int, WALObjectMeta] = {}
-    db_groups: dict[tuple[int, int, str], list[DBObjectMeta]] = {}
-    for info in cloud.list():
-        meta = parse_any(info.key)
-        if meta is None:
-            continue
-        if isinstance(meta, WALObjectMeta):
-            wal_metas[meta.ts] = meta
-        else:
-            db_groups.setdefault(meta.group, []).append(meta)
-
-    complete_groups: dict[tuple[int, int, str], list[DBObjectMeta]] = {}
-    for group_key, metas in db_groups.items():
-        metas.sort(key=lambda m: m.part)
-        if len(metas) == metas[0].nparts and [m.part for m in metas] == list(
-            range(metas[0].nparts)
-        ):
-            complete_groups[group_key] = metas
-        else:
-            report.stale_keys.extend(m.key for m in metas)
-
-    dumps = sorted(
-        ((ts, seq) for (ts, seq, type_) in complete_groups if type_ == DUMP),
-        reverse=True,
+    plan = plan_recovery(cloud.list(), upto_ts=upto_ts)
+    engine = RecoveryEngine(
+        cloud,
+        codec,
+        fs,
+        downloaders=config.downloaders if config is not None else 1,
+        prefetch_window=config.prefetch_window if config is not None else 16,
+        bus=bus,
+        clock=clock,
     )
-    if upto_ts is not None:
-        dumps = [(ts, seq) for ts, seq in dumps if ts <= upto_ts]
-    if not dumps:
-        raise RecoveryError("no complete dump found in the cloud")
-    dump_order = dumps[0]
-    dump_ts = dump_order[0]
-    report.dump_ts = dump_ts
-
-    # 1. Restore the dump (Alg. 1, lines 27-29).
-    for meta in complete_groups[(dump_order[0], dump_order[1], DUMP)]:
-        blob = cloud.get(meta.key)
-        report.bytes_downloaded += len(blob)
-        for path, content in decode_dump_payload(codec.decode(blob)):
-            fs.write_all(path, content)
-            report.files_restored += 1
-        report.dump_parts += 1
-
-    # 2. Apply incremental checkpoints in (ts, seq) order (lines 30-36).
-    max_ckpt_ts = dump_ts
-    ckpt_orders = sorted(
-        (ts, seq)
-        for (ts, seq, type_) in complete_groups
-        if type_ == CHECKPOINT and (ts, seq) > dump_order
-    )
-    if upto_ts is not None:
-        ckpt_orders = [(ts, seq) for ts, seq in ckpt_orders if ts <= upto_ts]
-    for ts, seq in ckpt_orders:
-        for meta in complete_groups[(ts, seq, CHECKPOINT)]:
-            blob = cloud.get(meta.key)
-            report.bytes_downloaded += len(blob)
-            for path, offset, data in decode_checkpoint_payload(codec.decode(blob)):
-                fs.write(path, offset, data)
-        report.checkpoints_applied += 1
-        max_ckpt_ts = ts
-
-    # 3. Replay WAL objects with consecutive timestamps (lines 37-40).
-    if upto_ts is None:
-        expected = max_ckpt_ts + 1
-        while expected in wal_metas:
-            meta = wal_metas[expected]
-            blob = cloud.get(meta.key)
-            report.bytes_downloaded += len(blob)
-            for offset, data in decode_wal_payload(codec.decode(blob)):
-                fs.write(meta.filename, offset, data)
-            report.wal_objects_applied += 1
-            report.last_applied_wal_ts = expected
-            expected += 1
-        report.stale_keys.extend(
-            wal_metas[ts].key
-            for ts in sorted(wal_metas)
-            if ts >= expected or ts <= max_ckpt_ts
-        )
-        if report.last_applied_wal_ts < 0:
-            report.last_applied_wal_ts = max_ckpt_ts
-    else:
-        report.last_applied_wal_ts = max_ckpt_ts
-        report.stale_keys.extend(wal_metas[ts].key for ts in sorted(wal_metas))
-    return report
+    return engine.run(plan)

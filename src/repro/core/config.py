@@ -48,6 +48,14 @@ class GinjaConfig:
     #: perf-ablation benchmark and for single-core environments where
     #: the handoff buys nothing.
     encode_inline: bool = False
+    #: Parallel Downloader threads for disaster recovery (the read-side
+    #: twin of ``uploaders``): the recovery engine prefetches GETs and
+    #: decodes ahead while payloads are applied strictly in plan order.
+    #: ``1`` restores sequentially on the calling thread.
+    downloaders: int = 4
+    #: How many plan positions the recovery downloaders may run ahead of
+    #: the apply cursor — bounds decoded-but-unapplied memory.
+    prefetch_window: int = 16
     #: Objects are split at this size to optimize upload latency
     #: (footnote 3: 20 MB default).
     max_object_bytes: int = 20 * 1000 * 1000
@@ -121,6 +129,10 @@ class GinjaConfig:
                 "need at least one encoder thread (set encode_inline=True "
                 "to bypass the encode stage instead)"
             )
+        if self.downloaders < 1:
+            raise ConfigError("need at least one downloader thread")
+        if self.prefetch_window < 1:
+            raise ConfigError("prefetch_window must be >= 1")
         if self.max_object_bytes < 64 * 1024:
             raise ConfigError("max_object_bytes unreasonably small")
         if self.encrypt and not self.password:

@@ -50,9 +50,12 @@ from repro.common.events import (  # noqa: F401  (re-exported taxonomy)
     METER,
     NULL_BUS,
     OUTAGE,
+    OBJECT_RESTORED,
     PUT_END,
     PUT_START,
     QUEUE_DEPTH,
+    RECOVERY_DONE,
+    RECOVERY_PLANNED,
     RETRY,
     Subscriber,
     VERB_END_EVENTS,

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from repro.common.clock import Clock, SYSTEM_CLOCK
 from repro.common.errors import GinjaError
-from repro.common.events import EventBus
+from repro.common import events
+from repro.common.events import EventBus, Subscriber
 from repro.core.bootstrap import RecoveryReport, boot, reboot, recover_files
 from repro.core.checkpointer import CheckpointCollector, CheckpointUploader
 from repro.core.cloud_view import CloudView
@@ -38,6 +39,11 @@ from repro.cloud.transport import build_transport
 from repro.db.profiles import DBMSProfile
 from repro.storage.interface import FileSystem
 from repro.storage.interposer import InterposedFS
+
+#: The progress events :meth:`Ginja.recover`'s ``on_event`` receives.
+RECOVERY_EVENT_KINDS = frozenset({
+    events.RECOVERY_PLANNED, events.OBJECT_RESTORED, events.RECOVERY_DONE,
+})
 
 
 class Ginja:
@@ -148,6 +154,11 @@ class Ginja:
     def stop(self, drain_timeout: float = 30.0) -> None:
         """Drain both pipelines and deactivate interception.
 
+        ``drain_timeout`` bounds the *whole* shutdown: the checkpointer
+        receives whatever deadline budget the pipeline's drain left
+        (previously each got the full timeout sequentially, so a stuck
+        stop could block ~2x what the caller asked for).
+
         A poisoned commit pipeline re-raises its recorded failure from
         :meth:`CommitPipeline.stop`; the checkpointer and the shared
         encode stage are still torn down first, so a failed shutdown
@@ -156,10 +167,12 @@ class Ginja:
         if not self._running:
             return
         self.fs.set_interceptor(None)
+        deadline = self.clock.now() + drain_timeout
         try:
             self.pipeline.stop(drain_timeout=drain_timeout)
         finally:
-            self.checkpointer.stop(drain_timeout=drain_timeout)
+            remaining = max(0.0, deadline - self.clock.now())
+            self.checkpointer.stop(drain_timeout=remaining)
             if self.encode_stage is not None:
                 self.encode_stage.stop()
             self._running = False
@@ -225,13 +238,24 @@ class Ginja:
         clock: Clock = SYSTEM_CLOCK,
         fuse_overhead: float = 0.0,
         time_scale: float = 1.0,
+        on_event: Subscriber | None = None,
     ) -> tuple["Ginja", RecoveryReport]:
         """Rebuild the database files from the cloud and return a mounted
         Ginja ready to protect the recovered database.
 
+        All restore I/O runs through the instance's transport stack, so
+        recovery GETs get the same retry policy, metering and tracing as
+        uploads, and the downloads run ``config.downloaders`` wide (the
+        recovery engine).  ``on_event`` subscribes to the recovery
+        progress events (``recovery_planned``/``object_restored``/
+        ``recovery_done``) before the first GET — the CLI's progress
+        narration hangs off this.
+
         Stale objects (timestamp gaps from in-flight uploads at disaster
-        time, incomplete multi-part groups) are deleted so the new
-        instance's timestamp sequence is contiguous.
+        time, superseded WAL below the newest checkpoint frontier,
+        incomplete multi-part groups) are deleted so the new instance's
+        timestamp sequence is contiguous; the deletes ride the
+        transport's skippable-DELETE retry semantics.
         """
         ginja = cls(
             fresh_fs,
@@ -242,10 +266,20 @@ class Ginja:
             fuse_overhead=fuse_overhead,
             time_scale=time_scale,
         )
-        report = recover_files(cloud, ginja.codec, fresh_fs, upto_ts=upto_ts)
+        if on_event is not None:
+            ginja.bus.subscribe(on_event, kinds=RECOVERY_EVENT_KINDS)
+        report = recover_files(
+            ginja.transport,
+            ginja.codec,
+            fresh_fs,
+            upto_ts=upto_ts,
+            config=ginja.config,
+            bus=ginja.bus,
+            clock=clock,
+        )
         for key in report.stale_keys:
-            cloud.delete(key)
-        reboot(cloud, ginja.view, ginja.config.retention)
+            ginja.transport.delete(key)
+        reboot(ginja.transport, ginja.view, ginja.config.retention)
         ginja.view.force_frontier(report.last_applied_wal_ts)
         ginja.checkpointer.seed_sequence(ginja.view.max_db_seq() + 1)
         ginja.start(mode="attached")

@@ -38,6 +38,11 @@ class GinjaStats:
     #: Modeled seconds spent inside codec work (compress/encrypt/MAC),
     #: for the resource-usage experiment (Table 4).
     codec_bytes_in: int = 0
+    #: Disaster-recovery runs completed on this bus, and what they moved
+    #: (fed by the recovery engine's events; Figure 7 territory).
+    recoveries: int = 0
+    objects_restored: int = 0
+    restored_bytes: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -63,6 +68,7 @@ class GinjaStats:
         events.RETRY, events.GC_DELETE, events.WAL_OBJECT, events.WAL_BATCH,
         events.DB_OBJECT, events.DUMP_COMPLETE, events.CHECKPOINT_END,
         events.COMMIT_BLOCKED, events.COMMIT_UNBLOCKED, events.CODEC,
+        events.OBJECT_RESTORED, events.RECOVERY_DONE,
     })
 
     def attach(self, bus: EventBus) -> "GinjaStats":
@@ -96,3 +102,7 @@ class GinjaStats:
             self.add(blocked_seconds=event.latency)
         elif kind == events.CODEC:
             self.add(codec_bytes_in=event.nbytes)
+        elif kind == events.OBJECT_RESTORED:
+            self.add(objects_restored=1, restored_bytes=event.nbytes)
+        elif kind == events.RECOVERY_DONE:
+            self.add(recoveries=1)

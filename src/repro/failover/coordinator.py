@@ -18,6 +18,8 @@ from repro.common.errors import ReproError
 from repro.core.config import GinjaConfig
 from repro.core.ginja import Ginja
 from repro.cloud.interface import ObjectStore
+from repro.cloud.retry import RetryPolicy
+from repro.cloud.transport import build_transport
 from repro.db.engine import EngineConfig, MiniDB
 from repro.db.profiles import DBMSProfile
 from repro.failover.heartbeat import FailureDetector
@@ -88,12 +90,23 @@ class FailoverCoordinator:
             # so the bucket may hold orphans beyond a WAL gap or half-uploaded
             # DB groups.  A conservative repair removes what recovery would
             # have to skip anyway, and the audit counts go in the result so
-            # the operator sees what the disaster left behind.
+            # the operator sees what the disaster left behind.  The repair's
+            # LIST/GET/DELETE traffic runs over a retry transport: a standby
+            # promoting *during* the incident that killed the primary must
+            # ride through transient cloud errors, not abort on the first.
             retention = (
                 self._ginja_config.retention if self._ginja_config else None
             )
+            repair_store = build_transport(
+                self._cloud,
+                self._ginja_config,
+                policy=(
+                    None if self._ginja_config is not None else RetryPolicy()
+                ),
+                clock=self._clock,
+            )
             repaired = fsck_repair(
-                self._cloud, mode="conservative", retention=retention
+                repair_store, mode="conservative", retention=retention
             )
             result.audit_violations = repaired.audit.violation_count
             result.repaired_keys = list(repaired.deleted)
@@ -101,9 +114,16 @@ class FailoverCoordinator:
             ginja, report = Ginja.recover(
                 self._cloud, standby_fs, self._profile, self._ginja_config
             )
-            # Open through Ginja's mount: the promoted standby is itself
-            # protected from the moment it starts.
-            db = MiniDB.open(ginja.fs, self._profile, self._engine_config)
+            try:
+                # Open through Ginja's mount: the promoted standby is itself
+                # protected from the moment it starts.
+                db = MiniDB.open(ginja.fs, self._profile, self._engine_config)
+            except BaseException:
+                # recover() started the pipelines; if the DBMS's own crash
+                # recovery then fails, tear the instance down or its
+                # pipeline/checkpointer/encode threads leak on the standby.
+                ginja.crash()
+                raise
         except ReproError as exc:
             result.error = f"{type(exc).__name__}: {exc}"
             return result

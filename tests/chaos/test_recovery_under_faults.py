@@ -1,0 +1,99 @@
+"""Parallel recovery under injected cloud faults.
+
+The standby recovering *during* the incident that killed the primary is
+exactly when the cloud is most likely to throw errors.  These drills run
+the parallel recovery engine against a :class:`BurstyFaultPolicy` store:
+every downloader's GETs must ride the retry transport through the burst,
+and the restored database must still satisfy the RPO promise (nothing
+acknowledged and drained may be lost).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.errors import CloudError
+from repro.common.units import KiB
+from repro.cloud.memory import InMemoryObjectStore
+from repro.cloud.simulated import SimulatedCloud
+from repro.chaos.scenarios import BurstyFaultPolicy, ErrorBurst
+from repro.core.config import GinjaConfig
+from repro.core.ginja import Ginja
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import POSTGRES_PROFILE
+from repro.storage.memory import MemoryFileSystem
+
+ENGINE = EngineConfig(wal_segment_size=64 * KiB, auto_checkpoint=False)
+ROWS = 30
+
+
+def _dead_primary_bucket():
+    """Protect a database, drain every row, then lose the primary."""
+    disk = MemoryFileSystem()
+    MiniDB.create(disk, POSTGRES_PROFILE, ENGINE).close()
+    bucket = InMemoryObjectStore()
+    ginja = Ginja(disk, bucket, POSTGRES_PROFILE,
+                  GinjaConfig(batch=4, safety=40, batch_timeout=0.05))
+    ginja.start(mode="boot")
+    db = MiniDB.open(ginja.fs, POSTGRES_PROFILE, ENGINE)
+    for i in range(ROWS):
+        db.put("t", f"k{i}", f"v{i}".encode())
+    assert ginja.drain(timeout=10.0)
+    ginja.crash()
+    return bucket
+
+
+class TestRecoveryThroughAnErrorBurst:
+    def test_parallel_recovery_retries_through_the_burst(self):
+        bucket = _dead_primary_bucket()
+        clock = ManualClock()
+        # Every request fails 60% of the time for the first two minutes
+        # of store time.  Retry backoffs sleep on the same virtual clock,
+        # so the engine rides *through* the burst instead of timing out.
+        sim = SimulatedCloud(
+            backend=bucket,
+            faults=BurstyFaultPolicy(
+                bursts=(ErrorBurst(start=0.0, end=120.0, rate=0.6),)
+            ),
+            time_scale=1.0, clock=clock, seed=7,
+        )
+        config = GinjaConfig(downloaders=4, prefetch_window=8,
+                             max_retries=200, retry_backoff=0.5)
+        ginja2, report = Ginja.recover(
+            sim, MemoryFileSystem(), POSTGRES_PROFILE, config, clock=clock
+        )
+        try:
+            db2 = MiniDB.open(ginja2.fs, POSTGRES_PROFILE, ENGINE)
+            # RPO oracle: everything acknowledged before the disaster was
+            # drained to the cloud, so nothing may be lost.
+            lost = [i for i in range(ROWS)
+                    if db2.get("t", f"k{i}") != f"v{i}".encode()]
+            assert lost == []
+        finally:
+            ginja2.stop()
+        # The burst actually bit (and was absorbed as retries), and the
+        # recovery GETs went through the metered transport.
+        assert ginja2.stats.upload_retries > 0
+        assert sim.meter.gets.count >= report.dump_parts + \
+            report.wal_objects_applied
+        assert report.bytes_downloaded > 0
+
+    def test_burst_outlasting_the_retry_budget_fails_cleanly(self):
+        bucket = _dead_primary_bucket()
+        clock = ManualClock()
+        sim = SimulatedCloud(
+            backend=bucket,
+            faults=BurstyFaultPolicy(
+                bursts=(ErrorBurst(start=0.0, end=3600.0, rate=1.0),)
+            ),
+            time_scale=1.0, clock=clock, seed=7,
+        )
+        config = GinjaConfig(downloaders=4, max_retries=3,
+                             retry_backoff=0.01)
+        # Deterministic failure, not a hang: the exhausted retry budget
+        # surfaces as a cloud error (the poison discipline propagates a
+        # worker's failure instead of deadlocking the apply thread).
+        with pytest.raises(CloudError):
+            Ginja.recover(sim, MemoryFileSystem(), POSTGRES_PROFILE,
+                          config, clock=clock)

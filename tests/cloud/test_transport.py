@@ -219,6 +219,50 @@ class TestRetryLayer:
             layer.put("k", b"v")
         assert store.calls == 1
 
+    def test_exists_and_total_bytes_ride_the_list_budget(self):
+        """Regression: these two verbs used to bypass the retry loop, so
+        a single transient error failed recovery-side callers (fsck, the
+        failure detector) that every other verb would have survived."""
+
+        class FlakyReads(FailingStore):
+            def exists(self, key):
+                self._maybe_fail()
+                return super().exists(key)
+
+            def total_bytes(self, prefix=""):
+                self._maybe_fail()
+                return super().total_bytes(prefix)
+
+        bus = EventBus()
+        rec = Recorder(bus)
+        store = FlakyReads(2)
+        InMemoryObjectStore.put(store, "k", b"v" * 7)
+        layer = RetryLayer(
+            store, RetryPolicy(max_retries=3, base_backoff=0.0),
+            clock=ManualClock(), bus=bus,
+        )
+        assert layer.exists("k") is True
+        store.failures = store.calls + 2
+        assert layer.total_bytes() == 7
+        retries = rec.of(events.RETRY)
+        assert len(retries) == 4
+        assert {e.verb for e in retries} == {"LIST"}
+
+    def test_exists_exhaustion_is_fatal_not_skipped(self):
+        # Unlike DELETE, a listing-class read that exhausts its budget
+        # must surface the error — callers branch on the answer.
+        class FlakyReads(FailingStore):
+            def exists(self, key):
+                self._maybe_fail()
+                return super().exists(key)
+
+        layer = RetryLayer(
+            FlakyReads(100), RetryPolicy(max_retries=1, base_backoff=0.0),
+            clock=ManualClock(),
+        )
+        with pytest.raises(CloudError):
+            layer.exists("k")
+
 
 class TestMeterLayer:
     def build(self, faults=None):
@@ -286,6 +330,30 @@ class TestFaultAndTracing:
         (outage,) = rec.of(events.OUTAGE)
         assert outage.verb == "PUT"
         assert outage.detail == "5s-50s"
+
+    def test_fault_layer_covers_listing_class_reads(self):
+        # exists/total_bytes are fault-injected like every other verb,
+        # and the retry layer above them absorbs the injected errors.
+        clock = ManualClock()
+        faults = FaultPolicy()
+        bare = build_transport(
+            InMemoryObjectStore(), clock=clock, tracing=False, faults=faults,
+        )
+        faults.fail_next(1)
+        with pytest.raises(CloudUnavailable):
+            bare.exists("k")
+        faults.fail_next(1)
+        with pytest.raises(CloudUnavailable):
+            bare.total_bytes()
+        retried = build_transport(
+            InMemoryObjectStore(),
+            GinjaConfig(max_retries=3, retry_backoff=0.0),
+            clock=clock, tracing=False, faults=faults,
+        )
+        faults.fail_next(2)
+        assert retried.exists("k") is False
+        faults.fail_next(2)
+        assert retried.total_bytes() == 0
 
     def test_tracing_start_end_pairs(self):
         bus = EventBus()

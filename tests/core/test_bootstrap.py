@@ -189,6 +189,34 @@ class TestRecoverFiles:
         assert report.wal_objects_applied == 0
         assert not fs.exists("seg")
 
+    def test_upto_ts_never_marks_the_live_wal_tail_stale(self, codec):
+        """Regression: the old upto_ts path marked EVERY WAL object
+        stale, so the cleanup pass after a snapshot restore deleted the
+        WAL tail the latest state still needed — silent data loss on the
+        next latest-state recovery.  Only WAL unreachable from every
+        retained generation may be reported stale."""
+        store = InMemoryObjectStore()
+        self._put(store, codec, DBObjectMeta(ts=0, type=DUMP, size=1),
+                  encode_dump_payload([("base/t", b"gen0")]))
+        self._put(store, codec, DBObjectMeta(ts=5, type=CHECKPOINT, size=1),
+                  encode_checkpoint_payload([("base/t", 0, b"gen1")]))
+        self._put(store, codec, DBObjectMeta(ts=9, type=DUMP, size=1),
+                  encode_dump_payload([("base/t", b"gen2")]))
+        tail_keys = []
+        for ts in (10, 11, 12):
+            meta = WALObjectMeta(ts=ts, filename="seg", offset=(ts - 10) * 4)
+            tail_keys.append(meta.key)
+            self._put(store, codec, meta,
+                      encode_wal_payload([((ts - 10) * 4, b"tail")]))
+        report = recover_files(store, codec, MemoryFileSystem(), upto_ts=5)
+        for key in tail_keys:
+            assert key not in report.stale_keys
+        # The tail must still replay on a subsequent latest-state restore.
+        fs = MemoryFileSystem()
+        latest = recover_files(store, codec, fs)
+        assert latest.wal_objects_applied == 3
+        assert fs.read_all("seg") == b"tail" * 3
+
     def test_latest_recovery_ignores_stale_low_wal(self, codec):
         """WAL objects at or below the newest checkpoint ts (GC stragglers)
         are skipped and reported stale."""

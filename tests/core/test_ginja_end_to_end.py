@@ -358,6 +358,67 @@ class TestPITR:
         finally:
             g_old.stop()
 
+    def test_snapshot_restore_does_not_destroy_the_latest_state(self, cloud):
+        """Regression for the PITR data-loss bug: a snapshot restore's
+        stale-key cleanup must leave the latest generation's WAL tail in
+        the bucket, so recovering the *latest* state afterwards still
+        sees commits that only exist as WAL."""
+        config = ginja_config(retention=RetentionPolicy.keep(2),
+                              dump_threshold=1.0)
+        ginja, db = fresh_protected_db(POSTGRES_PROFILE, cloud, config)
+        try:
+            db.put("t", "k", b"generation-1")
+            assert ginja.drain(timeout=10.0)
+            db.checkpoint()
+            assert ginja.drain(timeout=10.0)
+            gen1_ts = max(m.ts for m in ginja.view.db_objects())
+            db.checkpoint()
+            assert ginja.drain(timeout=10.0)
+            # This commit lives ONLY in the WAL tail — no checkpoint or
+            # dump ever covers it before the disaster.
+            db.put("t", "tail", b"wal-only")
+            assert ginja.drain(timeout=10.0)
+        finally:
+            ginja.stop()
+        # Restore the retained snapshot first; its cleanup pass deletes
+        # whatever recovery reported stale (this destroyed the tail
+        # before the fix)...
+        g_old, db_old, _ = recover_db(
+            cloud, POSTGRES_PROFILE, config, upto_ts=gen1_ts
+        )
+        try:
+            assert db_old.get("t", "tail") is None
+        finally:
+            g_old.stop()
+        # ...then the latest state must still include the WAL-only commit.
+        g_new, db_new, report = recover_db(cloud, POSTGRES_PROFILE, config)
+        try:
+            assert db_new.get("t", "tail") == b"wal-only"
+            assert report.wal_objects_applied > 0
+        finally:
+            g_new.stop()
+
+    def test_recovery_gets_are_metered(self, cloud):
+        """Recovery I/O rides the transport stack, so the simulated
+        cloud's RequestMeter must see its GET (and LIST) traffic."""
+        ginja, db = fresh_protected_db(POSTGRES_PROFILE, cloud)
+        try:
+            for i in range(20):
+                db.put("t", f"k{i}", b"v")
+            assert ginja.drain(timeout=10.0)
+        finally:
+            ginja.stop()
+        before = cloud.meter.gets.count
+        g2, db2, report = recover_db(
+            cloud, POSTGRES_PROFILE, ginja_config(downloaders=4)
+        )
+        try:
+            gets = cloud.meter.gets.count - before
+            assert gets > 0
+            assert report.bytes_downloaded > 0
+        finally:
+            g2.stop()
+
 
 class TestVerification:
     def test_verify_good_backup(self, profile, cloud):

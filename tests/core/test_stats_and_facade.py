@@ -6,6 +6,7 @@ import threading
 
 import pytest
 
+from repro.common.clock import ManualClock
 from repro.common.errors import GinjaError
 from repro.common.units import KiB
 from repro.cloud.simulated import SimulatedCloud
@@ -107,3 +108,53 @@ class TestFacadeLifecycle:
         health = ginja.health()
         assert not health["running"]
         assert health["pending_updates"] == 0
+
+
+class _DrainRecorder:
+    """Stands in for the pipeline/checkpointer: records the drain budget
+    it was handed and burns ``consumes`` seconds of virtual time."""
+
+    def __init__(self, clock, consumes):
+        self._clock = clock
+        self._consumes = consumes
+        self.budget = None
+
+    def stop(self, drain_timeout):
+        self.budget = drain_timeout
+        self._clock.advance(self._consumes)
+
+
+class TestStopDeadline:
+    """``stop(drain_timeout=T)`` bounds the WHOLE shutdown: the
+    checkpointer drains on whatever the pipeline's drain left of the
+    deadline, not on a fresh T of its own (the old behaviour could block
+    ~2x the requested timeout)."""
+
+    def _stub_ginja(self, clock, pipeline_consumes):
+        fs = MemoryFileSystem()
+        MiniDB.create(fs, POSTGRES_PROFILE,
+                      EngineConfig(wal_segment_size=64 * KiB)).close()
+        ginja = Ginja(fs, SimulatedCloud(time_scale=0.0), POSTGRES_PROFILE,
+                      GinjaConfig(encode_inline=True), clock=clock)
+        ginja.pipeline = _DrainRecorder(clock, pipeline_consumes)
+        ginja.checkpointer = _DrainRecorder(clock, 0.0)
+        ginja._running = True  # stop() without spinning real threads
+        return ginja
+
+    def test_checkpointer_gets_the_remaining_budget(self):
+        clock = ManualClock()
+        ginja = self._stub_ginja(clock, pipeline_consumes=20.0)
+        start = clock.now()
+        ginja.stop(drain_timeout=30.0)
+        assert ginja.pipeline.budget == 30.0
+        assert ginja.checkpointer.budget == pytest.approx(10.0)
+        assert clock.now() - start == pytest.approx(20.0)
+
+    def test_overrun_pipeline_leaves_zero_not_a_fresh_budget(self):
+        clock = ManualClock()
+        ginja = self._stub_ginja(clock, pipeline_consumes=45.0)
+        ginja.stop(drain_timeout=30.0)
+        # The deadline passed during the pipeline drain; the checkpointer
+        # must be told "no time left", never handed another 30 seconds.
+        assert ginja.checkpointer.budget == 0.0
+        assert not ginja.running

@@ -161,6 +161,40 @@ class TestFailoverCoordinator:
             assert not result.failed_over
         ginja.stop()
 
+    def test_poisoned_promotion_leaks_no_ginja_threads(self, monkeypatch):
+        """Regression: if the DBMS's own crash recovery fails after
+        Ginja.recover() already started the standby's pipelines, the
+        coordinator must crash that Ginja instance — before the fix its
+        aggregator/uploader/checkpointer threads leaked on the standby."""
+        import threading
+
+        from repro.common.errors import GinjaError
+        import repro.failover.coordinator as coordinator_mod
+
+        bucket, ginja, db, writer = self._protected_primary()
+        db.put("t", "k", b"v")
+        ginja.drain(timeout=10.0)
+        ginja.stop()
+
+        class PoisonedDB:
+            @staticmethod
+            def open(fs, profile, engine_config=None):
+                raise GinjaError("crash recovery found torn pages")
+
+        monkeypatch.setattr(coordinator_mod, "MiniDB", PoisonedDB)
+        coordinator = FailoverCoordinator(
+            bucket, POSTGRES_PROFILE,
+            ginja_config=CONFIG, engine_config=ENGINE,
+            detector=FailureDetector(bucket, misses_allowed=1),
+            poll_interval=0.0, clock=ManualClock(),
+        )
+        result = coordinator.run()
+        assert not result.failed_over
+        assert "torn pages" in (result.error or "")
+        leaked = [t.name for t in threading.enumerate()
+                  if t.name.startswith("ginja-")]
+        assert leaked == []
+
     def test_failover_with_empty_bucket_reports_error(self):
         bucket = InMemoryObjectStore()
         coordinator = FailoverCoordinator(

@@ -9,6 +9,7 @@ from benchmarks.perf.harness import (
     LegacyCodec,
     SCHEMA,
     bench_codec,
+    bench_fleet,
     bench_merge,
     bench_pipeline,
     bench_recovery,
@@ -81,6 +82,15 @@ class TestBenchmarksRun:
             assert bench_recovery(optimized=optimized, objects=8,
                                   object_bytes=1024, get_latency=0.0005,
                                   repeats=1) > 0
+
+    @pytest.mark.parametrize("optimized", [False, True])
+    def test_fleet_bench_completes(self, optimized):
+        # bench_fleet raises if any tenant pipeline fails to drain, so a
+        # clean return proves both pool shapes deliver every update.
+        rate = bench_fleet(optimized=optimized, tenants=3,
+                           updates_per_tenant=8, page_size=1024,
+                           batch=4, repeats=1)
+        assert rate > 0
 
     def test_recovery_bench_is_floor_gated_across_machines(self):
         # The committed entry carries "parallel": True so the CI check

@@ -10,6 +10,10 @@ Subcommands:
 * ``fsck``    — audit a bucket against the recoverability invariant
   catalog (:mod:`repro.fsck`) and optionally repair it; the exit code
   is the (remaining) violation count;
+* ``fleet``   — multi-tenant fleet drill: N simulated tenants share one
+  bucket and one encode/transport pool set
+  (:mod:`repro.fleet`), with a mid-run tenant disaster, per-tenant
+  fsck, and exact per-tenant billing attribution;
 * ``chaos``   — run a deterministic disaster-drill campaign
   (scenario × crash point × seed) and judge it with the RPO /
   recovery / GC / billing oracles; ``--dump-buckets`` persists each
@@ -333,6 +337,159 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Drive a simulated multi-tenant fleet over one shared bucket.
+
+    The acceptance drill for :mod:`repro.fleet`: N tenants commit
+    concurrently through shared encode/transport pools, one tenant
+    suffers a mid-run disaster and is recovered (RPO-0 for its drained
+    commits), and the run ends with a fleet-wide fsck sweep plus an
+    exact per-tenant meter/billing reconciliation.  Exit code 0 only if
+    every check passes.
+    """
+    import threading
+
+    from repro.core.config import SharedPoolConfig, TenantPolicy
+    from repro.fleet import FleetManager
+
+    profile = _profile(args.profile)
+    engine_config = EngineConfig(wal_segment_size=parse_bytes(args.segment_size))
+    backend = InMemoryObjectStore()
+    fleet = FleetManager(
+        backend,
+        SharedPoolConfig(encoders=args.encoders, downloaders=args.downloaders),
+    )
+    fleet.start()
+    policy = TenantPolicy(
+        batch=args.batch, safety=args.safety,
+        batch_timeout=0.2, safety_timeout=10.0,
+        uploaders=1,  # thread economy: 50 tenants ~= 200 threads total
+    )
+
+    print(f"admitting {args.tenants} tenants "
+          f"(B={args.batch}, S={args.safety}, shared encoders="
+          f"{args.encoders}, downloaders={args.downloaders})...")
+    tenant_ids = [f"tenant-{i:03d}" for i in range(args.tenants)]
+    databases: dict[str, MiniDB] = {}
+    for tenant_id in tenant_ids:
+        disk = MemoryFileSystem()
+        MiniDB.create(disk, profile, engine_config).close()
+        ginja = fleet.add_tenant(tenant_id, disk, profile, policy)
+        databases[tenant_id] = MiniDB.open(ginja.fs, profile, engine_config)
+
+    failures: list[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        status = "ok" if ok else "FAIL"
+        print(f"  [{status}] {what}")
+        if not ok:
+            failures.append(what)
+
+    # Concurrent commit phase: a few driver threads sweep tenant slices
+    # so commits from different tenants genuinely interleave in the
+    # shared pools.  The victim tenant is driven separately below.
+    victim = tenant_ids[args.seed % len(tenant_ids)]
+    drivers = []
+
+    def drive(slice_ids: list[str]) -> None:
+        for row in range(args.rows):
+            for tenant_id in slice_ids:
+                databases[tenant_id].put(
+                    "fleet", f"row-{row}", f"{tenant_id}-value-{row}".encode()
+                )
+
+    workers = max(1, min(args.jobs, len(tenant_ids) - 1))
+    others = [tid for tid in tenant_ids if tid != victim]
+    for index in range(workers):
+        slice_ids = others[index::workers]
+        if not slice_ids:
+            continue
+        thread = threading.Thread(target=drive, args=(slice_ids,),
+                                  name=f"fleet-driver-{index}", daemon=True)
+        drivers.append(thread)
+        thread.start()
+
+    # The victim commits its rows, drains (so RPO-0 is well-defined),
+    # then suffers a disaster while its co-tenants are still committing.
+    print(f"crashing and recovering {victim} mid-run...")
+    drive([victim])
+    victim_ginja = fleet.tenant(victim)
+    check(victim_ginja.drain(timeout=60.0), f"{victim}: drained before crash")
+    fleet.crash_tenant(victim)
+    databases[victim].close()
+    recovered_fs = MemoryFileSystem()
+    ginja, report = fleet.recover_tenant(victim, recovered_fs, profile, policy)
+    databases[victim] = MiniDB.open(ginja.fs, profile, engine_config)
+    ok_rows = sum(
+        1 for row in range(args.rows)
+        if databases[victim].get("fleet", f"row-{row}")
+        == f"{victim}-value-{row}".encode()
+    )
+    check(ok_rows == args.rows,
+          f"{victim}: RPO-0 recovery ({ok_rows}/{args.rows} rows, "
+          f"{report.files_restored} files restored)")
+
+    for thread in drivers:
+        thread.join()
+    drained = all(
+        fleet.tenant(tenant_id).drain(timeout=60.0)
+        for tenant_id in tenant_ids
+    )
+    check(drained, "fleet drained after concurrent commits")
+
+    # Spot-check co-tenant integrity through the shared pools.
+    sample = others[:: max(1, len(others) // 8)]
+    intact = all(
+        databases[tenant_id].get("fleet", f"row-{args.rows - 1}")
+        == f"{tenant_id}-value-{args.rows - 1}".encode()
+        for tenant_id in sample
+    )
+    check(intact, f"co-tenant row integrity ({len(sample)} sampled)")
+
+    sweep = fleet.fsck_sweep()
+    check(sweep.ok and len(sweep.tenants) == len(tenant_ids),
+          f"fleet fsck sweep ({len(sweep.tenants)} tenants, "
+          f"{len(sweep.stray_keys)} stray keys)")
+
+    # Meter reconciliation: per-tenant counts must sum *exactly* to the
+    # shared-store totals, for every verb and byte counter.
+    bank = fleet.meters
+    tenant_meters = bank.tenants().values()
+    exact = True
+    for verb in ("puts", "gets", "lists", "deletes"):
+        for field in ("count", "bytes"):
+            total = getattr(getattr(bank.total, verb), field)
+            split = (
+                sum(getattr(getattr(m, verb), field) for m in tenant_meters)
+                + getattr(getattr(bank.unattributed, verb), field)
+            )
+            if split != total:
+                exact = False
+    check(exact, "per-tenant meters sum to shared-store totals")
+    check(bank.unattributed.puts.count == 0, "no unattributed PUTs")
+
+    bill = fleet.bill()
+    print(f"  upload overlap: {fleet.uploads.snapshot()}")
+    print(f"  window: ${bill.total_dollars:.6f} total = "
+          f"${bill.attributed_dollars:.6f} attributed to "
+          f"{len(bill.tenants)} tenants + "
+          f"${bill.unattributed_dollars:.6f} unattributed")
+    top = sorted(bill.tenants, key=lambda b: -b.dollars)[:3]
+    for entry in top:
+        print(f"    {entry.tenant}: ${entry.dollars:.6f} "
+              f"(puts={entry.puts} gets={entry.gets})")
+
+    for db in databases.values():
+        db.close()
+    fleet.stop_all()
+    if failures:
+        print(f"fleet drill FAILED: {failures}", file=sys.stderr)
+        return 1
+    print(f"fleet drill passed: {len(tenant_ids)} tenants, one recovered "
+          f"disaster, clean sweep, exact attribution")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # argument parsing
 
@@ -422,6 +579,29 @@ def build_parser() -> argparse.ArgumentParser:
                            "when unknown (superseded dump generations are "
                            "then never flagged or deleted)")
     fsck.set_defaults(func=cmd_fsck)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-tenant fleet drill: shared pools, one bucket, "
+             "per-tenant recovery/fsck/billing (exit 0 iff all checks pass)",
+    )
+    fleet.add_argument("--tenants", type=int, default=50)
+    fleet.add_argument("--rows", type=int, default=30,
+                       help="rows each tenant commits")
+    fleet.add_argument("--batch", type=int, default=5)
+    fleet.add_argument("--safety", type=int, default=50)
+    fleet.add_argument("--encoders", type=int, default=4,
+                       help="shared encoder pool size")
+    fleet.add_argument("--downloaders", type=int, default=4,
+                       help="shared recovery download pool size")
+    fleet.add_argument("--jobs", type=int, default=8,
+                       help="concurrent commit driver threads")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="selects which tenant suffers the disaster")
+    fleet.add_argument("--profile", choices=sorted(_PROFILES),
+                       default="postgres")
+    fleet.add_argument("--segment-size", default="64KB")
+    fleet.set_defaults(func=cmd_fleet)
 
     chaos = sub.add_parser(
         "chaos",

@@ -25,8 +25,9 @@ from repro.cloud.latency import (
     WAN_LATENCY,
 )
 from repro.cloud.memory import InMemoryObjectStore
-from repro.cloud.metering import RequestMeter
+from repro.cloud.metering import RequestMeter, TenantMeterBank
 from repro.cloud.multi import MultiCloudStore
+from repro.cloud.prefix import PrefixedObjectStore, tenant_of_key, tenant_prefix
 from repro.cloud.retry import RetryLayer, RetryPolicy
 from repro.cloud.transport import (
     FaultLayer,
@@ -58,7 +59,11 @@ __all__ = [
     "FaultPolicy",
     "Outage",
     "RequestMeter",
+    "TenantMeterBank",
     "MultiCloudStore",
+    "PrefixedObjectStore",
+    "tenant_prefix",
+    "tenant_of_key",
     "RetryPolicy",
     "RetryLayer",
     "TransportLayer",

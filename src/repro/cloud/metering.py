@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.common import events
 from repro.common.events import Event, EventBus
+from repro.cloud.prefix import tenant_of_key
 
 
 @dataclass
@@ -167,3 +168,58 @@ class RequestMeter:
             self.gets = OpStats()
             self.lists = OpStats()
             self.deletes = OpStats()
+
+
+class TenantMeterBank:
+    """Per-tenant request metering over one shared transport stack.
+
+    A fleet runs every tenant's I/O through a single
+    :class:`~repro.cloud.transport.MeterLayer`, whose ``meter`` events
+    carry fully-qualified keys (``tenants/<id>/WAL/...``).  The bank
+    routes each event twice: into ``total`` (exactly what a single
+    shared :class:`RequestMeter` would have seen) and into the owning
+    tenant's meter, resolved from the event's ``tenant`` stamp or the
+    key's prefix.  Events belonging to no tenant (fleet-level LISTs,
+    stray keys) land in ``unattributed``, so the invariant
+
+        sum(per-tenant meters) + unattributed == total
+
+    holds for every counter — per-tenant dollar attribution
+    (:func:`repro.costmodel.attribute_fleet_costs`) reconciles exactly
+    against the shared bill.
+    """
+
+    def __init__(self) -> None:
+        self.total = RequestMeter()
+        self.unattributed = RequestMeter()
+        self._lock = threading.Lock()
+        self._tenants: dict[str, RequestMeter] = {}
+
+    def attach(self, bus: EventBus) -> "TenantMeterBank":
+        bus.subscribe(self.handle_event, kinds={events.METER})
+        return self
+
+    def tenant(self, tenant_id: str) -> RequestMeter:
+        """The meter for ``tenant_id`` (created on first use)."""
+        with self._lock:
+            meter = self._tenants.get(tenant_id)
+            if meter is None:
+                meter = self._tenants[tenant_id] = RequestMeter()
+            return meter
+
+    def tenants(self) -> dict[str, RequestMeter]:
+        """Snapshot of the per-tenant meters."""
+        with self._lock:
+            return dict(self._tenants)
+
+    def handle_event(self, event: Event) -> None:
+        if event.kind != events.METER:
+            return
+        self.total.handle_event(event)
+        tenant_id = event.tenant
+        if not tenant_id:
+            # Shared-layer events are not tenant-stamped; derive the
+            # owner from the fully-qualified key.
+            tenant_id = tenant_of_key(event.key) or ""
+        meter = self.tenant(tenant_id) if tenant_id else self.unattributed
+        meter.handle_event(event)

@@ -107,6 +107,11 @@ class Event:
     ok: bool = True
     at: float = 0.0
     detail: str = ""
+    #: Which tenant the event belongs to, for multi-tenant fleets.  A
+    #: single-tenant run leaves it empty; a fleet stamps it via a
+    #: tenant-scoped :class:`EventBus` (or derives it from the key's
+    #: ``tenants/<id>/`` prefix for shared-transport events).
+    tenant: str = ""
 
 
 Subscriber = Callable[[Event], None]
@@ -125,10 +130,16 @@ class EventBus:
     :meth:`wants` to skip building an event nobody would receive — the
     per-write emits in the commit pipeline cost nothing unless a
     wildcard subscriber (trace recorder, chaos injector) is attached.
+
+    ``tenant`` scopes the bus to one fleet tenant: every event built by
+    :meth:`emit` is stamped with it (emitters never need to know which
+    tenant they serve), while :meth:`publish` forwards pre-built events
+    untouched so a fleet-level forwarder preserves the original stamp.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tenant: str = "") -> None:
         self._lock = threading.Lock()
+        self._tenant = tenant
         #: (subscriber, kinds) pairs; ``kinds is None`` means wildcard.
         self._subscribers: tuple[tuple[Subscriber, frozenset[str] | None], ...] = ()
         #: Union of all filtered kinds — the fast path for :meth:`wants`.
@@ -187,9 +198,15 @@ class EventBus:
                 with self._lock:
                     self.subscriber_errors += 1
 
+    @property
+    def tenant(self) -> str:
+        return self._tenant
+
     def emit(self, kind: str, **fields) -> None:
         """Convenience: build and publish an :class:`Event`."""
         if self._wildcards > 0 or kind in self._wanted:
+            if self._tenant and "tenant" not in fields:
+                fields["tenant"] = self._tenant
             self.publish(Event(kind=kind, **fields))
 
 

@@ -22,7 +22,7 @@ it to a cloud object store under a tunable Batch/Safety model:
 from repro.core.bootstrap import boot, reboot, recover_files
 from repro.core.codec import ObjectCodec
 from repro.core.events import Event, EventBus, TraceRecorder
-from repro.core.config import GinjaConfig
+from repro.core.config import GinjaConfig, SharedPoolConfig, TenantPolicy
 from repro.core.cloud_view import CloudView
 from repro.core.data_model import DBObjectMeta, WALObjectMeta
 from repro.core.ginja import Ginja
@@ -32,6 +32,8 @@ from repro.core.verification import VerificationReport, verify_backup
 __all__ = [
     "Ginja",
     "GinjaConfig",
+    "SharedPoolConfig",
+    "TenantPolicy",
     "ObjectCodec",
     "CloudView",
     "WALObjectMeta",

@@ -149,6 +149,8 @@ def recover_files(
     config: GinjaConfig | None = None,
     bus: EventBus | None = None,
     clock: Clock = SYSTEM_CLOCK,
+    pool=None,
+    lane: str = "",
 ) -> RecoveryReport:
     """Rebuild the database files from the cloud (Alg. 1, Recovery).
 
@@ -164,7 +166,10 @@ def recover_files(
     ``config.downloaders > 1`` the GET+decode work is prefetched on a
     worker pool while payloads are applied strictly in plan order, so
     the restored image is byte-identical to a sequential replay.
-    Without a ``config`` the restore runs sequentially.
+    Without a ``config`` the restore runs sequentially.  ``pool``
+    routes the GET+decode jobs through a running shared worker pool
+    (a fleet's downloader stage) under fair-share lane ``lane``
+    instead of spawning private threads.
 
     The target file system should be empty; restored files are written
     from scratch.
@@ -178,5 +183,7 @@ def recover_files(
         prefetch_window=config.prefetch_window if config is not None else 16,
         bus=bus,
         clock=clock,
+        pool=pool,
+        lane=lane,
     )
     return engine.run(plan)

@@ -77,8 +77,11 @@ class CheckpointCollector:
         out_queue: "queue.Queue",
         bus: EventBus | None = None,
         encode_stage: EncodeStage | None = None,
+        lane: str = "",
     ):
         self._config = config
+        #: Fair-share lane in the (shared) encode stage.
+        self._lane = lane
         self._codec = codec
         self._view = view
         self._fs = fs
@@ -188,7 +191,7 @@ class CheckpointCollector:
             for group in groups
         ]
         if self._stage is not None:
-            return self._stage.map(jobs)
+            return self._stage.map(jobs, lane=self._lane)
         return [job() for job in jobs]
 
     def _build_incremental(self) -> _PendingObject:

@@ -129,6 +129,7 @@ class CommitPipeline:
         bus: EventBus | None = None,
         clock: Clock = SYSTEM_CLOCK,
         encode_stage: EncodeStage | None = None,
+        lane: str = "",
     ):
         self._config = config
         self._cloud = cloud
@@ -136,6 +137,9 @@ class CommitPipeline:
         self._view = view
         self._bus = bus or NULL_BUS
         self._clock = clock
+        #: Fair-share lane in the (shared) encode stage; a fleet passes
+        #: the tenant id, a private stage sees one lane and stays FIFO.
+        self._lane = lane
         if config.encode_inline:
             self._stage = None
             self._owns_stage = False
@@ -389,7 +393,8 @@ class CommitPipeline:
                 emit_queued = self._bus.wants(events.ENCODE_QUEUED)
                 for task in tasks:
                     self._stage.submit(
-                        lambda task=task: self._encode_job(task)
+                        lambda task=task: self._encode_job(task),
+                        lane=self._lane,
                     )
                     if emit_queued:
                         self._bus.emit(

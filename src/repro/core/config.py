@@ -10,6 +10,90 @@ from repro.core.pitr import RetentionPolicy
 from repro.core.schedule import SyncSchedule
 
 
+@dataclass(frozen=True)
+class SharedPoolConfig:
+    """The settings that size *process-wide* resources.
+
+    Everything here describes infrastructure that exists once per
+    protection process, no matter how many tenant databases it serves:
+    the encoder pool, the recovery download pool, and the transport
+    stack's retry/trace layers.  A
+    :class:`~repro.fleet.manager.FleetManager` builds those from one
+    ``SharedPoolConfig`` and injects them into every tenant's
+    :class:`~repro.core.ginja.Ginja`; a single-tenant ``Ginja`` gets the
+    same values folded into its flat :class:`GinjaConfig`.
+
+    The attribute names deliberately match :class:`GinjaConfig` so
+    anything reading retry knobs off a config
+    (:meth:`~repro.cloud.retry.RetryPolicy.from_config`,
+    :func:`~repro.cloud.transport.build_transport`) accepts either.
+    """
+
+    #: Parallel encoder threads shared by every tenant's commit pipeline
+    #: and checkpoint collector.
+    encoders: int = 4
+    #: Parallel recovery download threads shared by every tenant restore.
+    downloaders: int = 4
+    #: Plan positions recovery may prefetch ahead of the apply cursor.
+    prefetch_window: int = 16
+    #: The retry policy of the shared transport stack.
+    max_retries: int = 5
+    retry_backoff: float = 0.1
+    retry_backoff_cap: float = 2.0
+    retry_jitter: float = 0.0
+    retry_budgets: dict[str, int] = field(default_factory=dict)
+    #: Seed of the RNG shared by the transport layers.
+    seed: int = 0
+    #: Ring-buffer capacity for trace recorders on the fleet bus.
+    trace_capacity: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.encoders < 1:
+            raise ConfigError("need at least one shared encoder thread")
+        if self.downloaders < 1:
+            raise ConfigError("need at least one shared downloader thread")
+        if self.prefetch_window < 1:
+            raise ConfigError("prefetch_window must be >= 1")
+        if self.retry_backoff < 0 or self.retry_backoff_cap <= 0:
+            raise ConfigError("retry backoff values must be positive")
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ConfigError("retry_jitter must be within [0, 1]")
+        if self.trace_capacity < 1:
+            raise ConfigError("trace_capacity must be >= 1")
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """The per-tenant half of the configuration.
+
+    Everything a tenant chooses for itself — the B/S/T_B/T_S
+    cost-vs-loss model, codec keys, checkpoint/dump policy, retention —
+    without any say over the shared pools.  ``compose`` with a
+    :class:`SharedPoolConfig` yields the flat :class:`GinjaConfig` the
+    core pipelines consume (and validate).
+    """
+
+    batch: int = 100
+    safety: int = 1000
+    batch_timeout: float = 1.0
+    safety_timeout: float = 10.0
+    #: Uploader threads are per-tenant: each commit pipeline owns its
+    #: queue and its PUT concurrency (fleets typically size this small).
+    uploaders: int = 5
+    #: Run codec work inline on the tenant's Aggregator thread instead
+    #: of submitting to the (shared) encode stage.
+    encode_inline: bool = False
+    max_object_bytes: int = 20 * 1000 * 1000
+    coalesce_writes: bool = True
+    compress: bool = False
+    encrypt: bool = False
+    password: str | None = None
+    mac_default_key: str = "ginja-default-mac-key"
+    dump_threshold: float = 1.5
+    retention: RetentionPolicy = field(default_factory=RetentionPolicy.none)
+    sync_schedule: SyncSchedule | None = None
+
+
 @dataclass
 class GinjaConfig:
     """All tunables of the middleware.
@@ -153,3 +237,49 @@ class GinjaConfig:
         overrides.setdefault("batch", 1)
         overrides.setdefault("safety", 1)
         return cls(**overrides)
+
+    # -- the shared/per-tenant split ------------------------------------------
+
+    #: GinjaConfig fields owned by the shared half of the split.
+    _SHARED_FIELDS = (
+        "encoders", "downloaders", "prefetch_window", "max_retries",
+        "retry_backoff", "retry_backoff_cap", "retry_jitter",
+        "retry_budgets", "seed", "trace_capacity",
+    )
+    #: GinjaConfig fields owned by the per-tenant half.
+    _POLICY_FIELDS = (
+        "batch", "safety", "batch_timeout", "safety_timeout", "uploaders",
+        "encode_inline", "max_object_bytes", "coalesce_writes", "compress",
+        "encrypt", "password", "mac_default_key", "dump_threshold",
+        "retention", "sync_schedule",
+    )
+
+    def shared(self) -> SharedPoolConfig:
+        """Extract the process-wide half of this configuration."""
+        return SharedPoolConfig(
+            **{name: getattr(self, name) for name in self._SHARED_FIELDS}
+        )
+
+    def policy(self) -> TenantPolicy:
+        """Extract the per-tenant half of this configuration."""
+        return TenantPolicy(
+            **{name: getattr(self, name) for name in self._POLICY_FIELDS}
+        )
+
+    @classmethod
+    def compose(
+        cls, shared: SharedPoolConfig, policy: TenantPolicy | None = None,
+    ) -> "GinjaConfig":
+        """Fold a shared/per-tenant pair back into one flat config.
+
+        The flat form is what the core pipelines consume; composing runs
+        the full cross-field validation (B <= S and friends), so a fleet
+        admitting a tenant rejects a bad policy at ``add_tenant`` time.
+        """
+        policy = policy or TenantPolicy()
+        fields_ = {name: getattr(shared, name) for name in cls._SHARED_FIELDS}
+        fields_.update(
+            {name: getattr(policy, name) for name in cls._POLICY_FIELDS}
+        )
+        fields_["retry_budgets"] = dict(shared.retry_budgets)
+        return cls(**fields_)

@@ -17,24 +17,34 @@ all release the GIL, so the workers achieve real parallelism in CPython.
 
 The stage is deliberately generic — jobs are plain callables — so the
 :class:`~repro.core.checkpointer.CheckpointCollector` reuses the same
-pool via :meth:`EncodeStage.map` and DB-object encoding overlaps WAL
-traffic instead of serializing behind the DBMS's checkpoint thread.
+pool via :meth:`EncodeStage.map`, the recovery engine borrows it as a
+download pool, and a :class:`~repro.fleet.manager.FleetManager` shares
+one stage across every tenant's pipeline.
+
+**Fair-share lanes.**  Jobs are queued per *lane* (a fleet passes the
+tenant id; single-tenant callers use the default lane) and workers pick
+lanes round-robin, so a tenant that floods the stage with a burst of
+objects cannot starve its co-tenants: each non-empty lane gets one job
+per scheduling turn.  With a single lane this degenerates to the FIFO
+queue the stage always had.
 
 Failure discipline matches the other worker loops: a job that lets a
 ``BaseException`` escape is reported to the stage's ``on_error`` hook
 (the commit pipeline installs its poison function there), never
 swallowed; :meth:`map` re-raises the first failure in the caller.
+:meth:`submit` on a stage that is not running raises
+:class:`~repro.common.errors.GinjaError` — a silently parked job would
+otherwise sit in the queue forever, and the batch it belongs to would
+never ack.
 """
 
 from __future__ import annotations
 
-import queue
 import threading
+from collections import deque
 from typing import Callable
 
 from repro.common.errors import GinjaError
-
-_STOP = object()
 
 
 class _MapJob:
@@ -55,13 +65,15 @@ class _MapJob:
 
 
 class EncodeStage:
-    """A fixed pool of encoder threads fed from an unbounded FIFO queue.
+    """A fixed pool of encoder threads fed from per-lane FIFO queues.
 
     Args:
         workers: pool size (``GinjaConfig.encoders``).
         on_error: called with the escaping ``BaseException`` when an
             async job dies; installed by the pipeline to poison itself.
-            ``map`` jobs report to their caller instead.
+            A *shared* stage leaves this ``None`` — each tenant's encode
+            jobs catch their own failures and poison only their own
+            pipeline.  ``map`` jobs report to their caller instead.
     """
 
     def __init__(
@@ -76,7 +88,13 @@ class EncodeStage:
         self._workers = workers
         self._name = name
         self._on_error = on_error
-        self._queue: queue.Queue = queue.Queue()
+        self._cond = threading.Condition()
+        #: lane -> queued jobs; a lane exists only while it has jobs.
+        self._lanes: dict[str, deque] = {}
+        #: Round-robin order over the non-empty lanes.
+        self._rr: deque[str] = deque()
+        self._pending = 0
+        self._stopping = False
         self._threads: list[threading.Thread] = []
         self._discard = False
 
@@ -94,6 +112,8 @@ class EncodeStage:
         if self._threads:
             raise GinjaError("encode stage already started")
         self._discard = False
+        with self._cond:
+            self._stopping = False
         for index in range(self._workers):
             thread = threading.Thread(
                 target=self._worker_loop, name=f"{self._name}-{index}", daemon=True
@@ -112,28 +132,62 @@ class EncodeStage:
             return
         if discard:
             self._discard = True
-        for _ in self._threads:
-            self._queue.put(_STOP)
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
         for thread in self._threads:
             thread.join(timeout=10.0)
         self._threads.clear()
+        with self._cond:
+            self._stopping = False
 
     # -- job submission ----------------------------------------------------------
 
-    def submit(self, job: Callable[[], None]) -> None:
+    def _enqueue(self, job, lane: str) -> None:
+        with self._cond:
+            if not self._threads:
+                raise GinjaError("encode stage is not running")
+            queue = self._lanes.get(lane)
+            if queue is None:
+                queue = deque()
+                self._lanes[lane] = queue
+            if not queue:
+                self._rr.append(lane)
+            queue.append(job)
+            self._pending += 1
+            self._cond.notify()
+
+    def submit(self, job: Callable[[], None], lane: str = "") -> None:
         """Queue one fire-and-forget job (the pipeline's per-object path).
 
         The job owns its own result delivery (e.g. putting an encoded
         blob on the upload queue); an escaping exception goes to
-        ``on_error``.
+        ``on_error``.  ``lane`` names the fair-share queue — a fleet
+        passes the tenant id so one tenant's burst cannot starve the
+        others.
+
+        Raises:
+            GinjaError: when the stage is not running.  With no worker
+                threads the job would sit in the queue forever; callers
+                either hold the stage running for the submission's
+                lifetime (the pipeline does) or must handle the error.
         """
-        self._queue.put(job)
+        self._enqueue(job, lane)
 
     def queue_depth(self) -> int:
         """Jobs waiting in the stage (approximate, for events)."""
-        return self._queue.qsize()
+        with self._cond:
+            return self._pending
 
-    def map(self, jobs: list[Callable[[], object]]) -> list[object]:
+    def lane_depth(self, lane: str = "") -> int:
+        """Jobs waiting in one lane (approximate, for fleet health)."""
+        with self._cond:
+            queue = self._lanes.get(lane)
+            return len(queue) if queue is not None else 0
+
+    def map(
+        self, jobs: list[Callable[[], object]], lane: str = ""
+    ) -> list[object]:
         """Run ``jobs`` on the pool, block for all, return results in order.
 
         Used by the checkpoint collector to encode a checkpoint's parts
@@ -169,9 +223,16 @@ class EncodeStage:
                         done.set()
 
         for index, job in enumerate(jobs):
-            self._queue.put(
-                _MapJob(lambda cancelled, i=index, j=job: run(i, j, cancelled))
+            map_job = _MapJob(
+                lambda cancelled, i=index, j=job: run(i, j, cancelled)
             )
+            try:
+                self._enqueue(map_job, lane)
+            except GinjaError:
+                # The stage stopped under us: already-enqueued jobs were
+                # drained (or cancelled) by the exiting workers; run the
+                # rest inline so the latch always resolves.
+                map_job()
         done.wait()
         if errors:
             raise errors[0]
@@ -179,19 +240,35 @@ class EncodeStage:
 
     # -- worker ------------------------------------------------------------------
 
+    def _claim_locked(self):
+        """Pop the next job, rotating the round-robin lane ring."""
+        lane = self._rr.popleft()
+        queue = self._lanes[lane]
+        job = queue.popleft()
+        if queue:
+            self._rr.append(lane)
+        else:
+            del self._lanes[lane]
+        self._pending -= 1
+        return job
+
     def _worker_loop(self) -> None:
         while True:
-            item = self._queue.get()
-            if item is _STOP:
-                return
-            if self._discard:
+            with self._cond:
+                while self._pending == 0 and not self._stopping:
+                    self._cond.wait()
+                if self._pending == 0:
+                    return  # stopping, and the queues are drained
+                job = self._claim_locked()
+                discard = self._discard
+            if discard:
                 # Fire-and-forget jobs are simply dropped (the crash
                 # semantics), but map jobs must still resolve their latch.
-                if isinstance(item, _MapJob):
-                    item.cancel()
+                if isinstance(job, _MapJob):
+                    job.cancel()
                 continue
             try:
-                item()
+                job()
             except BaseException as exc:  # noqa: BLE001 - worker loop boundary
                 # A dead encoder is as fatal as a dead uploader: without
                 # this hook the pipeline would wait forever on a blob

@@ -59,19 +59,46 @@ class Ginja:
         clock: Clock = SYSTEM_CLOCK,
         fuse_overhead: float = 0.0,
         time_scale: float = 1.0,
+        tenant: str = "",
+        bus: EventBus | None = None,
+        transport: ObjectStore | None = None,
+        encode_stage: EncodeStage | None = None,
+        download_pool: EncodeStage | None = None,
     ):
+        """Stand-alone construction builds everything privately; a fleet
+        injects the shared halves instead:
+
+        * ``transport`` — an already retry-wrapped store (typically a
+          :class:`~repro.cloud.prefix.PrefixedObjectStore` over the
+          fleet's shared transport stack).  When given, no private
+          transport stack is built and ``cloud`` is treated as raw-store
+          access *through the same namespace* (fsck, stale-key deletes).
+        * ``encode_stage`` / ``download_pool`` — shared worker pools;
+          this instance submits into its ``tenant`` lane and never
+          starts or stops them.
+        * ``bus`` — a tenant-scoped :class:`EventBus` so every event this
+          instance emits carries the tenant stamp.
+        """
         self.config = config or GinjaConfig()
         self.profile = profile
         self.cloud = cloud
         self.clock = clock
+        #: Fleet tenant id; doubles as the fair-share lane name in the
+        #: shared pools.  Empty for a stand-alone instance.
+        self.tenant = tenant
         #: Every component narrates itself here; subscribe a
         #: TraceRecorder (or anything callable) to watch a run live.
-        self.bus = EventBus()
+        self.bus = bus if bus is not None else EventBus(tenant=tenant)
         self.stats = GinjaStats().attach(self.bus)
         #: The retry-wrapped, traced transport all cloud I/O goes through.
-        self.transport = build_transport(
-            cloud, self.config, bus=self.bus, clock=clock
-        )
+        #: Injected by a fleet (shared retry/meter stack under a tenant
+        #: prefix); built privately otherwise.
+        if transport is not None:
+            self.transport = transport
+        else:
+            self.transport = build_transport(
+                cloud, self.config, bus=self.bus, clock=clock
+            )
         self.view = CloudView()
         self.codec = ObjectCodec(
             compress=self.config.compress,
@@ -91,14 +118,24 @@ class Ginja:
         #: One encoder pool shared by the commit pipeline and the
         #: checkpoint collector, so DB-object codec work overlaps WAL
         #: traffic on the same ``config.encoders`` threads.  ``None``
-        #: when ``encode_inline`` disables the stage entirely.
-        self.encode_stage = (
-            None if self.config.encode_inline
-            else EncodeStage(self.config.encoders)
-        )
+        #: when ``encode_inline`` disables the stage entirely.  A fleet
+        #: injects its process-wide stage here; lifecycle then belongs
+        #: to the fleet, not this instance.
+        if encode_stage is not None:
+            self.encode_stage = encode_stage
+            self._owns_encode_stage = False
+        else:
+            self.encode_stage = (
+                None if self.config.encode_inline
+                else EncodeStage(self.config.encoders)
+            )
+            self._owns_encode_stage = self.encode_stage is not None
+        #: Shared pool for recovery GETs (a fleet reuses one pool across
+        #: every tenant restore); ``None`` spawns private downloaders.
+        self.download_pool = download_pool
         self.pipeline = CommitPipeline(
             self.config, self.transport, self.codec, self.view, self.bus,
-            clock=clock, encode_stage=self.encode_stage,
+            clock=clock, encode_stage=self.encode_stage, lane=tenant,
         )
         self.checkpointer = CheckpointUploader(
             self.config, self.transport, self.view, self.bus, clock=clock
@@ -112,6 +149,7 @@ class Ginja:
             self.checkpointer.queue,
             self.bus,
             encode_stage=self.encode_stage,
+            lane=tenant,
         )
         self.processor = DatabaseProcessor(profile, self.pipeline, self.collector)
         self._running = False
@@ -145,6 +183,11 @@ class Ginja:
         else:
             raise GinjaError(f"unknown start mode: {mode!r}")
         if self.encode_stage is not None and not self.encode_stage.running:
+            if not self._owns_encode_stage:
+                raise GinjaError(
+                    "shared encode stage is not running; start the fleet's "
+                    "pools before starting tenants"
+                )
             self.encode_stage.start()
         self.pipeline.start()
         self.checkpointer.start()
@@ -173,7 +216,7 @@ class Ginja:
         finally:
             remaining = max(0.0, deadline - self.clock.now())
             self.checkpointer.stop(drain_timeout=remaining)
-            if self.encode_stage is not None:
+            if self._owns_encode_stage:
                 self.encode_stage.stop()
             self._running = False
 
@@ -197,7 +240,9 @@ class Ginja:
         if self._running:
             self.pipeline.abort()
             self.checkpointer.abort()
-        if self.encode_stage is not None:
+        if self._owns_encode_stage:
+            # A shared stage belongs to the fleet: one tenant's disaster
+            # must not tear down its co-tenants' encoder pool.
             self.encode_stage.stop(discard=True)
         self._running = False
 
@@ -239,6 +284,11 @@ class Ginja:
         fuse_overhead: float = 0.0,
         time_scale: float = 1.0,
         on_event: Subscriber | None = None,
+        tenant: str = "",
+        bus: EventBus | None = None,
+        transport: ObjectStore | None = None,
+        encode_stage: EncodeStage | None = None,
+        download_pool: EncodeStage | None = None,
     ) -> tuple["Ginja", RecoveryReport]:
         """Rebuild the database files from the cloud and return a mounted
         Ginja ready to protect the recovered database.
@@ -265,6 +315,11 @@ class Ginja:
             clock=clock,
             fuse_overhead=fuse_overhead,
             time_scale=time_scale,
+            tenant=tenant,
+            bus=bus,
+            transport=transport,
+            encode_stage=encode_stage,
+            download_pool=download_pool,
         )
         if on_event is not None:
             ginja.bus.subscribe(on_event, kinds=RECOVERY_EVENT_KINDS)
@@ -276,6 +331,8 @@ class Ginja:
             config=ginja.config,
             bus=ginja.bus,
             clock=clock,
+            pool=ginja.download_pool,
+            lane=tenant,
         )
         for key in report.stale_keys:
             ginja.transport.delete(key)

@@ -251,6 +251,13 @@ class RecoveryEngine:
     calling thread applies results strictly in plan order.  With
     ``downloaders=1`` the engine degenerates to the sequential loop the
     old ``recover_files`` ran (same events, same report).
+
+    A fleet passes ``pool`` — a running shared
+    :class:`~repro.core.encode_stage.EncodeStage` — instead of sizing a
+    private thread pool: fetch jobs are then submitted into the pool's
+    ``lane`` (the tenant id), window-bounded exactly as the private
+    workers are, so concurrent tenant restores share one set of
+    downloader threads with fair-share scheduling between them.
     """
 
     def __init__(
@@ -263,6 +270,8 @@ class RecoveryEngine:
         prefetch_window: int = 16,
         bus: EventBus | None = None,
         clock: Clock = SYSTEM_CLOCK,
+        pool=None,
+        lane: str = "",
     ):
         if downloaders < 1:
             raise RecoveryError("recovery needs at least one downloader")
@@ -276,6 +285,8 @@ class RecoveryEngine:
         self._window = max(prefetch_window, downloaders)
         self._bus = bus or NULL_BUS
         self._clock = clock
+        self._pool = pool
+        self._lane = lane
 
     # -- public entry ---------------------------------------------------------
 
@@ -292,7 +303,13 @@ class RecoveryEngine:
             detail=plan.describe(),
         )
         if plan.steps:
-            if self._downloaders == 1 or len(plan.steps) == 1:
+            if (
+                self._pool is not None
+                and self._pool.running
+                and len(plan.steps) > 1
+            ):
+                self._run_pooled(plan, report)
+            elif self._downloaders == 1 or len(plan.steps) == 1:
                 self._run_sequential(plan, report)
             else:
                 self._run_parallel(plan, report)
@@ -381,6 +398,79 @@ class RecoveryEngine:
             state.shut_down()
             for thread in threads:
                 thread.join()
+
+    # -- pooled path (shared downloader pool) ---------------------------------
+
+    def _run_pooled(self, plan: RecoveryPlan, report: RecoveryReport) -> None:
+        """Prefetch through a shared worker pool instead of private threads.
+
+        Identical window discipline to :meth:`_run_parallel`: at most
+        ``window`` plan positions are in the pool at once — the next one
+        is submitted only after a position is applied.  On failure the
+        already-submitted jobs drain harmlessly into the state dict (the
+        pool is persistent and shared, nothing to join here).
+        """
+        state = _PooledFetchState(self, plan.steps)
+        window = min(self._window, len(plan.steps))
+        try:
+            for index in range(window):
+                state.submit(self._pool, self._lane, index)
+            for index, step in enumerate(plan.steps):
+                nbytes, decoded = state.take(index)
+                self._apply(step, nbytes, decoded, report)
+                follow = index + window
+                if follow < len(plan.steps):
+                    state.submit(self._pool, self._lane, follow)
+        finally:
+            # Turn any still-queued fetch jobs into no-ops.
+            state.shut_down()
+
+
+class _PooledFetchState:
+    """Prefetch bookkeeping when fetches run on a shared pool."""
+
+    def __init__(self, engine: RecoveryEngine, steps: tuple[RecoveryStep, ...]):
+        self._engine = engine
+        self._steps = steps
+        self._cond = threading.Condition()
+        self._results: dict[int, tuple[int, object]] = {}
+        self._fatal: BaseException | None = None
+        self._stopping = False
+
+    def submit(self, pool, lane: str, index: int) -> None:
+        # Raises GinjaError if the pool was stopped (fleet shutdown mid
+        # restore); the caller's finally turns the rest into no-ops.
+        pool.submit(lambda: self._fetch_job(index), lane=lane)
+
+    def _fetch_job(self, index: int) -> None:
+        with self._cond:
+            if self._stopping or self._fatal is not None:
+                return
+        try:
+            result = self._engine._fetch(self._steps[index])
+        except BaseException as exc:  # noqa: BLE001 - poison discipline
+            with self._cond:
+                if self._fatal is None:
+                    self._fatal = exc
+                self._cond.notify_all()
+            return
+        with self._cond:
+            self._results[index] = result
+            self._cond.notify_all()
+
+    def take(self, index: int) -> tuple[int, object]:
+        """Block until plan position ``index`` is decoded (or poisoned)."""
+        with self._cond:
+            while index not in self._results and self._fatal is None:
+                self._cond.wait()
+            if self._fatal is not None:
+                raise self._fatal
+            return self._results.pop(index)
+
+    def shut_down(self) -> None:
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
 
 
 class _PrefetchState:

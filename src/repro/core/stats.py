@@ -46,6 +46,9 @@ class GinjaStats:
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
+        #: Per-tenant rollups, keyed by the ``tenant`` stamp of incoming
+        #: events; empty for a single-tenant run (no stamped events).
+        self._tenants: dict[str, "GinjaStats"] = {}
 
     def add(self, **deltas: float) -> None:
         with self._lock:
@@ -76,33 +79,66 @@ class GinjaStats:
         bus.subscribe(self.handle_event, kinds=self.HANDLED_KINDS)
         return self
 
-    def handle_event(self, event: Event) -> None:
-        """Translate one observability event into counter deltas."""
+    @staticmethod
+    def _deltas(event: Event) -> dict[str, float] | None:
+        """The counter deltas one observability event translates into."""
         kind = event.kind
         if kind == events.RETRY:
-            self.add(upload_retries=1)
-        elif kind == events.GC_DELETE:
+            return {"upload_retries": 1}
+        if kind == events.GC_DELETE:
             if event.ok:
-                self.add(gc_deletes=1)
-            else:
-                self.add(gc_delete_failures=1)
-        elif kind == events.WAL_OBJECT:
-            self.add(wal_objects=1, wal_bytes=event.nbytes)
-        elif kind == events.WAL_BATCH:
-            self.add(wal_batches=1)
-        elif kind == events.DB_OBJECT:
-            self.add(db_objects=1, db_bytes=event.nbytes)
-        elif kind == events.DUMP_COMPLETE:
-            self.add(dumps=1)
-        elif kind == events.CHECKPOINT_END:
-            self.add(checkpoints_seen=1)
-        elif kind == events.COMMIT_BLOCKED:
-            self.add(blocks=1)
-        elif kind == events.COMMIT_UNBLOCKED:
-            self.add(blocked_seconds=event.latency)
-        elif kind == events.CODEC:
-            self.add(codec_bytes_in=event.nbytes)
-        elif kind == events.OBJECT_RESTORED:
-            self.add(objects_restored=1, restored_bytes=event.nbytes)
-        elif kind == events.RECOVERY_DONE:
-            self.add(recoveries=1)
+                return {"gc_deletes": 1}
+            return {"gc_delete_failures": 1}
+        if kind == events.WAL_OBJECT:
+            return {"wal_objects": 1, "wal_bytes": event.nbytes}
+        if kind == events.WAL_BATCH:
+            return {"wal_batches": 1}
+        if kind == events.DB_OBJECT:
+            return {"db_objects": 1, "db_bytes": event.nbytes}
+        if kind == events.DUMP_COMPLETE:
+            return {"dumps": 1}
+        if kind == events.CHECKPOINT_END:
+            return {"checkpoints_seen": 1}
+        if kind == events.COMMIT_BLOCKED:
+            return {"blocks": 1}
+        if kind == events.COMMIT_UNBLOCKED:
+            return {"blocked_seconds": event.latency}
+        if kind == events.CODEC:
+            return {"codec_bytes_in": event.nbytes}
+        if kind == events.OBJECT_RESTORED:
+            return {"objects_restored": 1, "restored_bytes": event.nbytes}
+        if kind == events.RECOVERY_DONE:
+            return {"recoveries": 1}
+        return None
+
+    def handle_event(self, event: Event) -> None:
+        """Translate one observability event into counter deltas.
+
+        A tenant-stamped event (fleet bus) additionally rolls into that
+        tenant's own :class:`GinjaStats`, so a fleet reads both the
+        process-wide totals and each tenant's share off one subscriber.
+        """
+        deltas = self._deltas(event)
+        if deltas is None:
+            return
+        self.add(**deltas)
+        if event.tenant:
+            self.tenant(event.tenant).add(**deltas)
+
+    # -- per-tenant rollups ---------------------------------------------------
+
+    def tenant(self, tenant_id: str) -> "GinjaStats":
+        """The rollup for ``tenant_id`` (created on first use)."""
+        with self._lock:
+            rolled = self._tenants.get(tenant_id)
+            if rolled is None:
+                rolled = self._tenants[tenant_id] = GinjaStats()
+            return rolled
+
+    def tenants(self) -> tuple[str, ...]:
+        """The tenant ids that have accumulated counters."""
+        with self._lock:
+            return tuple(self._tenants)
+
+    def tenant_snapshot(self, tenant_id: str) -> dict[str, float]:
+        return self.tenant(tenant_id).snapshot()

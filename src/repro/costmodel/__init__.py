@@ -9,6 +9,11 @@
   (§7.3).
 """
 
+from repro.costmodel.attribution import (
+    FleetBill,
+    TenantBill,
+    attribute_fleet_costs,
+)
 from repro.costmodel.budget import BudgetFrontier, FrontierPoint
 from repro.costmodel.model import CostBreakdown, GinjaCostModel, WorkloadSpec
 from repro.costmodel.scenarios import (
@@ -36,4 +41,7 @@ __all__ = [
     "M3_LARGE_PILOT_LIGHT",
     "scenario_cost",
     "recovery_cost",
+    "TenantBill",
+    "FleetBill",
+    "attribute_fleet_costs",
 ]

@@ -1,0 +1,112 @@
+"""Per-tenant dollar attribution for a shared fleet bucket.
+
+The paper's one-dollar claim (§7) is per database; a fleet amortizes
+one protection process across N of them, so the interesting number
+becomes *each tenant's share of the shared bill*.  A
+:class:`~repro.cloud.metering.TenantMeterBank` already splits the
+shared transport's metering per tenant with an exact reconciliation
+invariant (tenants + unattributed == total); this module prices those
+meters through a :class:`~repro.cloud.pricing.PriceBook` so the same
+invariant holds in dollars, modulo float rounding.
+
+Requests nobody owns — fleet-level LISTs (fsck sweeps, recovery
+planning before a tenant prefix is known), stray keys — are priced
+into ``unattributed``; a fleet operator treats that as overhead to
+spread or absorb, but the attribution never silently pads a tenant's
+bill with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.metering import RequestMeter, TenantMeterBank
+from repro.cloud.pricing import PriceBook
+
+
+@dataclass(frozen=True)
+class TenantBill:
+    """One tenant's share of a metered fleet window."""
+
+    tenant: str
+    dollars: float
+    puts: int
+    gets: int
+    lists: int
+    deletes: int
+    stored_bytes: int
+
+    @classmethod
+    def from_meter(
+        cls, tenant: str, meter: RequestMeter, prices: PriceBook, elapsed: float
+    ) -> "TenantBill":
+        return cls(
+            tenant=tenant,
+            dollars=prices.bill_window(meter, elapsed),
+            puts=meter.puts.count,
+            gets=meter.gets.count,
+            lists=meter.lists.count,
+            deletes=meter.deletes.count,
+            stored_bytes=meter.stored_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class FleetBill:
+    """The priced breakdown of one fleet metering window.
+
+    ``total_dollars`` is what the shared meter would bill as a single
+    customer; ``tenants`` plus ``unattributed_dollars`` decompose it
+    (exactly, up to float associativity — the meters themselves
+    reconcile integer-exactly).
+    """
+
+    elapsed: float
+    total_dollars: float
+    unattributed_dollars: float
+    tenants: tuple[TenantBill, ...]
+
+    @property
+    def attributed_dollars(self) -> float:
+        return sum(bill.dollars for bill in self.tenants)
+
+    def tenant(self, tenant_id: str) -> TenantBill | None:
+        for bill in self.tenants:
+            if bill.tenant == tenant_id:
+                return bill
+        return None
+
+    def summary(self) -> str:
+        lines = [
+            f"fleet window: {self.elapsed:.1f} store-seconds, "
+            f"${self.total_dollars:.6f} total "
+            f"({len(self.tenants)} tenants, "
+            f"${self.unattributed_dollars:.6f} unattributed)"
+        ]
+        for bill in sorted(self.tenants, key=lambda b: -b.dollars):
+            lines.append(
+                f"  {bill.tenant}: ${bill.dollars:.6f}  "
+                f"puts={bill.puts} gets={bill.gets} lists={bill.lists} "
+                f"stored={bill.stored_bytes}B"
+            )
+        return "\n".join(lines)
+
+
+def attribute_fleet_costs(
+    bank: TenantMeterBank, prices: PriceBook, elapsed: float
+) -> FleetBill:
+    """Price a fleet's metering window per tenant.
+
+    ``elapsed`` is the window length in store-clock seconds, exactly as
+    :meth:`~repro.cloud.pricing.PriceBook.bill_window` expects.
+    """
+    tenants = tuple(
+        TenantBill.from_meter(tenant_id, meter, prices, elapsed)
+        for tenant_id, meter in sorted(bank.tenants().items())
+    )
+    return FleetBill(
+        elapsed=elapsed,
+        total_dollars=prices.bill_window(bank.total, elapsed),
+        unattributed_dollars=prices.bill_window(bank.unattributed, elapsed),
+        tenants=tenants,
+    )

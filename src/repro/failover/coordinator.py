@@ -61,7 +61,18 @@ class FailoverCoordinator:
         poll_interval: float = 5.0,
         on_promote: PromotionCallback | None = None,
         clock: Clock = SYSTEM_CLOCK,
+        transport: ObjectStore | None = None,
+        tenant: str = "",
+        encode_stage=None,
+        download_pool=None,
     ):
+        """``transport`` injects an already retry-wrapped store (a fleet's
+        prefixed view over its shared stack); the coordinator then never
+        builds a private transport — double-wrapping a retrying store
+        would square the retry budget.  ``tenant`` / ``encode_stage`` /
+        ``download_pool`` pass straight through to
+        :meth:`~repro.core.ginja.Ginja.recover` for fleet failovers.
+        """
         self._cloud = cloud
         self._profile = profile
         self._ginja_config = ginja_config
@@ -70,6 +81,10 @@ class FailoverCoordinator:
         self._poll_interval = poll_interval
         self._on_promote = on_promote
         self._clock = clock
+        self._transport = transport
+        self._tenant = tenant
+        self._encode_stage = encode_stage
+        self._download_pool = download_pool
 
     def run(self, max_polls: int = 0) -> FailoverResult:
         """Poll until failure is declared (or ``max_polls`` exhausted),
@@ -97,14 +112,17 @@ class FailoverCoordinator:
             retention = (
                 self._ginja_config.retention if self._ginja_config else None
             )
-            repair_store = build_transport(
-                self._cloud,
-                self._ginja_config,
-                policy=(
-                    None if self._ginja_config is not None else RetryPolicy()
-                ),
-                clock=self._clock,
-            )
+            if self._transport is not None:
+                repair_store = self._transport
+            else:
+                repair_store = build_transport(
+                    self._cloud,
+                    self._ginja_config,
+                    policy=(
+                        None if self._ginja_config is not None else RetryPolicy()
+                    ),
+                    clock=self._clock,
+                )
             repaired = fsck_repair(
                 repair_store, mode="conservative", retention=retention
             )
@@ -112,7 +130,14 @@ class FailoverCoordinator:
             result.repaired_keys = list(repaired.deleted)
             standby_fs = MemoryFileSystem()
             ginja, report = Ginja.recover(
-                self._cloud, standby_fs, self._profile, self._ginja_config
+                self._cloud,
+                standby_fs,
+                self._profile,
+                self._ginja_config,
+                transport=self._transport,
+                tenant=self._tenant,
+                encode_stage=self._encode_stage,
+                download_pool=self._download_pool,
             )
             try:
                 # Open through Ginja's mount: the promoted standby is itself

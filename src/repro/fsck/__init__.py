@@ -9,18 +9,26 @@ and, in ``resync`` mode, rebuilding the view with its timestamp counter
 clamped to the first WAL gap.
 """
 
-from repro.fsck.audit import AuditReport, audit, audit_index
+from repro.fsck.audit import (
+    AuditReport,
+    FleetAuditReport,
+    audit,
+    audit_fleet,
+    audit_index,
+)
 from repro.fsck.invariants import BucketIndex, INVARIANTS, Violation
 from repro.fsck.repair import MODES, RepairReport, repair, resync_view
 
 __all__ = [
     "AuditReport",
+    "FleetAuditReport",
     "BucketIndex",
     "INVARIANTS",
     "MODES",
     "RepairReport",
     "Violation",
     "audit",
+    "audit_fleet",
     "audit_index",
     "repair",
     "resync_view",

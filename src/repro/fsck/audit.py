@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.core.pitr import RetentionPolicy
 from repro.cloud.interface import ObjectStore
+from repro.cloud.prefix import tenant_of_key, tenant_prefix
 from repro.fsck.invariants import (
     BucketIndex,
     DB_BELOW_RETENTION_FLOOR,
@@ -159,3 +160,75 @@ def audit(
             be deliberate snapshots and are not flagged.
     """
     return audit_index(BucketIndex.from_store(store), view, retention=retention)
+
+
+@dataclass
+class FleetAuditReport:
+    """Per-tenant audits of one shared fleet bucket, plus layout checks.
+
+    ``stray_keys`` are objects outside every ``tenants/<id>/`` keyspace —
+    in a fleet bucket nothing should live at the root, so any stray key
+    is a namespace violation (a tenant writing past its prefix, or a
+    leftover from a pre-fleet run).
+    """
+
+    tenants: dict[str, "AuditReport"] = field(default_factory=dict)
+    stray_keys: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.stray_keys and all(
+            report.ok for report in self.tenants.values()
+        )
+
+    def summary(self) -> str:
+        clean = sum(1 for r in self.tenants.values() if r.ok)
+        lines = [
+            f"fleet bucket: {len(self.tenants)} tenants, {clean} clean, "
+            f"{len(self.stray_keys)} stray keys"
+            + ("" if self.ok else "  [VIOLATIONS]")
+        ]
+        for key in self.stray_keys:
+            lines.append(f"  stray: {key}")
+        for tenant_id in sorted(self.tenants):
+            report = self.tenants[tenant_id]
+            status = "ok" if report.ok else f"{len(report.violations)} violations"
+            lines.append(
+                f"  {tenant_id}: {report.objects} objects, {status}"
+            )
+        return "\n".join(lines)
+
+
+def audit_fleet(
+    store: ObjectStore,
+    views: dict[str, object] | None = None,
+    *,
+    retentions: dict[str, RetentionPolicy] | None = None,
+) -> FleetAuditReport:
+    """Audit every tenant keyspace of a shared fleet bucket.
+
+    One LIST over the shared ``store`` is partitioned by tenant prefix;
+    each tenant's keys are audited exactly as a private bucket's would
+    be (same invariant catalog, keys stripped of the prefix), with that
+    tenant's live view/retention when provided via ``views`` /
+    ``retentions`` (keyed by tenant id).
+    """
+    views = views or {}
+    retentions = retentions or {}
+    by_tenant: dict[str, list[str]] = {}
+    report = FleetAuditReport()
+    for info in store.list():
+        tenant_id = tenant_of_key(info.key)
+        if tenant_id is None:
+            report.stray_keys.append(info.key)
+        else:
+            by_tenant.setdefault(tenant_id, []).append(
+                info.key[len(tenant_prefix(tenant_id)):]
+            )
+    for tenant_id, keys in sorted(by_tenant.items()):
+        report.tenants[tenant_id] = audit_index(
+            BucketIndex.from_keys(keys),
+            views.get(tenant_id),
+            retention=retentions.get(tenant_id),
+        )
+    return report

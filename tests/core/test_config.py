@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.common.errors import ConfigError
-from repro.core.config import GinjaConfig
+from repro.core.config import GinjaConfig, SharedPoolConfig, TenantPolicy
 from repro.core.pitr import RetentionPolicy
 
 
@@ -77,3 +77,53 @@ class TestRetentionPolicy:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             RetentionPolicy(generations=-1)
+
+
+class TestSharedPolicySplit:
+    """The fleet refactor's config split: shared() / policy() / compose()."""
+
+    def test_split_covers_every_field_exactly_once(self):
+        from dataclasses import fields
+
+        split = set(GinjaConfig._SHARED_FIELDS) | set(GinjaConfig._POLICY_FIELDS)
+        assert set(GinjaConfig._SHARED_FIELDS).isdisjoint(
+            GinjaConfig._POLICY_FIELDS
+        )
+        assert split == {f.name for f in fields(GinjaConfig)}
+
+    def test_compose_round_trips(self):
+        config = GinjaConfig(
+            batch=7, safety=70, uploaders=2, encoders=6, downloaders=3,
+            compress=True, max_retries=9, seed=42,
+            retention=RetentionPolicy.keep(3),
+        )
+        rebuilt = GinjaConfig.compose(config.shared(), config.policy())
+        assert rebuilt == config
+
+    def test_compose_validates_cross_field(self):
+        with pytest.raises(ConfigError):
+            GinjaConfig.compose(
+                SharedPoolConfig(), TenantPolicy(batch=10, safety=5)
+            )
+        with pytest.raises(ConfigError):
+            GinjaConfig.compose(SharedPoolConfig(), TenantPolicy(encrypt=True))
+
+    def test_compose_default_policy(self):
+        config = GinjaConfig.compose(SharedPoolConfig(encoders=8))
+        assert config.encoders == 8
+        assert config.batch == TenantPolicy().batch
+
+    def test_compose_copies_retry_budgets(self):
+        shared = SharedPoolConfig(retry_budgets={"PUT": 2})
+        config = GinjaConfig.compose(shared)
+        assert config.retry_budgets == {"PUT": 2}
+        config.retry_budgets["PUT"] = 99  # flat config is mutable...
+        assert shared.retry_budgets == {"PUT": 2}  # ...shared half is not
+
+    def test_shared_pool_config_validation(self):
+        with pytest.raises(ConfigError):
+            SharedPoolConfig(encoders=0)
+        with pytest.raises(ConfigError):
+            SharedPoolConfig(downloaders=0)
+        with pytest.raises(ConfigError):
+            SharedPoolConfig(retry_jitter=2.0)

@@ -136,6 +136,82 @@ class TestEncodeStageUnit:
         finally:
             stage.stop()
 
+    def test_submit_raises_when_never_started(self):
+        """The silent-enqueue bug: submit() on a stage with no worker
+        threads used to park the job in the queue forever."""
+        stage = EncodeStage(workers=1)
+        with pytest.raises(GinjaError, match="not running"):
+            stage.submit(lambda: None)
+
+    def test_submit_raises_after_stop(self):
+        stage = EncodeStage(workers=1)
+        stage.start()
+        ran = []
+        stage.submit(lambda: ran.append(True))
+        stage.stop()
+        with pytest.raises(GinjaError, match="not running"):
+            stage.submit(lambda: ran.append(False))
+        assert ran == [True]  # drain-stop ran the pre-stop job
+        assert stage.queue_depth() == 0
+
+    def test_drain_stop_runs_queued_jobs(self):
+        stage = EncodeStage(workers=1)
+        stage.start()
+        release = threading.Event()
+        stage.submit(release.wait)  # occupy the only worker
+        ran = []
+        for i in range(5):
+            stage.submit(lambda i=i: ran.append(i))
+        release.set()
+        stage.stop()  # drain semantics: everything queued must run
+        assert ran == [0, 1, 2, 3, 4]
+
+    def test_lanes_round_robin_fair_share(self):
+        """A tenant that floods the stage must not starve another: with
+        lane A holding a deep backlog, lane B's single job is picked
+        after at most one more lane-A job, not after the whole backlog."""
+        stage = EncodeStage(workers=1)
+        stage.start()
+        try:
+            release = threading.Event()
+            order = []
+            stage.submit(release.wait)  # hold the worker while we queue
+            for i in range(10):
+                stage.submit(lambda i=i: order.append(("a", i)), lane="a")
+            stage.submit(lambda: order.append(("b", 0)), lane="b")
+            release.set()
+            deadline = time.monotonic() + 5
+            while len(order) < 11 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert len(order) == 11
+            # Round-robin: b's job runs within the first two slots.
+            assert ("b", 0) in order[:2], order
+            # Per-lane FIFO order is preserved.
+            a_jobs = [i for lane, i in order if lane == "a"]
+            assert a_jobs == list(range(10))
+        finally:
+            stage.stop()
+
+    def test_lane_depth_tracks_per_lane_backlog(self):
+        stage = EncodeStage(workers=1)
+        stage.start()
+        try:
+            release = threading.Event()
+            stage.submit(release.wait)
+            deadline = time.monotonic() + 5
+            while stage.queue_depth() > 0 and time.monotonic() < deadline:
+                time.sleep(0.005)  # wait for the worker to claim the blocker
+            stage.submit(lambda: None, lane="x")
+            stage.submit(lambda: None, lane="x")
+            stage.submit(lambda: None, lane="y")
+            assert stage.lane_depth("x") == 2
+            assert stage.lane_depth("y") == 1
+            assert stage.queue_depth() == 3
+            release.set()
+        finally:
+            stage.stop()
+        assert stage.lane_depth("x") == 0
+
 
 class TestUnlockOrderUnderParallelEncode:
     def test_stalled_first_encode_holds_the_unlock_frontier(self):

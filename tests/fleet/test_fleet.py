@@ -1,0 +1,342 @@
+"""FleetManager: shared pools, tenant isolation, metering, recovery.
+
+The isolation suite (S3) is the heart of this file: one tenant's codec
+fault must poison only that tenant's pipeline — never the shared
+EncodeStage or its co-tenants — and one tenant's crash() must leak no
+shared-pool threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import ConfigError, GinjaError
+from repro.core.codec import ObjectCodec
+from repro.core.config import SharedPoolConfig, TenantPolicy
+from repro.cloud.memory import InMemoryObjectStore
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import POSTGRES_PROFILE
+from repro.fleet import FleetManager
+from repro.storage.memory import MemoryFileSystem
+
+ENGINE = EngineConfig(wal_segment_size=64 * 1024)
+POLICY = TenantPolicy(
+    batch=3, safety=50, batch_timeout=0.05, safety_timeout=10.0, uploaders=1
+)
+
+
+@pytest.fixture
+def fleet():
+    backend = InMemoryObjectStore()
+    manager = FleetManager(
+        backend, SharedPoolConfig(encoders=3, downloaders=2)
+    )
+    manager.start()
+    yield manager
+    # Tests that poison a tenant clean it off the roster themselves;
+    # anything left here must stop cleanly.
+    manager.stop_all()
+
+
+def admit(fleet, tenant_id, policy=POLICY):
+    """Create a fresh database and admit it; returns (ginja, db)."""
+    disk = MemoryFileSystem()
+    MiniDB.create(disk, POSTGRES_PROFILE, ENGINE).close()
+    ginja = fleet.add_tenant(tenant_id, disk, POSTGRES_PROFILE, policy)
+    return ginja, MiniDB.open(ginja.fs, POSTGRES_PROFILE, ENGINE)
+
+
+def commit_rows(db, tenant_id, n, start=0):
+    for row in range(start, start + n):
+        db.put("t", f"row-{row}", f"{tenant_id}-{row}".encode())
+
+
+class TestFleetLifecycle:
+    def test_add_tenant_requires_started_fleet(self):
+        manager = FleetManager(InMemoryObjectStore())
+        with pytest.raises(GinjaError, match="start the fleet"):
+            manager.add_tenant("a", MemoryFileSystem(), POSTGRES_PROFILE)
+
+    def test_tenant_ids_validated(self, fleet):
+        for bad in ("", "a/b", "tenants/x"):
+            with pytest.raises(GinjaError, match="invalid tenant id"):
+                fleet.add_tenant(bad, MemoryFileSystem(), POSTGRES_PROFILE)
+
+    def test_duplicate_tenant_rejected(self, fleet):
+        _, db = admit(fleet, "dup")
+        try:
+            with pytest.raises(GinjaError, match="already exists"):
+                fleet.add_tenant(
+                    "dup", MemoryFileSystem(), POSTGRES_PROFILE, POLICY
+                )
+        finally:
+            db.close()
+
+    def test_bad_policy_rejected_at_admission(self, fleet):
+        with pytest.raises(ConfigError):
+            fleet.add_tenant(
+                "bad", MemoryFileSystem(), POSTGRES_PROFILE,
+                TenantPolicy(batch=100, safety=10),  # B > S
+            )
+        assert fleet.tenants() == ()
+
+    def test_keyspaces_are_isolated(self, fleet):
+        ginja_a, db_a = admit(fleet, "alpha")
+        ginja_b, db_b = admit(fleet, "beta")
+        commit_rows(db_a, "alpha", 10)
+        commit_rows(db_b, "beta", 10)
+        assert ginja_a.drain(timeout=30.0)
+        assert ginja_b.drain(timeout=30.0)
+        backend = fleet.transport
+        keys = [info.key for info in backend.list()]
+        assert keys  # something was uploaded
+        assert all(
+            key.startswith(("tenants/alpha/", "tenants/beta/"))
+            for key in keys
+        )
+        assert any(key.startswith("tenants/alpha/WAL/") for key in keys)
+        assert any(key.startswith("tenants/beta/WAL/") for key in keys)
+        db_a.close()
+        db_b.close()
+
+    def test_remove_tenant_purge_clears_keyspace(self, fleet):
+        ginja, db = admit(fleet, "gone")
+        _, db_keep = admit(fleet, "keep")
+        commit_rows(db, "gone", 5)
+        commit_rows(db_keep, "keep", 5)
+        assert ginja.drain(timeout=30.0)
+        assert fleet.tenant("keep").drain(timeout=30.0)
+        db.close()
+        fleet.remove_tenant("gone", purge=True)
+        keys = [info.key for info in fleet.transport.list()]
+        assert keys  # keep's objects survive
+        assert not any(key.startswith("tenants/gone/") for key in keys)
+        assert "gone" not in fleet.tenants()
+        with pytest.raises(GinjaError, match="unknown tenant"):
+            fleet.tenant("gone")
+        db_keep.close()
+
+    def test_stop_all_stops_tenants_and_pools(self):
+        manager = FleetManager(InMemoryObjectStore(), SharedPoolConfig())
+        manager.start()
+        _, db = admit(manager, "only")
+        commit_rows(db, "only", 5)
+        db.close()
+        manager.stop_all()
+        assert manager.tenants() == ()
+        assert not manager.encode_pool.running
+        assert not manager.download_pool.running
+
+
+class TestSharedPoolIsolation:
+    """S3: faults and crashes stay inside the tenant that caused them."""
+
+    def test_codec_fault_poisons_only_the_faulty_tenant(self, fleet):
+        ginja_bad, db_bad = admit(fleet, "faulty")
+        ginja_ok, db_ok = admit(fleet, "healthy")
+
+        class FaultyCodec(ObjectCodec):
+            def encode(self, payload):
+                raise RuntimeError("injected codec fault")
+
+        # Swap the faulty tenant's codec under its pipeline: every encode
+        # job it submits into the *shared* stage now raises.
+        ginja_bad.pipeline._codec = FaultyCodec()
+        commit_rows(db_bad, "faulty", 5)
+        deadline = time.monotonic() + 5
+        while ginja_bad.pipeline.failed is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert isinstance(ginja_bad.pipeline.failed, RuntimeError)
+
+        # The shared pools are untouched and the co-tenant still commits.
+        assert fleet.encode_pool.running
+        assert fleet.download_pool.running
+        commit_rows(db_ok, "healthy", 10)
+        assert ginja_ok.drain(timeout=30.0)
+        assert ginja_ok.pipeline.failed is None
+        keys = [info.key for info in fleet.transport.list("tenants/healthy/")]
+        assert any(key.startswith("tenants/healthy/WAL/") for key in keys)
+
+        # Clean the poisoned tenant off the roster so the fixture's
+        # stop_all is clean: crash first (detaches interception, so the
+        # DB's close-time checkpoint doesn't hit the dead pipeline),
+        # then remove (a no-op stop for a crashed instance).
+        fleet.crash_tenant("faulty")
+        db_bad.close()
+        db_ok.close()
+        fleet.remove_tenant("faulty")
+
+    def test_tenant_crash_leaks_no_shared_pool_threads(self, fleet):
+        def alive_names():
+            return sorted(
+                t.name for t in threading.enumerate() if t.is_alive()
+            )
+
+        baseline = alive_names()
+        ginja, db = admit(fleet, "victim")
+        commit_rows(db, "victim", 10)
+        assert ginja.drain(timeout=30.0)
+        db.close()
+        fleet.crash_tenant("victim")
+
+        # Shared pools survive the crash...
+        assert fleet.encode_pool.running
+        assert fleet.download_pool.running
+        shared = [n for n in alive_names() if n.startswith("fleet-")]
+        assert len(shared) == 3 + 2  # encoders + downloaders, unchanged
+
+        # ...and every tenant-owned thread dies: the roster entry is the
+        # only trace left.  Poll — uploader threads exit asynchronously.
+        deadline = time.monotonic() + 5
+        while alive_names() != baseline and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert alive_names() == baseline
+        fleet.remove_tenant("victim")
+
+    def test_crashed_tenant_blocks_reuse_until_recovered(self, fleet):
+        ginja, db = admit(fleet, "dead")
+        commit_rows(db, "dead", 5)
+        assert ginja.drain(timeout=30.0)
+        db.close()
+        fleet.crash_tenant("dead")
+        # The dead instance stays on the roster, so re-admission under
+        # the same id is refused until remove/recover decides its fate.
+        with pytest.raises(GinjaError, match="already exists"):
+            fleet.add_tenant(
+                "dead", MemoryFileSystem(), POSTGRES_PROFILE, POLICY
+            )
+        ginja2, report = fleet.recover_tenant(
+            "dead", MemoryFileSystem(), POSTGRES_PROFILE, POLICY
+        )
+        assert report.files_restored > 0
+        assert fleet.tenant("dead") is ginja2
+        db2 = MiniDB.open(ginja2.fs, POSTGRES_PROFILE, ENGINE)
+        assert db2.get("t", "row-4") == b"dead-4"
+        db2.close()
+
+    def test_recover_refuses_running_tenant(self, fleet):
+        _, db = admit(fleet, "live")
+        try:
+            with pytest.raises(GinjaError, match="still running"):
+                fleet.recover_tenant(
+                    "live", MemoryFileSystem(), POSTGRES_PROFILE, POLICY
+                )
+        finally:
+            db.close()
+
+
+class TestFleetRecovery:
+    def test_rpo_zero_recovery_through_shared_download_pool(self, fleet):
+        ginja, db = admit(fleet, "phoenix")
+        _, db_co = admit(fleet, "bystander")
+        commit_rows(db, "phoenix", 20)
+        commit_rows(db_co, "bystander", 20)
+        assert ginja.drain(timeout=30.0)
+        db.close()
+        fleet.crash_tenant("phoenix")
+
+        assert fleet.download_pool.running  # restore must use this pool
+        ginja2, report = fleet.recover_tenant(
+            "phoenix", MemoryFileSystem(), POSTGRES_PROFILE, POLICY
+        )
+        assert ginja2.running
+        assert report.files_restored > 0
+        db2 = MiniDB.open(ginja2.fs, POSTGRES_PROFILE, ENGINE)
+        for row in range(20):
+            assert db2.get("t", f"row-{row}") == f"phoenix-{row}".encode()
+
+        # The recovered tenant keeps committing through the shared pools,
+        # and the bystander never noticed.
+        commit_rows(db2, "phoenix", 5, start=20)
+        assert ginja2.drain(timeout=30.0)
+        assert fleet.tenant("bystander").drain(timeout=30.0)
+        assert db_co.get("t", "row-19") == b"bystander-19"
+        db2.close()
+        db_co.close()
+
+    def test_fsck_sweep_clean_and_detects_strays(self, fleet):
+        _, db_a = admit(fleet, "a")
+        _, db_b = admit(fleet, "b")
+        commit_rows(db_a, "a", 10)
+        commit_rows(db_b, "b", 10)
+        assert fleet.tenant("a").drain(timeout=30.0)
+        assert fleet.tenant("b").drain(timeout=30.0)
+        sweep = fleet.fsck_sweep()
+        assert sweep.ok
+        assert set(sweep.tenants) == {"a", "b"}
+        assert sweep.stray_keys == []
+
+        # A key outside every tenant keyspace is a namespace violation.
+        fleet.transport.put("WAL/999", b"stray")
+        sweep = fleet.fsck_sweep()
+        assert not sweep.ok
+        assert sweep.stray_keys == ["WAL/999"]
+        fleet.transport.delete("WAL/999")
+        db_a.close()
+        db_b.close()
+
+
+class TestFleetMetering:
+    def test_meters_reconcile_exactly(self, fleet):
+        dbs = {}
+        for tenant_id in ("m1", "m2", "m3"):
+            _, dbs[tenant_id] = admit(fleet, tenant_id)
+            commit_rows(dbs[tenant_id], tenant_id, 10)
+        for tenant_id, db in dbs.items():
+            assert fleet.tenant(tenant_id).drain(timeout=30.0)
+            db.close()
+        bank = fleet.meters
+        assert set(bank.tenants()) == {"m1", "m2", "m3"}
+        for verb in ("puts", "gets", "lists", "deletes"):
+            for field in ("count", "bytes"):
+                total = getattr(getattr(bank.total, verb), field)
+                split = sum(
+                    getattr(getattr(m, verb), field)
+                    for m in bank.tenants().values()
+                ) + getattr(getattr(bank.unattributed, verb), field)
+                assert split == total, (verb, field)
+        assert bank.unattributed.puts.count == 0
+        assert all(m.puts.count > 0 for m in bank.tenants().values())
+
+    def test_bill_attributes_dollars_per_tenant(self, fleet):
+        _, db_small = admit(fleet, "small")
+        _, db_big = admit(fleet, "big")
+        commit_rows(db_small, "small", 5)
+        commit_rows(db_big, "big", 50)
+        assert fleet.tenant("small").drain(timeout=30.0)
+        assert fleet.tenant("big").drain(timeout=30.0)
+        bill = fleet.bill(elapsed=3600.0)
+        assert {entry.tenant for entry in bill.tenants} == {"small", "big"}
+        assert bill.total_dollars > 0
+        assert (
+            pytest.approx(bill.total_dollars)
+            == bill.attributed_dollars + bill.unattributed_dollars
+        )
+        assert bill.tenant("big").dollars > bill.tenant("small").dollars
+        assert bill.tenant("big").puts > bill.tenant("small").puts
+        db_small.close()
+        db_big.close()
+
+    def test_per_tenant_stats_rollup(self, fleet):
+        _, db = admit(fleet, "statty")
+        commit_rows(db, "statty", 10)
+        assert fleet.tenant("statty").drain(timeout=30.0)
+        db.close()
+        rollup = fleet.stats.tenant("statty")
+        assert rollup.wal_batches > 0
+        assert rollup.wal_objects > 0
+        # The fleet totals include everything the tenants did.
+        assert fleet.stats.wal_batches >= rollup.wal_batches
+
+    def test_health_reports_tenants_and_pools(self, fleet):
+        _, db = admit(fleet, "h1")
+        health = fleet.health()
+        assert health["started"]
+        assert "h1" in health["tenants"]
+        assert health["tenants"]["h1"]["running"]
+        assert "encode_queue_depth" in health
+        assert "puts_observed" in health["uploads"]
+        db.close()

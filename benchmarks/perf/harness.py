@@ -162,12 +162,15 @@ def _best(passes) -> float:
 def bench_pipeline(*, optimized: bool, updates: int, page_size: int,
                    uploaders: int = 5, encoders: int = 4,
                    batch: int = 50, seed: int = 1234,
-                   repeats: int = 2) -> float:
+                   repeats: int = 2, cloud_factory=None) -> float:
     """Submit→unlock throughput with compress+encrypt on a zero-latency
     cloud — the CPU-bound shape where the encode stage matters.
 
     ``optimized=False`` replays the pre-PR pipeline: inline serial
     encode on the Aggregator with the legacy copy-chain codec.
+    ``cloud_factory`` swaps the store the pipeline uploads into (the
+    mirror-1 passthrough gate uses a single-provider PlacementStore);
+    the factory's product is closed after each pass when it can be.
     """
     config = GinjaConfig(
         batch=batch, safety=updates + batch, batch_timeout=0.005,
@@ -180,7 +183,12 @@ def bench_pipeline(*, optimized: bool, updates: int, page_size: int,
     writes = page_stream(seed, updates, page_size)
     rates = []
     for _ in range(repeats):
-        cloud = SimulatedCloud(backend=InMemoryObjectStore(), time_scale=0.0)
+        if cloud_factory is not None:
+            cloud = cloud_factory()
+        else:
+            cloud = SimulatedCloud(
+                backend=InMemoryObjectStore(), time_scale=0.0
+            )
         pipe = CommitPipeline(
             config, build_transport(cloud, config), codec, CloudView()
         )
@@ -194,7 +202,92 @@ def bench_pipeline(*, optimized: bool, updates: int, page_size: int,
             elapsed = time.perf_counter() - start
         finally:
             pipe.stop(drain_timeout=30.0)
+            if cloud_factory is not None and hasattr(cloud, "close"):
+                cloud.close()
         rates.append(updates / elapsed)
+    return _best(rates)
+
+
+def _mirror1_store():
+    """A single-provider mirror-1 PlacementStore on a zero-latency
+    stack — the configuration that must be a pure passthrough."""
+    from repro.cloud.latency import LOCAL_LATENCY
+    from repro.cloud.pricing import S3_STANDARD_2017
+    from repro.placement import ProviderSpec, build_placement
+
+    spec = ProviderSpec(
+        name="s3", prices=S3_STANDARD_2017, latency=LOCAL_LATENCY,
+        time_scale=0.0,
+    )
+    return build_placement(1, "mirror-1", specs=[spec])
+
+
+def bench_placement_read(*, optimized: bool, objects: int, object_bytes: int,
+                         get_latency: float = 0.002, seed: int = 37,
+                         repeats: int = 2) -> float:
+    """Stripe read-path throughput in objects/s against 2 ms-GET
+    providers: the placement store's parallel fragment fetch +
+    reassembly vs a sequential one-fragment-at-a-time reader.
+
+    Both series do the same logical work per object — locate the
+    fragment set with narrow per-provider LISTs, GET ``k`` fragments,
+    decode and reassemble — and byte-verify the result, so the ratio
+    isolates the latency overlap of the parallel read path (which, like
+    the recovery engine's, survives a single-core runner: the GIL is
+    released while a GET sleeps out its modeled latency).
+    """
+    from repro.placement import build_placement, default_provider_specs
+    from repro.placement.fragments import (
+        decode_fragment,
+        fragment_prefix,
+        parse_fragment_key,
+        reassemble,
+    )
+
+    latency = LatencyModel(
+        get_base=get_latency, list_base=get_latency, jitter_sigma=0.0,
+    )
+    rng = random.Random(seed)
+    payloads = {
+        f"DB/{i:05d}": bytes(rng.randrange(256) for _ in range(object_bytes))
+        for i in range(objects)
+    }
+    specs = default_provider_specs(3, seed=seed, latency=latency)
+    store = build_placement(3, "stripe-2-3", specs=specs)
+    try:
+        for key, data in payloads.items():
+            store.put(key, data)
+        rates = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for key, data in payloads.items():
+                if optimized:
+                    got = store.get(key)
+                else:
+                    # Sequential reader: one LIST per provider, then one
+                    # GET at a time until k fragments are in hand.
+                    frags = {}
+                    for provider in store.providers:
+                        for info in provider.store.list(fragment_prefix(key)):
+                            frag = parse_fragment_key(info.key)
+                            if frag is not None:
+                                frags.setdefault(frag.index, (provider, frag))
+                    shape = next(iter(frags.values()))[1]
+                    bodies = {}
+                    for index, (provider, frag) in sorted(frags.items()):
+                        if len(bodies) == shape.k:
+                            break
+                        blob = provider.store.get(frag.key)
+                        bodies[index] = decode_fragment(frag, blob)
+                    got = reassemble(
+                        bodies, k=shape.k, n=shape.n, size=shape.size
+                    )
+                if got != data:
+                    raise RuntimeError(f"read of {key} corrupt")
+            elapsed = time.perf_counter() - start
+            rates.append(objects / elapsed)
+    finally:
+        store.close()
     return _best(rates)
 
 
@@ -518,6 +611,45 @@ def run_suite(scale: float = 1.0) -> dict:
         # scheduler-sensitive — keep the cross-machine check floor-only.
         "parallel": True,
         **download,
+    }
+
+    placement_read = {
+        s: bench_placement_read(
+            optimized=(s == "optimized"),
+            objects=n(120, 10), object_bytes=8192,
+        )
+        for s in ("baseline", "optimized")
+    }
+    results["placement_stripe_read"] = {
+        "unit": "objects/s",
+        "config": "stripe-2-3 over 3 providers, 8 KiB objects, "
+                  "2 ms GET/LIST latency",
+        # Latency-bound like the recovery download — floor-only across
+        # machines.
+        "parallel": True,
+        **placement_read,
+    }
+
+    mirror1 = {
+        # Both series run the *shipped* pipeline; the only difference is
+        # the store underneath — a plain simulated cloud vs a
+        # single-provider mirror-1 PlacementStore.  The speedup must pin
+        # ~1.0x: the fast path adds zero copies and zero fan-out, so a
+        # drifting ratio means the placement layer grew a cost on the
+        # configuration everyone who doesn't use it still runs.
+        "baseline": bench_pipeline(
+            optimized=True, updates=n(2000, 20), page_size=8192,
+        ),
+        "optimized": bench_pipeline(
+            optimized=True, updates=n(2000, 20), page_size=8192,
+            cloud_factory=_mirror1_store,
+        ),
+    }
+    results["placement_mirror1_passthrough"] = {
+        "unit": "updates/s",
+        "config": "shipped pipeline on plain cloud vs mirror-1 "
+                  "PlacementStore; ratio must hold ~1.0x",
+        **mirror1,
     }
 
     for entry in results.values():

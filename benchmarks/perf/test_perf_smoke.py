@@ -12,6 +12,7 @@ from benchmarks.perf.harness import (
     bench_fleet,
     bench_merge,
     bench_pipeline,
+    bench_placement_read,
     bench_recovery,
     bench_replay,
     legacy_encode_wal_payload,
@@ -90,6 +91,23 @@ class TestBenchmarksRun:
         rate = bench_fleet(optimized=optimized, tenants=3,
                            updates_per_tenant=8, page_size=1024,
                            batch=4, repeats=1)
+        assert rate > 0
+
+    @pytest.mark.parametrize("optimized", [False, True])
+    def test_placement_read_bench_verifies_bytes(self, optimized):
+        # bench_placement_read byte-verifies every reassembled object
+        # against the seeded payloads, so a clean return at both series
+        # proves the cost-ranked path and the naive baseline agree.
+        assert bench_placement_read(optimized=optimized, objects=6,
+                                    object_bytes=2048, get_latency=0.0002,
+                                    repeats=1) > 0
+
+    def test_mirror1_passthrough_bench_completes(self):
+        from benchmarks.perf.harness import _mirror1_store
+
+        rate = bench_pipeline(optimized=True, updates=20, page_size=1024,
+                              uploaders=2, encoders=2, batch=5,
+                              cloud_factory=_mirror1_store)
         assert rate > 0
 
     def test_recovery_bench_is_floor_gated_across_machines(self):

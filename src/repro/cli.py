@@ -337,6 +337,59 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_placement(args: argparse.Namespace) -> int:
+    """Multi-provider placement: outage drill and cost comparison.
+
+    The default mode runs the §6 provider-outage drill once per seed:
+    kill a whole provider mid-commit-stream, recover at RPO 0 from the
+    survivors, gate failover on the read quorum, then repair a
+    replacement provider and attribute the repair egress.  Exit 0 only
+    if every check of every drill passes.  ``--out`` writes the
+    canonical JSON report, byte-identical across reruns of the same
+    seeds (the CI determinism check relies on this).
+    """
+    from repro.chaos.placement_drill import run_placement_drill
+    from repro.costmodel import placement_comparison, render_comparison
+
+    if args.costs:
+        rows = placement_comparison(
+            db_gb=args.db_gb, puts_per_month=args.puts_per_month,
+        )
+        print(f"monthly placement costs at {args.db_gb} GB, "
+              f"{args.puts_per_month} synchronizations/month:")
+        print(render_comparison(rows))
+        return 0
+
+    results = []
+    for seed in (args.seed or [0]):
+        result = run_placement_drill(
+            providers=args.providers,
+            placement=args.placement,
+            seed=seed,
+            rows=args.rows,
+            kill_row=args.kill_row,
+        )
+        print(result.summary())
+        for name, detail in sorted(result.details.items()):
+            print(f"    {name}: {detail}", file=sys.stderr)
+        results.append(result)
+
+    report = json.dumps(
+        [result.canonical() for result in results],
+        indent=2, sort_keys=True,
+    )
+    if args.json:
+        print(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"report written to {args.out}")
+    failed = sum(1 for result in results if not result.ok)
+    if failed:
+        print(f"{failed}/{len(results)} drill(s) FAILED", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def cmd_fleet(args: argparse.Namespace) -> int:
     """Drive a simulated multi-tenant fleet over one shared bucket.
 
@@ -637,6 +690,44 @@ def build_parser() -> argparse.ArgumentParser:
                             "mutant (exit 0 iff detected)")
     chaos.add_argument("--mutation-seed", type=int, default=0)
     chaos.set_defaults(func=cmd_chaos)
+
+    placement = sub.add_parser(
+        "placement",
+        help="multi-provider placement: provider-outage drill "
+             "(RPO-0 from survivors, quorum-gated failover, repair) "
+             "or the $/month policy comparison",
+    )
+    placement.add_argument("--providers", type=int, default=3,
+                           help="simulated providers (default 3: "
+                                "s3, azure, gcs price books)")
+    placement.add_argument(
+        "--placement",
+        default="wal=mirror-2/q1,db=stripe-2-3,default=mirror-2/q1",
+        help="per-class policy spec, e.g. 'mirror-2' or "
+             "'wal=mirror-2/q1,db=stripe-2-3'",
+    )
+    placement.add_argument("--seed", type=int, action="append", default=[],
+                           metavar="N",
+                           help="drill seed (repeatable; default 0)")
+    placement.add_argument("--rows", type=int, default=30,
+                           help="rows to commit (default 30)")
+    placement.add_argument("--kill-row", type=int, default=None,
+                           help="kill the first provider before this row "
+                                "(default rows//2)")
+    placement.add_argument("--json", action="store_true",
+                           help="print the canonical JSON report")
+    placement.add_argument("--out", default="",
+                           help="write the canonical JSON report here "
+                                "(byte-identical across reruns)")
+    placement.add_argument("--costs", action="store_true",
+                           help="print the mirror/stripe $/month table "
+                                "instead of running a drill")
+    placement.add_argument("--db-gb", type=float, default=1.0,
+                           help="database size for --costs (default 1 GB)")
+    placement.add_argument("--puts-per-month", type=int, default=43200,
+                           help="synchronizations for --costs "
+                                "(default 43200: one per minute)")
+    placement.set_defaults(func=cmd_placement)
 
     return parser
 

@@ -45,6 +45,7 @@ class MultiCloudStore(ObjectStore):
             max_workers=len(stores), thread_name_prefix="multicloud"
         )
         self._lock = threading.Lock()
+        self._closed = False
         self.replica_errors = 0  # non-fatal failures beyond the quorum
 
     @property
@@ -52,6 +53,12 @@ class MultiCloudStore(ObjectStore):
         return list(self._stores)
 
     def close(self) -> None:
+        """Shut the fan-out pool down.  Idempotent, so every stack
+        teardown path (stop *and* crash) can call it unconditionally."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         self._pool.shutdown(wait=True)
 
     def put(self, key: str, data: bytes) -> None:

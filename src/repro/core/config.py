@@ -10,6 +10,17 @@ from repro.core.pitr import RetentionPolicy
 from repro.core.schedule import SyncSchedule
 
 
+def _validate_placement(providers: int, placement: str) -> None:
+    """Shared validation of the two placement knobs: the provider count
+    must be sane and the spec must parse against it (the parser raises
+    :class:`ConfigError` with the offending token)."""
+    if providers < 1:
+        raise ConfigError("need at least one provider")
+    from repro.placement.policy import parse_placement
+
+    parse_placement(placement, providers)
+
+
 @dataclass(frozen=True)
 class SharedPoolConfig:
     """The settings that size *process-wide* resources.
@@ -46,6 +57,13 @@ class SharedPoolConfig:
     seed: int = 0
     #: Ring-buffer capacity for trace recorders on the fleet bus.
     trace_capacity: int = 2048
+    #: Simulated cloud providers the placement layer spreads objects
+    #: over (shared: the provider stacks exist once per process).
+    providers: int = 1
+    #: Placement spec — ``mirror-N``, ``stripe-K-N``, or a per-class
+    #: map like ``wal=mirror-2,db=stripe-2-3``
+    #: (:func:`repro.placement.policy.parse_placement`).
+    placement: str = "mirror-1"
 
     def __post_init__(self) -> None:
         if self.encoders < 1:
@@ -60,6 +78,7 @@ class SharedPoolConfig:
             raise ConfigError("retry_jitter must be within [0, 1]")
         if self.trace_capacity < 1:
             raise ConfigError("trace_capacity must be >= 1")
+        _validate_placement(self.providers, self.placement)
 
 
 @dataclass(frozen=True)
@@ -162,6 +181,15 @@ class GinjaConfig:
     #: that sets ``seed`` replays the same failure schedule every run.
     seed: int = 0
 
+    # -- §6: multi-provider placement ------------------------------------------
+    #: Simulated cloud providers objects are placed across.  ``1`` keeps
+    #: the classic single-cloud layout (and the zero-copy fast path).
+    providers: int = 1
+    #: Placement spec: ``mirror-N`` (full copies, write-quorum),
+    #: ``stripe-K-N`` (XOR erasure fragments, K-of-N reads), or a
+    #: per-class map such as ``wal=mirror-2,db=stripe-2-3``.
+    placement: str = "mirror-1"
+
     # -- observability ---------------------------------------------------------
     #: Events kept verbatim by a TraceRecorder attached to the run
     #: (aggregates are exact regardless; this bounds the ring buffer).
@@ -229,6 +257,7 @@ class GinjaConfig:
             raise ConfigError("retry_jitter must be within [0, 1]")
         if self.trace_capacity < 1:
             raise ConfigError("trace_capacity must be >= 1")
+        _validate_placement(self.providers, self.placement)
 
     @classmethod
     def no_loss(cls, **overrides) -> "GinjaConfig":
@@ -244,7 +273,8 @@ class GinjaConfig:
     _SHARED_FIELDS = (
         "encoders", "downloaders", "prefetch_window", "max_retries",
         "retry_backoff", "retry_backoff_cap", "retry_jitter",
-        "retry_budgets", "seed", "trace_capacity",
+        "retry_budgets", "seed", "trace_capacity", "providers",
+        "placement",
     )
     #: GinjaConfig fields owned by the per-tenant half.
     _POLICY_FIELDS = (

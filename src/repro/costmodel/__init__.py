@@ -11,8 +11,16 @@
 
 from repro.costmodel.attribution import (
     FleetBill,
+    ProviderBill,
     TenantBill,
     attribute_fleet_costs,
+    attribute_placement_costs,
+)
+from repro.costmodel.placement_costs import (
+    PlacementCost,
+    placement_comparison,
+    placement_monthly_cost,
+    render_comparison,
 )
 from repro.costmodel.budget import BudgetFrontier, FrontierPoint
 from repro.costmodel.model import CostBreakdown, GinjaCostModel, WorkloadSpec
@@ -43,5 +51,11 @@ __all__ = [
     "recovery_cost",
     "TenantBill",
     "FleetBill",
+    "ProviderBill",
+    "PlacementCost",
     "attribute_fleet_costs",
+    "attribute_placement_costs",
+    "placement_comparison",
+    "placement_monthly_cost",
+    "render_comparison",
 ]

@@ -19,9 +19,60 @@ bill with it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from repro.common.units import GB
 from repro.cloud.metering import RequestMeter, TenantMeterBank
 from repro.cloud.pricing import PriceBook
+
+if TYPE_CHECKING:  # pragma: no cover - avoid a hard placement dependency
+    from repro.placement.store import PlacementStore
+
+
+@dataclass(frozen=True)
+class ProviderBill:
+    """One provider's side of a multi-cloud placement window.
+
+    ``dollars`` is the provider's full metered bill (storage integral +
+    requests + egress) through *its own* price book.  The repair fields
+    break out the slice of that egress caused by re-replication repair —
+    bytes other providers read *from* this one to rebuild a dead peer —
+    so the fleet bill shows what surviving an outage actually cost.
+    The break-out is attribution, not an extra charge: those GETs are
+    already inside ``dollars``.
+    """
+
+    provider: str
+    dollars: float
+    puts: int
+    gets: int
+    lists: int
+    deletes: int
+    stored_bytes: int
+    repair_egress_bytes: int = 0
+    repair_egress_dollars: float = 0.0
+
+    @classmethod
+    def from_meter(
+        cls,
+        provider: str,
+        meter: RequestMeter,
+        prices: PriceBook,
+        elapsed: float,
+        *,
+        repair_egress_bytes: int = 0,
+    ) -> "ProviderBill":
+        return cls(
+            provider=provider,
+            dollars=prices.bill_window(meter, elapsed),
+            puts=meter.puts.count,
+            gets=meter.gets.count,
+            lists=meter.lists.count,
+            deletes=meter.deletes.count,
+            stored_bytes=meter.stored_bytes,
+            repair_egress_bytes=repair_egress_bytes,
+            repair_egress_dollars=prices.egress_cost(repair_egress_bytes / GB),
+        )
 
 
 @dataclass(frozen=True)
@@ -65,10 +116,27 @@ class FleetBill:
     total_dollars: float
     unattributed_dollars: float
     tenants: tuple[TenantBill, ...]
+    #: Per-provider breakdown when the fleet runs over a multi-cloud
+    #: placement (empty for classic single-provider fleets).  Each
+    #: provider is priced through its own book; ``total_dollars`` is
+    #: then the sum across providers.
+    providers: tuple[ProviderBill, ...] = ()
 
     @property
     def attributed_dollars(self) -> float:
         return sum(bill.dollars for bill in self.tenants)
+
+    @property
+    def repair_egress_dollars(self) -> float:
+        """Total re-replication egress across providers (a slice of
+        ``total_dollars``, not an addition to it)."""
+        return sum(bill.repair_egress_dollars for bill in self.providers)
+
+    def provider(self, name: str) -> ProviderBill | None:
+        for bill in self.providers:
+            if bill.provider == name:
+                return bill
+        return None
 
     def tenant(self, tenant_id: str) -> TenantBill | None:
         for bill in self.tenants:
@@ -88,6 +156,17 @@ class FleetBill:
                 f"  {bill.tenant}: ${bill.dollars:.6f}  "
                 f"puts={bill.puts} gets={bill.gets} lists={bill.lists} "
                 f"stored={bill.stored_bytes}B"
+            )
+        for bill in self.providers:
+            repair = (
+                f" repair-egress={bill.repair_egress_bytes}B"
+                f"(${bill.repair_egress_dollars:.6f})"
+                if bill.repair_egress_bytes else ""
+            )
+            lines.append(
+                f"  [{bill.provider}] ${bill.dollars:.6f}  "
+                f"puts={bill.puts} gets={bill.gets} lists={bill.lists} "
+                f"stored={bill.stored_bytes}B{repair}"
             )
         return "\n".join(lines)
 
@@ -109,4 +188,33 @@ def attribute_fleet_costs(
         total_dollars=prices.bill_window(bank.total, elapsed),
         unattributed_dollars=prices.bill_window(bank.unattributed, elapsed),
         tenants=tenants,
+    )
+
+
+def attribute_placement_costs(
+    store: "PlacementStore", elapsed: float
+) -> FleetBill:
+    """Price a placement window per provider.
+
+    Each provider's :class:`~repro.cloud.metering.RequestMeter` (fed by
+    its own MeterLayer) is billed through *its own* price book; the
+    fleet total is their sum.  Repair egress recorded by the store is
+    attributed to the source provider that served the re-replication
+    reads.
+    """
+    bills = tuple(
+        ProviderBill.from_meter(
+            provider.name, provider.meter, provider.prices, elapsed,
+            repair_egress_bytes=store.repair_egress_bytes.get(
+                provider.name, 0
+            ),
+        )
+        for provider in store.providers
+    )
+    return FleetBill(
+        elapsed=elapsed,
+        total_dollars=sum(bill.dollars for bill in bills),
+        unattributed_dollars=0.0,
+        tenants=(),
+        providers=bills,
     )

@@ -1,0 +1,124 @@
+"""Analytic $/month of placement policies across provider price books.
+
+Extends §7's single-provider cost model with the placement overheads:
+
+* ``mirror-N`` stores the full database N times and issues N PUTs per
+  synchronization (one per provider);
+* ``stripe-K-N`` stores ``N/K`` times the bytes (each of N providers
+  holds a ``1/K`` fragment) and still issues N PUTs per sync — striping
+  saves storage dollars, never request dollars.
+
+"Equal durability" here means *survives the loss of one entire
+provider*: mirror-2, mirror-3 and stripe-2-3 all qualify; the
+single-provider baseline does not (it is the paper's original deploy-
+ment, shown for scale).  Providers cycle the S3/Azure/GCS May-2017
+books in placement order, matching
+:func:`repro.placement.providers.default_provider_specs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.pricing import (
+    AZURE_BLOB_2017,
+    GOOGLE_STORAGE_2017,
+    PriceBook,
+    S3_STANDARD_2017,
+)
+from repro.placement.policy import PlacementPolicy, parse_placement
+
+#: The book cycle placement uses (provider index -> book).
+DEFAULT_BOOKS: tuple[PriceBook, ...] = (
+    S3_STANDARD_2017, AZURE_BLOB_2017, GOOGLE_STORAGE_2017,
+)
+
+
+@dataclass(frozen=True)
+class PlacementCost:
+    """Monthly dollars of one policy for one workload."""
+
+    spec: str
+    #: Distinct providers written to.
+    providers: int
+    #: Whole-provider losses the layout survives (0 for mirror-1).
+    survives_provider_losses: int
+    storage_dollars: float
+    put_dollars: float
+    #: Physical bytes stored per logical byte.
+    storage_overhead: float
+
+    @property
+    def total_dollars(self) -> float:
+        return self.storage_dollars + self.put_dollars
+
+
+def _book(index: int, books: tuple[PriceBook, ...]) -> PriceBook:
+    return books[index % len(books)]
+
+
+def placement_monthly_cost(
+    policy: PlacementPolicy,
+    *,
+    db_gb: float,
+    puts_per_month: int,
+    books: tuple[PriceBook, ...] = DEFAULT_BOOKS,
+) -> PlacementCost:
+    """Price one policy: ``db_gb`` average stored (logical) GB and
+    ``puts_per_month`` logical synchronizations."""
+    used = policy.providers_used
+    share = 1.0 if not policy.striped else 1.0 / policy.k
+    storage = sum(
+        _book(i, books).storage_cost(db_gb * share) for i in range(used)
+    )
+    puts = sum(
+        _book(i, books).put_cost(puts_per_month) for i in range(used)
+    )
+    survives = (
+        policy.replicas - 1 if not policy.striped else policy.n - policy.k
+    )
+    return PlacementCost(
+        spec=policy.spec,
+        providers=used,
+        survives_provider_losses=survives,
+        storage_dollars=storage,
+        put_dollars=puts,
+        storage_overhead=policy.storage_overhead,
+    )
+
+
+def placement_comparison(
+    *,
+    db_gb: float,
+    puts_per_month: int,
+    specs: tuple[str, ...] = (
+        "mirror-1", "mirror-2", "mirror-3", "stripe-2-3",
+    ),
+    books: tuple[PriceBook, ...] = DEFAULT_BOOKS,
+) -> list[PlacementCost]:
+    """The EXPERIMENTS.md table: one row per placement spec."""
+    rows = []
+    for spec in specs:
+        policy = parse_placement(spec, providers=len(books) * 8)[""]
+        rows.append(placement_monthly_cost(
+            policy, db_gb=db_gb, puts_per_month=puts_per_month, books=books,
+        ))
+    return rows
+
+
+def render_comparison(rows: list[PlacementCost]) -> str:
+    """A markdown table of :func:`placement_comparison` rows."""
+    lines = [
+        "| placement | providers | survives | storage ×"
+        " | storage $/mo | PUT $/mo | total $/mo |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row.spec} | {row.providers} "
+            f"| {row.survives_provider_losses} provider(s) "
+            f"| {row.storage_overhead:.2f} "
+            f"| ${row.storage_dollars:.4f} | ${row.put_dollars:.4f} "
+            f"| ${row.total_dollars:.4f} |"
+        )
+    return "\n".join(lines)

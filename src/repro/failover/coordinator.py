@@ -38,6 +38,9 @@ class FailoverResult:
     polls: int = 0
     recovered_rows: int = 0
     files_restored: int = 0
+    #: False when a multi-provider cloud reported that no read quorum
+    #: was reachable, which aborts promotion before any recovery I/O.
+    quorum_ok: bool = True
     #: Pre-promotion bucket audit: violations found and keys repaired.
     audit_violations: int = 0
     repaired_keys: list[str] = field(default_factory=list)
@@ -100,6 +103,20 @@ class FailoverCoordinator:
         return self._failover(result)
 
     def _failover(self, result: FailoverResult) -> FailoverResult:
+        # Multi-provider gate: a placement-backed cloud knows whether the
+        # surviving providers still form a read quorum for every policy
+        # (any replica for mirrors, k fragments for stripes).  Promoting
+        # without one would fail mid-recovery at best and promote a stale
+        # standby at worst — refuse up front instead.  Duck-typed, so any
+        # store can veto promotion by growing a ``read_quorum_ok()``.
+        quorum_check = getattr(self._cloud, "read_quorum_ok", None)
+        if quorum_check is not None and not quorum_check():
+            result.quorum_ok = False
+            result.error = (
+                "read quorum unavailable: surviving providers cannot "
+                "serve every placement policy"
+            )
+            return result
         try:
             # Audit the bucket before promoting: the primary died mid-flight,
             # so the bucket may hold orphans beyond a WAL gap or half-uploaded

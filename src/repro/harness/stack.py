@@ -28,6 +28,7 @@ from repro.core.config import GinjaConfig
 from repro.core.ginja import Ginja
 from repro.db.engine import EngineConfig, MiniDB
 from repro.db.profiles import DBMSProfile, MYSQL_PROFILE, POSTGRES_PROFILE
+from repro.placement.factory import build_placement
 from repro.storage.disk import DiskModel, HDD_15K
 from repro.storage.interposer import InterposedFS
 from repro.storage.memory import MemoryFileSystem
@@ -79,11 +80,16 @@ class Stack:
     config: StackConfig
     inner_fs: MemoryFileSystem
     fs: object                      # what the DBMS writes to
-    cloud: SimulatedCloud | None
+    cloud: object | None            # SimulatedCloud or PlacementStore
     ginja: Ginja | None
     #: Bounded event trace subscribed to the Ginja bus (ginja mode only);
     #: ``trace.render()`` is what ``repro.cli --trace`` prints.
     trace: TraceRecorder | None = None
+    #: Stores this stack built and therefore owns: anything here with a
+    #: ``close()`` (PlacementStore, MultiCloudStore) is shut down by
+    #: *every* teardown path — ``stop()``/``shutdown()`` and ``crash()``
+    #: alike — so fan-out thread pools never outlive the stack.
+    owned_stores: list = field(default_factory=list)
 
     def create_db(self) -> MiniDB:
         """Initialize the database and (for ginja mode) boot the cloud."""
@@ -103,6 +109,12 @@ class Stack:
     def shutdown(self, drain_timeout: float = 30.0) -> None:
         if self.ginja is not None:
             self.ginja.stop(drain_timeout=drain_timeout)
+        self._close_owned()
+
+    #: ``stop`` is the verb the rest of the codebase uses for clean
+    #: teardown; keep it as an alias of ``shutdown``.
+    def stop(self, drain_timeout: float = 30.0) -> None:
+        self.shutdown(drain_timeout=drain_timeout)
 
     def crash(self) -> None:
         """Abrupt primary loss: drop in-flight interposer/pipeline state
@@ -111,10 +123,17 @@ class Stack:
         The cloud bucket keeps whatever had been confirmed — recover
         from it with :meth:`~repro.core.ginja.Ginja.recover` to model
         the standby side of the disaster.  A no-op for the native/fuse
-        baselines, which have no replication state to lose.
+        baselines, which have no replication state to lose.  Owned
+        multi-provider pools are still closed: the *store* dies with the
+        primary process even though the remote buckets survive.
         """
         if self.ginja is not None:
             self.ginja.crash()
+        self._close_owned()
+
+    def _close_owned(self) -> None:
+        for store in self.owned_stores:
+            store.close()
 
 
 def build_stack(config: StackConfig | None = None, **overrides) -> Stack:
@@ -138,19 +157,34 @@ def build_stack(config: StackConfig | None = None, **overrides) -> Stack:
         return Stack(config=config, inner_fs=inner, fs=fs, cloud=None,
                      ginja=None)
     if config.fs_mode == "ginja":
-        cloud = SimulatedCloud(
-            backend=InMemoryObjectStore(),
-            latency=config.cloud_latency,
-            time_scale=config.cloud_time_scale,
-            seed=config.seed,
-        )
+        owned: list = []
+        ginja_config = config.ginja
+        if ginja_config.providers > 1 or ginja_config.placement != "mirror-1":
+            # Multi-provider placement: each provider carries its own
+            # Meter/Fault/Latency stack, so the single SimulatedCloud is
+            # replaced wholesale (Ginja still wraps the placement store
+            # with the Tracing/Retry portion, as with any cloud).
+            cloud = build_placement(
+                ginja_config.providers, ginja_config.placement,
+                seed=config.seed,
+                latency=config.cloud_latency,
+                time_scale=config.cloud_time_scale,
+            )
+            owned.append(cloud)
+        else:
+            cloud = SimulatedCloud(
+                backend=InMemoryObjectStore(),
+                latency=config.cloud_latency,
+                time_scale=config.cloud_time_scale,
+                seed=config.seed,
+            )
         ginja = Ginja(
-            inner, cloud, config.profile, config.ginja,
+            inner, cloud, config.profile, ginja_config,
             fuse_overhead=config.fuse_overhead,
             time_scale=1.0,
         )
-        trace = TraceRecorder(capacity=config.ginja.trace_capacity)
+        trace = TraceRecorder(capacity=ginja_config.trace_capacity)
         trace.attach(ginja.bus)
         return Stack(config=config, inner_fs=inner, fs=ginja.fs, cloud=cloud,
-                     ginja=ginja, trace=trace)
+                     ginja=ginja, trace=trace, owned_stores=owned)
     raise ConfigError(f"unknown fs_mode {config.fs_mode!r}")

@@ -1,0 +1,48 @@
+"""Assembly helper: a :class:`PlacementStore` from the config knobs.
+
+Takes the two scalar knobs `GinjaConfig`/`SharedPoolConfig` carry
+(``providers``, ``placement``) plus the simulation parameters the
+harness already threads (clock, latency model, time scale, seed), and
+builds the provider set + store.  Explicit ``specs`` override the
+defaults for tests and drills that need custom price books or fault
+policies per provider.
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import Clock, SYSTEM_CLOCK
+from repro.cloud.latency import LOCAL_LATENCY, LatencyModel
+from repro.placement.policy import parse_placement
+from repro.placement.providers import (
+    Provider,
+    ProviderSpec,
+    build_providers,
+    default_provider_specs,
+)
+from repro.placement.store import PlacementStore
+
+
+def build_placement(
+    providers: int = 1,
+    placement: str = "mirror-1",
+    *,
+    seed: int = 0,
+    clock: Clock = SYSTEM_CLOCK,
+    latency: LatencyModel = LOCAL_LATENCY,
+    time_scale: float = 1.0,
+    specs: list[ProviderSpec] | None = None,
+    epoch: float | None = None,
+) -> PlacementStore:
+    """Build a placement store: N simulated providers under one policy
+    map parsed from the ``placement`` spec string."""
+    if specs is None:
+        specs = default_provider_specs(
+            providers, seed=seed, latency=latency, time_scale=time_scale,
+        )
+    elif len(specs) != providers:
+        raise ValueError(
+            f"{len(specs)} provider specs for providers={providers}"
+        )
+    policies = parse_placement(placement, providers)
+    built: list[Provider] = build_providers(specs, clock=clock, epoch=epoch)
+    return PlacementStore(built, policies)

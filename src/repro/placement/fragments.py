@@ -1,0 +1,202 @@
+"""Erasure fragments: key layout, headers, and the XOR parity code.
+
+A striped logical object is stored as ``n`` fragments, any ``k`` of
+which reconstruct it (``n = k + 1`` with a single XOR parity fragment —
+the Reed–Solomon-style layout degenerates to parity when one fragment
+loss must be survived, which is the provider-outage model the paper's
+§6 motivates).  Two redundant encodings of the fragment identity exist
+on purpose:
+
+* the **key** carries ``generation.index.k.n.size`` so a plain LIST is
+  enough to reason about fragment sets (logical listing, fsck
+  invariants, recovery planning) without a single GET;
+* the **payload header** repeats generation/index/k/n plus the logical
+  object length and a CRC of the fragment body, so a GET detects a
+  fragment that was overwritten or truncated out from under its key.
+
+Key layout (see DESIGN.md "Placement architecture")::
+
+    frag/<logical-key>#<generation>.<index>.<k>.<n>.<size>
+
+``logical-key`` is the full Ginja key (``WAL/...``, ``DB/...``, or a
+fleet-qualified ``tenants/<id>/WAL/...``).  Ginja keys never contain
+``#`` (filenames are percent-encoded with no safe characters), so
+splitting on the *last* ``#`` is unambiguous.  Fragment keys live under
+their own ``frag/`` root precisely so they can never collide with — or
+be mistaken for — logical object keys or tenant prefixes.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.common.errors import IntegrityError
+
+#: Root of the fragment keyspace; never a valid logical-key prefix.
+FRAGMENT_ROOT = "frag/"
+
+#: Fragment payload header: magic, version, generation, index, k, n,
+#: logical length, body CRC32.
+_HEADER = struct.Struct(">4sBQIIIQI")
+_MAGIC = b"GFRG"
+_VERSION = 1
+
+HEADER_BYTES = _HEADER.size
+
+
+@dataclass(frozen=True, slots=True)
+class FragmentId:
+    """Identity of one fragment, as encoded in its key."""
+
+    logical: str
+    generation: int
+    index: int
+    k: int
+    n: int
+    size: int  # logical (reassembled) object length in bytes
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.index < self.n and 1 <= self.k < self.n):
+            raise ValueError(
+                f"invalid fragment geometry {self.index}/{self.k}/{self.n}"
+            )
+
+    @property
+    def key(self) -> str:
+        return (
+            f"{FRAGMENT_ROOT}{self.logical}#{self.generation}."
+            f"{self.index}.{self.k}.{self.n}.{self.size}"
+        )
+
+    @property
+    def is_parity(self) -> bool:
+        return self.index >= self.k
+
+
+def fragment_prefix(logical: str) -> str:
+    """The LIST prefix covering every fragment of ``logical``."""
+    return f"{FRAGMENT_ROOT}{logical}#"
+
+
+def is_fragment_key(key: str) -> bool:
+    return key.startswith(FRAGMENT_ROOT)
+
+
+def parse_fragment_key(key: str) -> FragmentId | None:
+    """Parse a fragment key; ``None`` for keys outside ``frag/`` or
+    malformed ones (fsck reports those separately)."""
+    if not key.startswith(FRAGMENT_ROOT):
+        return None
+    rest = key[len(FRAGMENT_ROOT):]
+    logical, sep, suffix = rest.rpartition("#")
+    if not sep or not logical:
+        return None
+    try:
+        gen_s, index_s, k_s, n_s, size_s = suffix.split(".")
+        return FragmentId(
+            logical=logical,
+            generation=int(gen_s),
+            index=int(index_s),
+            k=int(k_s),
+            n=int(n_s),
+            size=int(size_s),
+        )
+    except ValueError:
+        return None
+
+
+def _fragment_length(size: int, k: int) -> int:
+    """Per-fragment body length: the logical object split ceil-wise."""
+    return (size + k - 1) // k if size else 0
+
+
+def encode_fragments(
+    logical: str, data: bytes, *, generation: int, k: int, n: int
+) -> list[tuple[FragmentId, bytes]]:
+    """Split ``data`` into ``k`` data fragments plus ``n - k`` parity.
+
+    Only single-parity geometries (``n == k + 1``) are supported: the
+    parity fragment is the XOR of the (zero-padded) data fragments, so
+    any one missing fragment is recoverable.
+    """
+    if n != k + 1:
+        raise ValueError(
+            f"XOR striping needs n == k + 1, got k={k}, n={n}"
+        )
+    size = len(data)
+    flen = _fragment_length(size, k)
+    pieces: list[bytes] = []
+    for i in range(k):
+        piece = data[i * flen:(i + 1) * flen]
+        if len(piece) < flen:
+            piece = piece + b"\x00" * (flen - len(piece))
+        pieces.append(piece)
+    parity = bytearray(flen)
+    for piece in pieces:
+        for pos in range(flen):
+            parity[pos] ^= piece[pos]
+    pieces.append(bytes(parity))
+    out: list[tuple[FragmentId, bytes]] = []
+    for index, body in enumerate(pieces):
+        frag = FragmentId(
+            logical=logical, generation=generation, index=index,
+            k=k, n=n, size=size,
+        )
+        header = _HEADER.pack(
+            _MAGIC, _VERSION, generation, index, k, n, size,
+            zlib.crc32(body),
+        )
+        out.append((frag, header + body))
+    return out
+
+
+def decode_fragment(frag: FragmentId, blob: bytes) -> bytes:
+    """Validate one fragment body against its key and header."""
+    if len(blob) < HEADER_BYTES:
+        raise IntegrityError(f"fragment {frag.key!r}: truncated header")
+    magic, version, gen, index, k, n, size, crc = _HEADER.unpack_from(blob)
+    if magic != _MAGIC or version != _VERSION:
+        raise IntegrityError(f"fragment {frag.key!r}: bad magic/version")
+    if (gen, index, k, n, size) != (
+        frag.generation, frag.index, frag.k, frag.n, frag.size
+    ):
+        raise IntegrityError(
+            f"fragment {frag.key!r}: header disagrees with key"
+        )
+    body = blob[HEADER_BYTES:]
+    if len(body) != _fragment_length(size, k):
+        raise IntegrityError(f"fragment {frag.key!r}: wrong body length")
+    if zlib.crc32(body) != crc:
+        raise IntegrityError(f"fragment {frag.key!r}: CRC mismatch")
+    return body
+
+
+def reassemble(
+    fragments: dict[int, bytes], *, k: int, n: int, size: int
+) -> bytes:
+    """Rebuild the logical object from any ``k`` validated fragment
+    bodies (``index -> body``).  A missing data fragment is recovered by
+    XOR-ing the parity fragment with the surviving data fragments."""
+    if len(fragments) < k:
+        raise IntegrityError(
+            f"need {k} fragments to reassemble, have {len(fragments)}"
+        )
+    flen = _fragment_length(size, k)
+    missing = [i for i in range(k) if i not in fragments]
+    if missing:
+        if len(missing) > n - k or k not in fragments:
+            raise IntegrityError(
+                f"unrecoverable fragment set: missing data indices {missing}"
+            )
+        rebuilt = bytearray(fragments[k])
+        for i in range(k):
+            if i in fragments:
+                piece = fragments[i]
+                for pos in range(flen):
+                    rebuilt[pos] ^= piece[pos]
+        fragments = dict(fragments)
+        fragments[missing[0]] = bytes(rebuilt)
+    data = b"".join(fragments[i] for i in range(k))
+    return data[:size]

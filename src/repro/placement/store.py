@@ -1,0 +1,706 @@
+"""`PlacementStore`: one logical bucket over N simulated providers.
+
+Implements the :class:`~repro.cloud.interface.ObjectStore` verbs, so it
+slots under the existing Tracing/Retry layers (and the fleet's
+PrefixedObjectStore) exactly where a single cloud would sit.  Each verb
+is translated per the object's :class:`~repro.placement.policy
+.PlacementPolicy`:
+
+* **mirror-N** — PUT fans out full copies to the first N providers in
+  parallel and acks once ``write_quorum`` confirm; GET walks the
+  replicas cheapest-first with automatic mid-read failover.
+* **stripe-K-N** — PUT encodes K data + 1 parity fragment
+  (:mod:`repro.placement.fragments`) and places fragment *i* on
+  provider *i*; GET lists the fragment set, picks the newest generation
+  with ≥K fragments reachable, fetches the K cheapest in parallel
+  (failures promote the next candidate), and reassembles.
+
+Read-source ranking is by (read dollars from the provider's price book,
+observed GET latency from its metering layer, provider index) — the
+cost-optimal source wins, latency breaks ties, and the index makes the
+whole order deterministic.
+
+The single-provider ``mirror-1`` configuration is a **fast path**: every
+verb delegates straight to provider 0 with no thread-pool hop and no
+byte copies, so placement-by-default costs nothing (the perf guard in
+benchmarks pins this).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.common.errors import (
+    CloudError,
+    CloudObjectNotFound,
+    CloudUnavailable,
+    IntegrityError,
+)
+from repro.cloud.interface import ObjectInfo, ObjectStore
+from repro.placement.fragments import (
+    FRAGMENT_ROOT,
+    FragmentId,
+    decode_fragment,
+    encode_fragments,
+    fragment_prefix,
+    is_fragment_key,
+    parse_fragment_key,
+)
+from repro.placement.policy import PlacementPolicy, policy_for
+from repro.placement.providers import Provider
+
+
+@dataclass
+class RepairReport:
+    """What one :meth:`PlacementStore.repair` pass did."""
+
+    copies_restored: int = 0
+    fragments_rebuilt: int = 0
+    stale_deleted: int = 0
+    orphans_deleted: int = 0
+    #: Bytes read from each *source* provider to feed re-replication —
+    #: this is the inter-provider egress the bill attributes.
+    egress_bytes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def actions(self) -> int:
+        return (self.copies_restored + self.fragments_rebuilt
+                + self.stale_deleted + self.orphans_deleted)
+
+    def summary(self) -> str:
+        egress = sum(self.egress_bytes.values())
+        return (
+            f"repair: {self.copies_restored} copies restored, "
+            f"{self.fragments_rebuilt} fragments rebuilt, "
+            f"{self.stale_deleted} stale + {self.orphans_deleted} orphan "
+            f"fragment(s) deleted, {egress} bytes repair egress"
+        )
+
+
+class PlacementStore(ObjectStore):
+    """Policy-driven placement of Ginja objects across providers."""
+
+    def __init__(
+        self,
+        providers: list[Provider],
+        policies: dict[str, PlacementPolicy],
+    ):
+        if not providers:
+            raise ValueError("PlacementStore needs at least one provider")
+        for policy in policies.values():
+            if policy.providers_used > len(providers):
+                raise ValueError(
+                    f"policy {policy.spec!r} needs {policy.providers_used} "
+                    f"providers, have {len(providers)}"
+                )
+        self.providers = list(providers)
+        self.policies = dict(policies)
+        self._lock = threading.Lock()
+        self.replica_errors: dict[str, int] = {p.name: 0 for p in providers}
+        self.read_failovers = 0
+        self.repair_egress_bytes: dict[str, int] = {}
+        self._gens: dict[str, int] = {}
+        self._gens_loaded = False
+        self._closed = False
+        # The fast path needs no pool at all; spare the threads.
+        self._single = (
+            len(providers) == 1
+            and all(p.providers_used == 1 and not p.striped
+                    for p in self.policies.values())
+        )
+        self._pool: ThreadPoolExecutor | None = None
+        if not self._single:
+            self._pool = ThreadPoolExecutor(
+                max_workers=max(2, len(providers)),
+                thread_name_prefix="placement",
+            )
+
+    # -- plumbing -------------------------------------------------------------
+
+    def policy_of(self, key: str) -> PlacementPolicy:
+        return policy_for(self.policies, key)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise CloudUnavailable(
+                "placement store is closed (the stack that owned it was "
+                "stopped or crashed; clone() builds a standby-side store "
+                "over the same providers)"
+            )
+
+    def _fanout(self, calls: list) -> list:
+        """Run thunks in parallel on the pool; returns per-call results
+        as ``(value, error)`` pairs in input order."""
+        assert self._pool is not None
+        self._check_open()
+        futures: list[Future] = [self._pool.submit(call) for call in calls]
+        results = []
+        for future in futures:
+            try:
+                results.append((future.result(), None))
+            except (CloudError, IntegrityError) as exc:
+                # A corrupt fragment (IntegrityError from decode) is a
+                # failed read source, same as an unreachable provider.
+                results.append((None, exc))
+        return results
+
+    def _count_error(self, provider: Provider) -> None:
+        with self._lock:
+            self.replica_errors[provider.name] = (
+                self.replica_errors.get(provider.name, 0) + 1
+            )
+
+    def _ranked(self, providers: list[Provider], nbytes: int) -> list[Provider]:
+        """Cheapest-first read order: dollars, then observed latency,
+        then index (deterministic)."""
+        order = sorted(
+            range(len(providers)),
+            key=lambda i: (
+                providers[i].read_cost(nbytes),
+                providers[i].observed_get_latency(nbytes),
+                i,
+            ),
+        )
+        return [providers[i] for i in order]
+
+    # -- generation tracking ---------------------------------------------------
+
+    def _load_generations(self) -> None:
+        """One ``frag/`` LIST per reachable provider seeds the generation
+        map, so striping over a pre-existing bucket continues past the
+        highest generation already stored (unreachable providers are
+        skipped; their fragments can only hold generations a survivor
+        also saw or that repair will supersede)."""
+        for provider in self.providers:
+            try:
+                infos = provider.store.list(FRAGMENT_ROOT)
+            except CloudError:
+                continue
+            for info in infos:
+                frag = parse_fragment_key(info.key)
+                if frag is None:
+                    continue
+                if frag.generation > self._gens.get(frag.logical, 0):
+                    self._gens[frag.logical] = frag.generation
+        self._gens_loaded = True
+
+    def _next_generation(self, logical: str) -> int:
+        with self._lock:
+            if not self._gens_loaded:
+                self._load_generations()
+            gen = self._gens.get(logical, 0) + 1
+            self._gens[logical] = gen
+            return gen
+
+    # -- PUT -------------------------------------------------------------------
+
+    def put(self, key: str, data: bytes) -> None:
+        self._check_open()
+        policy = self.policy_of(key)
+        if self._single:
+            self.providers[0].store.put(key, data)
+            return
+        if policy.striped:
+            self._put_striped(key, data, policy)
+        else:
+            self._put_mirrored(key, data, policy)
+
+    def _put_mirrored(
+        self, key: str, data: bytes, policy: PlacementPolicy
+    ) -> None:
+        targets = self.providers[:policy.replicas]
+        if len(targets) == 1:
+            targets[0].store.put(key, data)
+            return
+        results = self._fanout(
+            [lambda p=p: p.store.put(key, data) for p in targets]
+        )
+        confirmed, last_error = 0, None
+        for provider, (_, error) in zip(targets, results):
+            if error is None:
+                confirmed += 1
+            else:
+                last_error = error
+                self._count_error(provider)
+        if confirmed < policy.effective_quorum:
+            raise last_error  # type: ignore[misc]
+
+    def _put_striped(
+        self, key: str, data: bytes, policy: PlacementPolicy
+    ) -> None:
+        generation = self._next_generation(key)
+        frags = encode_fragments(
+            key, data, generation=generation, k=policy.k, n=policy.n
+        )
+        targets = self.providers[:policy.n]
+        results = self._fanout([
+            lambda p=p, f=f: p.store.put(f[0].key, f[1])
+            for p, f in zip(targets, frags)
+        ])
+        confirmed, last_error = 0, None
+        for provider, (_, error) in zip(targets, results):
+            if error is None:
+                confirmed += 1
+            else:
+                last_error = error
+                self._count_error(provider)
+        if confirmed < policy.effective_quorum:
+            raise last_error  # type: ignore[misc]
+        # Best-effort GC of the overwritten generation: a fragment that
+        # survives here is stale, which fsck flags and repair deletes.
+        if generation > 1:
+            prefix = fragment_prefix(key)
+            for provider in targets:
+                try:
+                    for info in provider.store.list(prefix):
+                        frag = parse_fragment_key(info.key)
+                        if frag is not None and frag.generation < generation:
+                            provider.store.delete(info.key)
+                except CloudError:
+                    continue
+
+    # -- GET -------------------------------------------------------------------
+
+    def get(self, key: str) -> bytes:
+        self._check_open()
+        policy = self.policy_of(key)
+        if self._single:
+            return self.providers[0].store.get(key)
+        if policy.striped:
+            return self._get_striped(key, policy)
+        return self._get_mirrored(key, policy)
+
+    def _get_mirrored(self, key: str, policy: PlacementPolicy) -> bytes:
+        replicas = self.providers[:policy.replicas]
+        # Rank by the policy's typical object size proxy: unknown until
+        # read, so rank with 0 bytes (per-GB egress then separates books
+        # only via the flat GET price + observed latency).
+        last_error: CloudError | None = None
+        for attempt, provider in enumerate(self._ranked(replicas, 0)):
+            try:
+                return provider.store.get(key)
+            except CloudError as exc:
+                last_error = exc
+                if attempt + 1 < len(replicas):
+                    with self._lock:
+                        self.read_failovers += 1
+                if not isinstance(exc, CloudObjectNotFound):
+                    self._count_error(provider)
+        assert last_error is not None
+        raise last_error
+
+    def _fragment_sets(
+        self, key: str
+    ) -> dict[int, dict[int, tuple[Provider, FragmentId]]]:
+        """LIST the fragment namespace of ``key`` on every reachable
+        provider: ``{generation: {index: (provider, fragment)}}``."""
+        prefix = fragment_prefix(key)
+        listings = self._fanout(
+            [lambda p=p: p.store.list(prefix) for p in self.providers]
+        )
+        sets: dict[int, dict[int, tuple[Provider, FragmentId]]] = {}
+        unreachable = 0
+        for provider, (infos, error) in zip(self.providers, listings):
+            if error is not None:
+                unreachable += 1
+                continue
+            for info in infos:
+                frag = parse_fragment_key(info.key)
+                if frag is None or frag.logical != key:
+                    continue
+                sets.setdefault(frag.generation, {}).setdefault(
+                    frag.index, (provider, frag)
+                )
+        return sets, unreachable
+
+    def _get_striped(self, key: str, policy: PlacementPolicy) -> bytes:
+        sets, unreachable = self._fragment_sets(key)
+        complete = [
+            gen for gen, frags in sets.items() if len(frags) >= policy.k
+        ]
+        if not complete:
+            if unreachable:
+                # Fragments may exist on the providers we couldn't LIST:
+                # an outage, not corruption.
+                raise CloudUnavailable(
+                    f"{key!r}: no generation has {policy.k} reachable "
+                    f"fragments with {unreachable} provider(s) unreachable"
+                )
+            if sets:
+                raise IntegrityError(
+                    f"{key!r}: no generation has {policy.k} reachable "
+                    f"fragments (have {sorted(sets)})"
+                )
+            raise CloudObjectNotFound(key)
+        generation = max(complete)
+        available = sets[generation]
+        size = next(iter(available.values()))[1].size
+        # Cheapest-first fragment candidates; fetch the first k in
+        # parallel, promote the next candidate when a fetch fails.
+        ranked_providers = self._ranked(
+            [p for p, _ in available.values()], size // max(1, policy.k)
+        )
+        rank = {p.name: i for i, p in enumerate(ranked_providers)}
+        candidates = sorted(
+            available.items(), key=lambda item: rank[item[1][0].name]
+        )
+        chosen = candidates[:policy.k]
+        backups = candidates[policy.k:]
+        bodies: dict[int, bytes] = {}
+        while True:
+            results = self._fanout([
+                lambda p=p, f=f: decode_fragment(f, p.store.get(f.key))
+                for _, (p, f) in chosen
+            ])
+            failed = []
+            for (index, (provider, _)), (body, error) in zip(chosen, results):
+                if error is None:
+                    bodies[index] = body
+                else:
+                    self._count_error(provider)
+                    failed.append(index)
+            if not failed:
+                break
+            with self._lock:
+                self.read_failovers += len(failed)
+            if len(backups) < len(failed):
+                raise IntegrityError(
+                    f"{key!r}: generation {generation} lost fragments "
+                    f"{failed} mid-read with no spares left"
+                )
+            chosen, backups = backups[:len(failed)], backups[len(failed):]
+        return self._reassemble(key, bodies, policy, size)
+
+    @staticmethod
+    def _reassemble(
+        key: str, bodies: dict[int, bytes], policy: PlacementPolicy, size: int
+    ) -> bytes:
+        from repro.placement.fragments import reassemble
+        return reassemble(bodies, k=policy.k, n=policy.n, size=size)
+
+    # -- LIST ------------------------------------------------------------------
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        """The merged *logical* view: mirrored objects first-seen across
+        providers, striped objects reported once with their logical size
+        (from the fragment keys — no GETs).  A provider that is down is
+        simply skipped; the listing fails only when every provider does,
+        so recovery plans and fsck verdicts on survivors are unchanged
+        by a partial outage."""
+        if self._single:
+            return [
+                info for info in self.providers[0].store.list(prefix)
+                if not is_fragment_key(info.key)
+            ]
+        calls = []
+        for provider in self.providers:
+            calls.append(lambda p=provider: p.store.list(prefix))
+            calls.append(
+                lambda p=provider: p.store.list(FRAGMENT_ROOT + prefix)
+            )
+        results = self._fanout(calls)
+        merged: dict[str, int] = {}
+        groups: dict[tuple[str, int], set[int]] = {}
+        group_info: dict[tuple[str, int], FragmentId] = {}
+        responses, last_error = 0, None
+        for i in range(0, len(results), 2):
+            raw, raw_err = results[i]
+            frag_list, frag_err = results[i + 1]
+            if raw_err is not None or frag_err is not None:
+                last_error = raw_err or frag_err
+                continue
+            responses += 1
+            for info in raw:
+                if is_fragment_key(info.key):
+                    continue
+                merged.setdefault(info.key, info.size)
+            for info in frag_list:
+                frag = parse_fragment_key(info.key)
+                if frag is None or not frag.logical.startswith(prefix):
+                    continue
+                group = (frag.logical, frag.generation)
+                groups.setdefault(group, set()).add(frag.index)
+                group_info.setdefault(group, frag)
+        if responses == 0 and last_error is not None:
+            raise last_error
+        best: dict[str, tuple[int, int]] = {}  # logical -> (gen, size)
+        for (logical, gen), indices in groups.items():
+            frag = group_info[(logical, gen)]
+            if len(indices) >= frag.k and gen > best.get(logical, (0, 0))[0]:
+                best[logical] = (gen, frag.size)
+        for logical, (_, size) in best.items():
+            merged.setdefault(logical, size)
+        return [
+            ObjectInfo(key=key, size=size)
+            for key, size in sorted(merged.items())
+        ]
+
+    # -- DELETE ----------------------------------------------------------------
+
+    def delete(self, key: str) -> None:
+        policy = self.policy_of(key)
+        if self._single:
+            self.providers[0].store.delete(key)
+            return
+        if policy.striped:
+            self._delete_striped(key, policy)
+        else:
+            self._delete_mirrored(key, policy)
+
+    def _delete_mirrored(self, key: str, policy: PlacementPolicy) -> None:
+        targets = self.providers[:policy.replicas]
+        results = self._fanout(
+            [lambda p=p: p.store.delete(key) for p in targets]
+        )
+        errors = [
+            (provider, error)
+            for provider, (_, error) in zip(targets, results)
+            if error is not None
+        ]
+        for provider, _ in errors:
+            self._count_error(provider)
+        # A copy left on a dead provider is stale-on-revival; fsck's
+        # repair removes it.  Only a total failure propagates (the key
+        # still exists everywhere, so the caller must not assume gone).
+        if len(errors) == len(targets):
+            raise errors[-1][1]
+
+    def _delete_striped(self, key: str, policy: PlacementPolicy) -> None:
+        prefix = fragment_prefix(key)
+        targets = self.providers[:policy.n]
+
+        def wipe(provider: Provider) -> None:
+            for info in provider.store.list(prefix):
+                provider.store.delete(info.key)
+
+        results = self._fanout([lambda p=p: wipe(p) for p in targets])
+        errors = [
+            (provider, error)
+            for provider, (_, error) in zip(targets, results)
+            if error is not None
+        ]
+        for provider, _ in errors:
+            self._count_error(provider)
+        with self._lock:
+            self._gens.pop(key, None)
+        if len(errors) == len(targets):
+            raise errors[-1][1]
+
+    # -- health / quorum -------------------------------------------------------
+
+    def alive_providers(self) -> list[Provider]:
+        return [p for p in self.providers if p.alive]
+
+    def read_quorum_ok(self) -> bool:
+        """True when every configured policy can still serve reads from
+        the currently-alive providers — the gate failover promotion
+        checks before attempting recovery."""
+        for policy in self.policies.values():
+            subset = self.providers[:policy.providers_used]
+            alive = sum(1 for p in subset if p.alive)
+            needed = policy.k if policy.striped else 1
+            if alive < needed:
+                return False
+        return True
+
+    def read_health(self) -> dict[str, bool]:
+        return {p.name: p.alive for p in self.providers}
+
+    # -- repair ----------------------------------------------------------------
+
+    def repair(self) -> RepairReport:
+        """Re-replicate from survivors until placement invariants hold
+        on every *reachable* provider: missing mirror copies restored,
+        missing fragments rebuilt (XOR from any k), stale generations
+        and orphan fragments deleted.  Unreachable providers are left
+        for the next pass."""
+        report = RepairReport()
+        alive = [p for p in self.providers if p.alive]
+        inventory: dict[str, dict[str, int]] = {}
+        fragments: dict[str, list[FragmentId]] = {}
+        for provider in alive:
+            try:
+                infos = provider.store.list("")
+            except CloudError:
+                continue
+            holdings: dict[str, int] = {}
+            frags: list[FragmentId] = []
+            for info in infos:
+                if is_fragment_key(info.key):
+                    frag = parse_fragment_key(info.key)
+                    if frag is None:
+                        # Malformed key under frag/: an orphan by
+                        # definition, nothing can reassemble it.
+                        try:
+                            provider.store.delete(info.key)
+                            report.orphans_deleted += 1
+                        except CloudError:
+                            pass
+                        continue
+                    frags.append(frag)
+                else:
+                    holdings[info.key] = info.size
+            inventory[provider.name] = holdings
+            fragments[provider.name] = frags
+        by_name = {p.name: p for p in self.providers}
+        self._repair_mirrors(report, alive, inventory, by_name)
+        self._repair_stripes(report, alive, fragments, by_name)
+        with self._lock:
+            for name, nbytes in report.egress_bytes.items():
+                self.repair_egress_bytes[name] = (
+                    self.repair_egress_bytes.get(name, 0) + nbytes
+                )
+        return report
+
+    def _repair_mirrors(self, report, alive, inventory, by_name) -> None:
+        logical_keys = sorted(
+            {key for holdings in inventory.values() for key in holdings}
+        )
+        alive_names = {p.name for p in alive}
+        for key in logical_keys:
+            policy = self.policy_of(key)
+            if policy.striped:
+                continue
+            expected = self.providers[:policy.replicas]
+            holders = [
+                p for p in expected
+                if p.name in alive_names and key in inventory.get(p.name, {})
+            ]
+            missing = [
+                p for p in expected
+                if p.name in alive_names and key not in inventory.get(p.name, {})
+            ]
+            if not holders or not missing:
+                continue
+            size = inventory[holders[0].name][key]
+            data = None
+            for source in self._ranked(holders, size):
+                try:
+                    data = source.store.get(key)
+                except CloudError:
+                    continue
+                report.egress_bytes[source.name] = (
+                    report.egress_bytes.get(source.name, 0) + len(data)
+                )
+                break
+            if data is None:
+                continue
+            for target in missing:
+                try:
+                    target.store.put(key, data)
+                    report.copies_restored += 1
+                except CloudError:
+                    self._count_error(target)
+
+    def _repair_stripes(self, report, alive, fragments, by_name) -> None:
+        alive_names = {p.name for p in alive}
+        # Group every reachable fragment by logical key.
+        located: dict[str, dict[int, dict[int, tuple[str, FragmentId]]]] = {}
+        for name, frags in fragments.items():
+            for frag in frags:
+                located.setdefault(frag.logical, {}).setdefault(
+                    frag.generation, {}
+                ).setdefault(frag.index, (name, frag))
+        for logical in sorted(located):
+            policy = self.policy_of(logical)
+            gens = located[logical]
+            complete = [
+                g for g, idxs in gens.items()
+                if not policy.striped or len(idxs) >= policy.k
+            ]
+            best = max(complete) if complete else max(gens)
+            # Delete every fragment outside the best generation, and —
+            # for keys whose policy is not striped at all — every
+            # fragment (the policy changed under the data; the mirrored
+            # object is authoritative).
+            for gen, idxs in sorted(gens.items()):
+                doomed = not policy.striped or gen != best
+                for index, (name, frag) in sorted(idxs.items()):
+                    misplaced = (
+                        policy.striped and not doomed
+                        and index < len(self.providers)
+                        and self.providers[index].name != name
+                    )
+                    if not doomed and not misplaced:
+                        continue
+                    try:
+                        by_name[name].store.delete(frag.key)
+                        if gen != best and policy.striped:
+                            report.stale_deleted += 1
+                        else:
+                            report.orphans_deleted += 1
+                    except CloudError:
+                        pass
+            if not policy.striped:
+                continue
+            idxs = gens[best]
+            present = {i for i, (name, frag) in idxs.items()
+                       if not (i < len(self.providers)
+                               and self.providers[i].name != name)}
+            expected = {
+                i for i in range(policy.n)
+                if self.providers[i].name in alive_names
+            }
+            missing = expected - present
+            if not missing or len(idxs) < policy.k:
+                continue
+            bodies: dict[int, bytes] = {}
+            for index, (name, frag) in sorted(idxs.items()):
+                if len(bodies) >= policy.k:
+                    break
+                try:
+                    blob = by_name[name].store.get(frag.key)
+                    bodies[index] = decode_fragment(frag, blob)
+                except (CloudError, IntegrityError):
+                    continue
+                report.egress_bytes[name] = (
+                    report.egress_bytes.get(name, 0) + len(blob)
+                )
+            if len(bodies) < policy.k:
+                continue
+            sample = next(iter(idxs.values()))[1]
+            try:
+                from repro.placement.fragments import reassemble
+                data = reassemble(
+                    bodies, k=policy.k, n=policy.n, size=sample.size
+                )
+            except IntegrityError:
+                continue
+            rebuilt = encode_fragments(
+                logical, data, generation=best, k=policy.k, n=policy.n
+            )
+            for frag, payload in rebuilt:
+                if frag.index not in missing:
+                    continue
+                target = self.providers[frag.index]
+                try:
+                    target.store.put(frag.key, payload)
+                    report.fragments_rebuilt += 1
+                except CloudError:
+                    self._count_error(target)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the fan-out pool down.  Idempotent; safe after crash."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def clone(self) -> "PlacementStore":
+        """A fresh store over the *same* providers and policies — the
+        standby side of a disaster: the primary's store died with its
+        process (``close()``), the provider buckets did not."""
+        return PlacementStore(self.providers, self.policies)
+
+    def describe(self) -> dict[str, str]:
+        """Human-readable placement summary (CLI / docs)."""
+        out = {"providers": ",".join(p.name for p in self.providers)}
+        for prefix, policy in sorted(self.policies.items()):
+            out[prefix or "<default>"] = policy.spec
+        return out

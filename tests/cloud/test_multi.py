@@ -110,3 +110,28 @@ class TestRepair:
         multi.put("k", b"v")
         assert multi.repair() == 0
         multi.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        _backends, _faults, clouds = make_replicas()
+        multi = MultiCloudStore(clouds)
+        multi.put("k", b"v")
+        multi.close()
+        multi.close()  # second call must be a no-op, not an error
+
+    def test_concurrent_close_from_teardown_paths(self):
+        """stop() and crash() may both reach close(); racing them must
+        shut the pool down exactly once without raising."""
+        import threading
+
+        _backends, _faults, clouds = make_replicas()
+        multi = MultiCloudStore(clouds)
+        threads = [
+            threading.Thread(target=multi.close) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert multi._closed

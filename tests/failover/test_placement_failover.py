@@ -1,0 +1,85 @@
+"""Failover over a multi-provider placement: the read-quorum gate."""
+
+from __future__ import annotations
+
+from repro.core.config import GinjaConfig
+from repro.core.ginja import Ginja
+from repro.db.engine import EngineConfig, MiniDB
+from repro.db.profiles import POSTGRES_PROFILE
+from repro.failover.coordinator import FailoverCoordinator
+from repro.placement import build_placement
+from repro.storage.memory import MemoryFileSystem
+
+CONFIG = GinjaConfig(
+    batch=4, safety=100, batch_timeout=0.02, safety_timeout=30.0,
+    providers=3, placement="wal=mirror-2/q1,db=stripe-2-3,default=mirror-2/q1",
+)
+ENGINE = EngineConfig()
+
+
+class _AlwaysDead:
+    def poll(self) -> bool:
+        return True
+
+
+def protected_primary():
+    store = build_placement(CONFIG.providers, CONFIG.placement)
+    disk = MemoryFileSystem()
+    MiniDB.create(disk, POSTGRES_PROFILE, ENGINE).close()
+    ginja = Ginja(disk, store, POSTGRES_PROFILE, CONFIG)
+    ginja.start(mode="boot")
+    db = MiniDB.open(ginja.fs, POSTGRES_PROFILE, ENGINE)
+    return store, ginja, db
+
+
+class TestQuorumGate:
+    def test_promotes_through_read_quorum(self):
+        store, ginja, db = protected_primary()
+        for i in range(10):
+            db.put("t", f"k{i}", b"v")
+        db.close()
+        ginja.stop()
+        store.providers[0].kill()  # one provider down: quorum holds
+        standby = store.clone()
+        result = FailoverCoordinator(
+            standby, POSTGRES_PROFILE, ginja_config=CONFIG,
+            engine_config=ENGINE, detector=_AlwaysDead(),
+        ).run(max_polls=1)
+        assert result.quorum_ok
+        assert result.failed_over, result.error
+        assert result.recovered_rows == 10
+        result.db.close()
+        result.ginja.crash()
+        standby.close()
+        store.close()
+
+    def test_refuses_without_read_quorum(self):
+        store, ginja, db = protected_primary()
+        db.put("t", "k", b"v")
+        db.close()
+        ginja.stop()
+        store.providers[0].kill()
+        store.providers[1].kill()  # stripes lose k; mirrors lose both
+        standby = store.clone()
+        result = FailoverCoordinator(
+            standby, POSTGRES_PROFILE, ginja_config=CONFIG,
+            engine_config=ENGINE, detector=_AlwaysDead(),
+        ).run(max_polls=1)
+        assert not result.failed_over
+        assert not result.quorum_ok
+        assert result.ginja is None
+        assert "quorum" in (result.error or "")
+        standby.close()
+        store.close()
+
+    def test_single_cloud_stores_are_ungated(self):
+        """Stores without read_quorum_ok() keep the old behavior."""
+        from repro.cloud.memory import InMemoryObjectStore
+
+        result = FailoverCoordinator(
+            InMemoryObjectStore(), POSTGRES_PROFILE, ginja_config=CONFIG,
+            engine_config=ENGINE, detector=_AlwaysDead(),
+        ).run(max_polls=1)
+        # No quorum veto: it proceeds to recovery (and fails on the
+        # empty bucket for a different, non-quorum reason).
+        assert result.quorum_ok

@@ -78,6 +78,48 @@ class TestBuildStack:
             build_stack(fast_config(), fs_mode="native")
 
 
+class TestPlacementStack:
+    PLACEMENT = GinjaConfig(
+        batch=50, safety=500, batch_timeout=0.05, safety_timeout=5.0,
+        providers=3, placement="wal=mirror-2,db=stripe-2-3,default=mirror-2",
+    )
+
+    def test_ginja_mode_builds_a_placement_store(self):
+        from repro.placement import PlacementStore
+
+        stack = build_stack(fast_config(fs_mode="ginja",
+                                        ginja=self.PLACEMENT))
+        assert isinstance(stack.cloud, PlacementStore)
+        assert stack.owned_stores == [stack.cloud]
+        db = stack.create_db()
+        db.put("t", "k", b"v")
+        assert stack.ginja.drain(timeout=10.0)
+        db.close()
+        stack.stop()
+
+    @pytest.mark.parametrize("teardown", ["stop", "crash"])
+    def test_teardown_closes_the_owned_store(self, teardown):
+        from repro.common.errors import CloudUnavailable
+
+        stack = build_stack(fast_config(fs_mode="ginja",
+                                        ginja=self.PLACEMENT))
+        db = stack.create_db()
+        db.put("t", "k", b"v")
+        if teardown == "stop":
+            db.close()
+        getattr(stack, teardown)()
+        with pytest.raises(CloudUnavailable):
+            stack.cloud.get("anything")
+        # Idempotent: a crash after a stop (or vice versa) must not
+        # trip over the already-closed pool.
+        getattr(stack, teardown)()
+
+    def test_single_provider_cloud_is_not_owned(self):
+        stack = build_stack(fast_config(fs_mode="ginja"))
+        assert stack.owned_stores == []
+        stack.stop()
+
+
 class TestRunTpcc:
     @pytest.mark.parametrize("mode", ["native", "fuse", "ginja"])
     def test_run_produces_report(self, mode):

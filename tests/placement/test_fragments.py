@@ -1,0 +1,109 @@
+"""Fragment codec: keys, headers, XOR parity, reassembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import IntegrityError
+from repro.placement.fragments import (
+    FragmentId,
+    encode_fragments,
+    decode_fragment,
+    fragment_prefix,
+    is_fragment_key,
+    parse_fragment_key,
+    reassemble,
+)
+
+
+def roundtrip(data: bytes, *, k=2, n=3, generation=1):
+    frags = encode_fragments("DB/x", data, generation=generation, k=k, n=n)
+    bodies = {
+        frag.index: decode_fragment(frag, blob) for frag, blob in frags
+    }
+    return frags, bodies
+
+
+class TestEncode:
+    def test_shapes_and_keys(self):
+        frags, _ = roundtrip(b"abcdefg")
+        assert [f.index for f, _ in frags] == [0, 1, 2]
+        assert all(f.k == 2 and f.n == 3 and f.size == 7 for f, _ in frags)
+        assert frags[2][0].is_parity
+        assert all(
+            f.key.startswith(fragment_prefix("DB/x")) for f, _ in frags
+        )
+        assert all(parse_fragment_key(f.key) == f for f, _ in frags)
+
+    def test_requires_single_parity_shape(self):
+        with pytest.raises(ValueError):
+            encode_fragments("k", b"x", generation=1, k=2, n=4)
+
+    def test_empty_object(self):
+        frags, bodies = roundtrip(b"")
+        assert reassemble(bodies, k=2, n=3, size=0) == b""
+        assert all(len(body) == 0 for body in bodies.values())
+
+
+class TestReassembly:
+    @pytest.mark.parametrize("size", [1, 2, 3, 64, 1001])
+    def test_all_fragments(self, size):
+        data = bytes(range(256)) * (size // 256 + 1)
+        data = data[:size]
+        _, bodies = roundtrip(data)
+        assert reassemble(bodies, k=2, n=3, size=size) == data
+
+    @pytest.mark.parametrize("missing", [0, 1])
+    def test_parity_rebuilds_any_single_data_fragment(self, missing):
+        data = b"the quick brown fox jumps over the lazy dog"
+        _, bodies = roundtrip(data)
+        del bodies[missing]
+        assert reassemble(bodies, k=2, n=3, size=len(data)) == data
+
+    def test_too_few_fragments(self):
+        data = b"payload"
+        _, bodies = roundtrip(data)
+        del bodies[0], bodies[1]
+        with pytest.raises(IntegrityError):
+            reassemble(bodies, k=2, n=3, size=len(data))
+
+
+class TestDecodeValidation:
+    def test_corrupt_body_detected(self):
+        frags = encode_fragments("k", b"payload", generation=1, k=2, n=3)
+        frag, blob = frags[0]
+        bad = blob[:-1] + bytes([blob[-1] ^ 0xFF])
+        with pytest.raises(IntegrityError):
+            decode_fragment(frag, bad)
+
+    def test_header_key_mismatch_detected(self):
+        frags = encode_fragments("k", b"payload", generation=1, k=2, n=3)
+        frag0, blob0 = frags[0]
+        other = FragmentId(
+            logical=frag0.logical, generation=frag0.generation,
+            index=1, k=frag0.k, n=frag0.n, size=frag0.size,
+        )
+        with pytest.raises(IntegrityError):
+            decode_fragment(other, blob0)
+
+    def test_truncated_blob_detected(self):
+        frags = encode_fragments("k", b"payload", generation=1, k=2, n=3)
+        frag, blob = frags[0]
+        with pytest.raises(IntegrityError):
+            decode_fragment(frag, blob[:4])
+
+
+class TestKeys:
+    def test_non_fragment_keys_rejected(self):
+        assert parse_fragment_key("WAL/000001_seg_0") is None
+        assert not is_fragment_key("WAL/000001_seg_0")
+        assert parse_fragment_key("frag/garbage") is None
+        assert parse_fragment_key("frag/k#notanumber.0.2.3.7") is None
+
+    def test_adversarial_logical_key_that_mimics_fragments(self):
+        """A logical key that *looks like* a fragment key must still be
+        recognized as a fragment key (it lives under frag/), while a
+        logical key merely containing 'frag/' elsewhere must not."""
+        assert is_fragment_key("frag/DB/x#1.0.2.3.7")
+        assert not is_fragment_key("DB/frag/x")
+        assert parse_fragment_key("DB/frag/x") is None

@@ -1,0 +1,81 @@
+"""Placement policy specs: parsing, validation, key classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.placement.policy import (
+    PlacementPolicy,
+    SINGLE,
+    parse_placement,
+    policy_for,
+)
+
+
+class TestParse:
+    def test_bare_spec_covers_everything(self):
+        policies = parse_placement("mirror-2", 3)
+        assert set(policies) == {""}
+        assert policies[""].mode == "mirror"
+        assert policies[""].replicas == 2
+
+    def test_per_class_spec(self):
+        policies = parse_placement("wal=mirror-2/q1,db=stripe-2-3", 3)
+        assert policies["WAL/"].replicas == 2
+        assert policies["WAL/"].write_quorum == 1
+        assert policies["DB/"].striped
+        assert policies["DB/"].k == 2 and policies["DB/"].n == 3
+        # Unlisted classes fall back to single-provider.
+        assert policies[""] == SINGLE
+
+    def test_stripe_quorum_suffix(self):
+        policies = parse_placement("stripe-2-3/q3", 4)
+        assert policies[""].effective_quorum == 3
+
+    @pytest.mark.parametrize("spec", [
+        "mirror-0", "stripe-1-2", "stripe-2-4", "mirror-2/q3",
+        "stripe-2-3/q1", "raid-5", "wal=", "bogus=mirror-2", "",
+    ])
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(ConfigError):
+            parse_placement(spec, 4)
+
+    def test_provider_count_enforced(self):
+        with pytest.raises(ConfigError):
+            parse_placement("mirror-3", 2)
+        with pytest.raises(ConfigError):
+            parse_placement("stripe-2-3", 2)
+
+
+class TestPolicyProperties:
+    def test_mirror_defaults(self):
+        policy = PlacementPolicy(mode="mirror", replicas=3)
+        assert policy.effective_quorum == 3
+        assert policy.providers_used == 3
+        assert policy.storage_overhead == 3.0
+        assert policy.spec == "mirror-3"
+
+    def test_stripe_defaults(self):
+        policy = PlacementPolicy(mode="stripe", k=2, n=3)
+        assert policy.effective_quorum == 2
+        assert policy.providers_used == 3
+        assert policy.storage_overhead == 1.5
+        assert policy.spec == "stripe-2-3"
+
+
+class TestPolicyFor:
+    POLICIES = {
+        "WAL/": PlacementPolicy(mode="mirror", replicas=2),
+        "DB/": PlacementPolicy(mode="stripe", k=2, n=3),
+        "": SINGLE,
+    }
+
+    def test_longest_prefix_wins(self):
+        assert policy_for(self.POLICIES, "WAL/000001_seg_0").replicas == 2
+        assert policy_for(self.POLICIES, "DB/000001_dump_9.0.1.0").striped
+        assert policy_for(self.POLICIES, "manifest") is SINGLE
+
+    def test_tenant_prefix_is_stripped_before_classification(self):
+        key = "tenants/alpha/WAL/000001_seg_0"
+        assert policy_for(self.POLICIES, key).replicas == 2

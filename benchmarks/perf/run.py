@@ -16,6 +16,17 @@ runners are noisy; a real regression — the encode stage serializing, a
 copy chain reappearing — moves the ratio far more than that.  A fresh
 optimized series slower than its own baseline by more than the band
 fails regardless of the committed numbers.
+
+Benchmarks that declare ``floor_1cpu`` additionally gate the fresh
+ratio as a hard floor whenever the fresh run's machine has exactly one
+CPU and the run is at canonical scale — no band, no parallel-flag
+exemption (scaled-down smoke runs are all startup overhead and are not
+floor-gated).  The adaptive dispatch
+controller exists to make submit→unlock a win (or a tie) everywhere, so
+on one core the shipped pipeline losing to its baseline is a bug, not a
+machine artifact.  ``--mode-log PATH`` writes the controllers'
+mode-transition records (what promoted/demoted, when, and why) so a
+surprising ratio can be debugged from the CI artifact alone.
 """
 
 from __future__ import annotations
@@ -24,7 +35,13 @@ import argparse
 import json
 import sys
 
-from benchmarks.perf.harness import dump, render, run_suite, SCHEMA
+from benchmarks.perf.harness import (
+    MODE_TRANSITIONS,
+    SCHEMA,
+    dump,
+    render,
+    run_suite,
+)
 
 
 def check(report: dict, committed: dict, band: float) -> list[str]:
@@ -36,12 +53,28 @@ def check(report: dict, committed: dict, band: float) -> list[str]:
     same_cpus = (
         report["machine"].get("cpus") == committed["machine"].get("cpus")
     )
+    # The 1-CPU floor is a claim about the canonical workload; a scaled-
+    # down smoke run is all startup overhead and proves nothing.
+    single_core = (
+        report["machine"].get("cpus") == 1
+        and report.get("scale", 1.0) >= 1.0
+    )
     for name, entry in committed["benchmarks"].items():
         fresh = report["benchmarks"].get(name)
         if fresh is None:
             failures.append(f"{name}: missing from the fresh run")
             continue
         want, got = entry["speedup"], fresh["speedup"]
+        floor = entry.get("floor_1cpu")
+        if single_core and floor is not None and got < floor:
+            # The adaptive-dispatch guarantee: on one CPU the shipped
+            # series must not lose, full stop — the parallel flag's
+            # cross-machine leniency does not apply.
+            failures.append(
+                f"{name}: speedup {got:.2f}x below the {floor:.2f}x "
+                "single-core floor (adaptive dispatch must keep this a "
+                "win on 1 CPU)"
+            )
         if entry.get("parallel") and not same_cpus:
             # The parallel-pipeline ratio scales with core count; against
             # a report from a different machine only the floor applies —
@@ -77,6 +110,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="workload scale (1.0 = canonical sizes)")
     parser.add_argument("--band", type=float, default=0.4,
                         help="allowed relative deviation of each speedup ratio")
+    parser.add_argument("--mode-log",
+                        help="write the dispatch controllers' mode-transition "
+                             "log here (the perf-smoke CI artifact)")
     args = parser.parse_args(argv)
     if not args.out and not args.check:
         parser.error("need --out and/or --check")
@@ -87,6 +123,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.out:
         dump(report, args.out)
         print(f"wrote {args.out}")
+
+    if args.mode_log:
+        with open(args.mode_log, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "machine": report["machine"],
+                    "scale": report["scale"],
+                    "transitions": MODE_TRANSITIONS,
+                },
+                fh, indent=2, sort_keys=True,
+            )
+            fh.write("\n")
+        switches = sum(len(v) for v in MODE_TRANSITIONS.values())
+        print(f"wrote {args.mode_log} ({switches} mode transitions)")
 
     if args.check:
         with open(args.check, encoding="utf-8") as fh:

@@ -50,12 +50,18 @@ QUEUE_DEPTH = "queue_depth"
 WAITER_UNLOCK = "waiter_unlock"
 #: Bytes fed through the codec (compress/encrypt/MAC input).
 CODEC = "codec"
-#: One WAL object handed to the encode stage; ``count`` is the encode
-#: queue depth after the handoff.
+#: One WAL object handed to the encode stage; ``count`` is the
+#: submitting lane's queue depth after the handoff (what a per-tenant
+#: dashboard should chart) and ``total`` the stage-wide depth across
+#: every lane.
 ENCODE_QUEUED = "encode_queued"
-#: One WAL object finished encoding; ``nbytes`` is the encoded size and
-#: ``count`` the encode queue depth left.
+#: One WAL object finished encoding; ``nbytes`` is the encoded size,
+#: ``count`` the lane's queue depth left, ``total`` the stage-wide one.
 ENCODE_DONE = "encode_done"
+#: The adaptive dispatch controller switched one lane between inline
+#: and pooled encoding; ``detail`` is ``"<from>-><to>: <reason>"`` and
+#: ``key`` the lane (tenant) name.
+ENCODE_MODE = "encode_mode"
 #
 # Checkpointer events (emitted by repro.core.checkpointer):
 CHECKPOINT_BEGIN = "checkpoint_begin"
@@ -104,6 +110,9 @@ class Event:
     latency: float = 0.0
     attempt: int = 0
     count: int = 0
+    #: The global counterpart of a scoped ``count`` — e.g. the encode
+    #: stage's all-lanes queue depth next to one lane's ``count``.
+    total: int = 0
     ok: bool = True
     at: float = 0.0
     detail: str = ""

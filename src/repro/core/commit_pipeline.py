@@ -15,8 +15,16 @@ Thread anatomy (the paper's Figure 3, grown into three stages):
 * **Encoder** workers (:class:`~repro.core.encode_stage.EncodeStage`)
   run the codec (compress/encrypt/MAC) in parallel — zlib, AES and
   HMAC release the GIL — and push encoded blobs to the upload queue.
-  With ``encode_inline=True`` the Aggregator encodes serially instead
-  (the pre-three-stage behaviour, kept for ablation).
+  Whether a batch goes to the pool or is encoded serially on the
+  Aggregator thread is decided per batch by a
+  :class:`~repro.core.encode_stage.DispatchController`
+  (``config.encode_dispatch``): the ``"adaptive"`` policy starts
+  inline and promotes to the pool only when measured encode time
+  dominates the batch interval and spare workers exist, demoting when
+  the pool stops beating the inline unlock baseline (one core, a
+  contended fleet, tiny pages).  ``"inline"``/``"pool"`` pin the mode
+  for ablation; the legacy ``encode_inline=True`` flag folds into
+  ``"inline"``.
 * **Uploader** threads PUT objects in parallel through the cloud
   transport, whose RetryLayer absorbs transient failures.
 * The **Unlocker** thread receives batch-completion acks and removes
@@ -41,8 +49,8 @@ writes ``flags|iv|body|mac`` into one preallocated ``bytearray`` with a
 streaming MAC.
 
 The pipeline narrates itself on the event bus (``commit_blocked``,
-``wal_batch``, ``encode_queued``/``encode_done``, ``wal_object``,
-``batch_unlocked``, ``codec``); :class:`~repro.core.stats.GinjaStats`
+``wal_batch``, ``encode_queued``/``encode_done``, ``encode_mode``,
+``wal_object``, ``batch_unlocked``, ``codec``); :class:`~repro.core.stats.GinjaStats`
 and the trace recorder subscribe there instead of being threaded
 through the constructor.  Per-write emits are guarded with
 :meth:`EventBus.wants` so an audience of zero costs nothing.  All
@@ -65,7 +73,11 @@ from repro.core.cloud_view import CloudView
 from repro.core.codec import ObjectCodec
 from repro.core.config import GinjaConfig
 from repro.core.data_model import WALObjectMeta, encode_wal_payload
-from repro.core.encode_stage import EncodeStage
+from repro.core.encode_stage import (
+    DISPATCH_INLINE,
+    DispatchController,
+    EncodeStage,
+)
 from repro.cloud.interface import ObjectStore
 
 
@@ -117,7 +129,8 @@ class CommitPipeline:
             passes one pool serving both this pipeline and the
             checkpoint collector).  ``None`` makes the pipeline build
             and own a private stage sized by ``config.encoders``
-            (unless ``config.encode_inline`` disables the stage).
+            (unless the resolved dispatch policy is pinned ``"inline"``,
+            which never needs one).
     """
 
     def __init__(
@@ -140,7 +153,9 @@ class CommitPipeline:
         #: Fair-share lane in the (shared) encode stage; a fleet passes
         #: the tenant id, a private stage sees one lane and stays FIFO.
         self._lane = lane
-        if config.encode_inline:
+        policy = config.resolve_encode_dispatch()
+        if policy == DISPATCH_INLINE:
+            # Pinned inline never touches a pool — don't spin one up.
             self._stage = None
             self._owns_stage = False
         elif encode_stage is not None:
@@ -149,11 +164,25 @@ class CommitPipeline:
         else:
             self._stage = EncodeStage(config.encoders, on_error=self._poison)
             self._owns_stage = True
+        #: Per-batch inline/pool decisions from measured EWMAs; public
+        #: so operators and the perf harness can read mode/transitions.
+        self.dispatch = DispatchController(
+            policy=policy,
+            stage=self._stage,
+            lane=lane,
+            window=config.dispatch_window,
+            hysteresis=config.dispatch_hysteresis,
+            clock=clock,
+            bus=self._bus,
+        )
 
         self._cond = threading.Condition()
         self._entries: deque[_Entry] = deque()
         self._claimed = 0                      # head entries inside claimed batches
         self._batch_sizes: dict[int, int] = {}
+        #: Claim time per batch, so the unlocker can report claim→unlock
+        #: latency to the dispatch controller.
+        self._claim_at: dict[int, float] = {}
         self._inflight_objects: dict[int, int] = {}
         self._acked: set[int] = set()
         self._next_batch_id = 0
@@ -208,8 +237,14 @@ class CommitPipeline:
             self._cond.notify_all()
         if self._owns_stage:
             # Encoders first: anything they finish still reaches the
-            # upload queue before the uploaders see their sentinels.
-            self._stage.stop()
+            # upload queue before the uploaders see their sentinels.  A
+            # wedged stage raises; record it but keep tearing down the
+            # uploaders/unlocker — one stuck codec thread must not leak
+            # the whole thread complement.
+            try:
+                self._stage.stop()
+            except GinjaError as exc:
+                self._poison(exc)
         for _ in range(self._config.uploaders):
             self._upload_q.put(_STOP)
         self._ack_q.put(_STOP)
@@ -234,7 +269,12 @@ class CommitPipeline:
             self._stop = True
             self._cond.notify_all()
         if self._owns_stage:
-            self._stage.stop(discard=True)
+            try:
+                self._stage.stop(discard=True)
+            except GinjaError:
+                # abort() already records a fatal and never reports a
+                # clean shutdown; finish releasing the other threads.
+                pass
         for _ in range(self._config.uploaders):
             self._upload_q.put(_STOP)
         self._ack_q.put(_STOP)
@@ -260,6 +300,11 @@ class CommitPipeline:
     @property
     def failed(self) -> Exception | None:
         return self._fatal
+
+    @property
+    def encode_mode(self) -> str:
+        """The lane's current dispatch mode (``"inline"``/``"pool"``)."""
+        return self.dispatch.mode
 
     def pending_updates(self) -> int:
         with self._cond:
@@ -372,6 +417,8 @@ class CommitPipeline:
                 self._next_batch_id += 1
                 self._claimed += count
                 self._batch_sizes[batch_id] = count
+                self._claim_at[batch_id] = self._tb_anchor
+            mode = self.dispatch.on_batch()
             tasks = self._plan(batch_id, batch)
             self._bus.emit(
                 events.WAL_BATCH, count=count, nbytes=len(tasks),
@@ -386,9 +433,15 @@ class CommitPipeline:
                 continue
             with self._cond:
                 self._inflight_objects[batch_id] = len(tasks)
-            if self._stage is None:
+            if self._stage is None or mode == DISPATCH_INLINE:
+                # Inline on the Aggregator thread; the measured batch
+                # total feeds the controller's promotion signal.
+                encode_started = self._clock.now()
                 for task in tasks:
                     self._encode_and_enqueue(task)
+                self.dispatch.observe_encode(
+                    self._clock.now() - encode_started
+                )
             else:
                 emit_queued = self._bus.wants(events.ENCODE_QUEUED)
                 for task in tasks:
@@ -397,9 +450,13 @@ class CommitPipeline:
                         lane=self._lane,
                     )
                     if emit_queued:
+                        # The submitting lane's own depth is the one a
+                        # per-tenant dashboard charts; the stage-wide
+                        # depth rides along as ``total``.
                         self._bus.emit(
                             events.ENCODE_QUEUED, key=task.meta.key,
-                            count=self._stage.queue_depth(),
+                            count=self._stage.lane_depth(self._lane),
+                            total=self._stage.queue_depth(),
                             at=self._clock.now(),
                         )
 
@@ -457,11 +514,16 @@ class CommitPipeline:
         """One encode-stage unit: codec the planned object, hand it to the
         uploaders.  Runs on an encoder worker; any failure — codec fault,
         payload framing — poisons the pipeline exactly like a dead
-        uploader would, because the batch could otherwise never ack."""
+        uploader would, because the batch could otherwise never ack.
+        Each job times itself so the controller compares pooled encode
+        cost against the inline measurements on equal terms."""
+        started = self._clock.now()
         try:
             self._encode_and_enqueue(task)
         except BaseException as exc:  # noqa: BLE001 - worker job boundary
             self._poison(exc)
+        else:
+            self.dispatch.observe_encode(self._clock.now() - started)
 
     def _encode_and_enqueue(self, task: _EncodeTask) -> None:
         payload = encode_wal_payload(task.chunks)
@@ -475,7 +537,8 @@ class CommitPipeline:
         if bus.wants(events.ENCODE_DONE):
             bus.emit(
                 events.ENCODE_DONE, key=task.meta.key, nbytes=len(blob),
-                count=self._stage.queue_depth() if self._stage else 0,
+                count=self._stage.lane_depth(self._lane) if self._stage else 0,
+                total=self._stage.queue_depth() if self._stage else 0,
                 at=self._clock.now(),
             )
 
@@ -486,6 +549,14 @@ class CommitPipeline:
             item = self._upload_q.get()
             if item is _STOP:
                 return
+            if self._fatal is not None:
+                # Poisoned (or aborted): the batch can never ack, so
+                # drop the blob instead of burning a full retry budget
+                # against a cloud that may be gone.  Inline dispatch
+                # made this path hot — every claimed batch is already
+                # encoded into this queue at crash time, and abort()'s
+                # join must not wait out len(queue) retry storms.
+                continue
             try:
                 # The transport's RetryLayer absorbs transient errors; a
                 # CloudError surfacing here has exhausted its budget.  Any
@@ -543,6 +614,12 @@ class CommitPipeline:
             self._next_batch_to_remove += 1
             self._last_sync_end = self._clock.now()
             self._tb_anchor = self._last_sync_end
+            claimed_at = self._claim_at.pop(batch_id, None)
+            if claimed_at is not None:
+                # Claim→unlock latency is the end-to-end signal the
+                # dispatch controller tunes against (lock order is
+                # always pipeline cond → controller lock).
+                self.dispatch.observe_unlock(self._last_sync_end - claimed_at)
             removed = True
             self._bus.emit(
                 events.BATCH_UNLOCKED, count=count, at=self._last_sync_end,

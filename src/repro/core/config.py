@@ -57,6 +57,15 @@ class SharedPoolConfig:
     seed: int = 0
     #: Ring-buffer capacity for trace recorders on the fleet bus.
     trace_capacity: int = 2048
+    #: Batches the adaptive dispatch controller observes between
+    #: decisions (the EWMA decision window; also the minimum dwell in a
+    #: mode before the next transition is considered).
+    dispatch_window: int = 16
+    #: How decisively the pool must beat the inline unlock-latency
+    #: baseline to *stay* promoted: demote when the pool's
+    #: submit→unlock EWMA exceeds ``inline_baseline / hysteresis``.
+    #: Higher values keep dispatch inline unless pooling clearly wins.
+    dispatch_hysteresis: float = 1.15
     #: Simulated cloud providers the placement layer spreads objects
     #: over (shared: the provider stacks exist once per process).
     providers: int = 1
@@ -78,6 +87,10 @@ class SharedPoolConfig:
             raise ConfigError("retry_jitter must be within [0, 1]")
         if self.trace_capacity < 1:
             raise ConfigError("trace_capacity must be >= 1")
+        if self.dispatch_window < 1:
+            raise ConfigError("dispatch_window must be >= 1")
+        if self.dispatch_hysteresis < 1.0:
+            raise ConfigError("dispatch_hysteresis must be >= 1.0")
         _validate_placement(self.providers, self.placement)
 
 
@@ -102,6 +115,10 @@ class TenantPolicy:
     #: Run codec work inline on the tenant's Aggregator thread instead
     #: of submitting to the (shared) encode stage.
     encode_inline: bool = False
+    #: How this tenant's pipeline chooses between inline and pooled
+    #: encoding: ``"adaptive"`` (measured per-lane promotion/demotion),
+    #: ``"inline"`` or ``"pool"`` (both static).
+    encode_dispatch: str = "adaptive"
     max_object_bytes: int = 20 * 1000 * 1000
     coalesce_writes: bool = True
     compress: bool = False
@@ -148,9 +165,20 @@ class GinjaConfig:
     encoders: int = 4
     #: Run codec work inline on the Aggregator thread instead of the
     #: encode stage — the pre-three-stage behaviour, kept for the
-    #: perf-ablation benchmark and for single-core environments where
-    #: the handoff buys nothing.
+    #: perf-ablation benchmark (equivalent to
+    #: ``encode_dispatch="inline"``, which it forces).
     encode_inline: bool = False
+    #: Encode dispatch policy: ``"adaptive"`` (the default) starts every
+    #: pipeline inline and promotes to the encode stage only when
+    #: measured encode time dominates the batch interval and spare
+    #: workers exist, demoting back when the pool stops winning;
+    #: ``"inline"`` and ``"pool"`` pin the pre-adaptive static choices.
+    encode_dispatch: str = "adaptive"
+    #: Decision window of the adaptive controller, in batches.
+    dispatch_window: int = 16
+    #: The pool must hold its submit→unlock EWMA below
+    #: ``inline_baseline / dispatch_hysteresis`` to stay promoted.
+    dispatch_hysteresis: float = 1.15
     #: Parallel Downloader threads for disaster recovery (the read-side
     #: twin of ``uploaders``): the recovery engine prefetches GETs and
     #: decodes ahead while payloads are applied strictly in plan order.
@@ -222,6 +250,15 @@ class GinjaConfig:
             return self.sync_schedule.current_timeout()
         return self.batch_timeout
 
+    def resolve_encode_dispatch(self) -> str:
+        """The dispatch policy the pipeline actually runs with.
+
+        ``encode_inline=True`` (the legacy ablation knob) forces
+        ``"inline"``; combining it with an explicit ``"pool"`` is a
+        validation error, so the fold here is unambiguous.
+        """
+        return "inline" if self.encode_inline else self.encode_dispatch
+
     def __post_init__(self) -> None:
         if self.batch < 1:
             raise ConfigError("batch (B) must be >= 1")
@@ -241,6 +278,19 @@ class GinjaConfig:
                 "need at least one encoder thread (set encode_inline=True "
                 "to bypass the encode stage instead)"
             )
+        if self.encode_dispatch not in ("adaptive", "inline", "pool"):
+            raise ConfigError(
+                f"unknown encode_dispatch {self.encode_dispatch!r} "
+                "(expected 'adaptive', 'inline' or 'pool')"
+            )
+        if self.encode_inline and self.encode_dispatch == "pool":
+            raise ConfigError(
+                "encode_inline=True contradicts encode_dispatch='pool'"
+            )
+        if self.dispatch_window < 1:
+            raise ConfigError("dispatch_window must be >= 1")
+        if self.dispatch_hysteresis < 1.0:
+            raise ConfigError("dispatch_hysteresis must be >= 1.0")
         if self.downloaders < 1:
             raise ConfigError("need at least one downloader thread")
         if self.prefetch_window < 1:
@@ -274,14 +324,14 @@ class GinjaConfig:
         "encoders", "downloaders", "prefetch_window", "max_retries",
         "retry_backoff", "retry_backoff_cap", "retry_jitter",
         "retry_budgets", "seed", "trace_capacity", "providers",
-        "placement",
+        "placement", "dispatch_window", "dispatch_hysteresis",
     )
     #: GinjaConfig fields owned by the per-tenant half.
     _POLICY_FIELDS = (
         "batch", "safety", "batch_timeout", "safety_timeout", "uploaders",
-        "encode_inline", "max_object_bytes", "coalesce_writes", "compress",
-        "encrypt", "password", "mac_default_key", "dump_threshold",
-        "retention", "sync_schedule",
+        "encode_inline", "encode_dispatch", "max_object_bytes",
+        "coalesce_writes", "compress", "encrypt", "password",
+        "mac_default_key", "dump_threshold", "retention", "sync_schedule",
     )
 
     def shared(self) -> SharedPoolConfig:

@@ -39,6 +39,7 @@ from repro.common.events import (  # noqa: F401  (re-exported taxonomy)
     DELETE_START,
     DUMP_COMPLETE,
     ENCODE_DONE,
+    ENCODE_MODE,
     ENCODE_QUEUED,
     Event,
     EventBus,

@@ -118,15 +118,17 @@ class Ginja:
         #: One encoder pool shared by the commit pipeline and the
         #: checkpoint collector, so DB-object codec work overlaps WAL
         #: traffic on the same ``config.encoders`` threads.  ``None``
-        #: when ``encode_inline`` disables the stage entirely.  A fleet
-        #: injects its process-wide stage here; lifecycle then belongs
-        #: to the fleet, not this instance.
+        #: only when the resolved dispatch policy is pinned ``"inline"``
+        #: (the ``"adaptive"`` policy needs the pool available to
+        #: promote into).  A fleet injects its process-wide stage here;
+        #: lifecycle then belongs to the fleet, not this instance.
         if encode_stage is not None:
             self.encode_stage = encode_stage
             self._owns_encode_stage = False
         else:
             self.encode_stage = (
-                None if self.config.encode_inline
+                None
+                if self.config.resolve_encode_dispatch() == "inline"
                 else EncodeStage(self.config.encoders)
             )
             self._owns_encode_stage = self.encode_stage is not None
@@ -215,10 +217,14 @@ class Ginja:
             self.pipeline.stop(drain_timeout=drain_timeout)
         finally:
             remaining = max(0.0, deadline - self.clock.now())
-            self.checkpointer.stop(drain_timeout=remaining)
-            if self._owns_encode_stage:
-                self.encode_stage.stop()
-            self._running = False
+            try:
+                self.checkpointer.stop(drain_timeout=remaining)
+                if self._owns_encode_stage:
+                    # May raise on a wedged worker; the instance is
+                    # still marked stopped either way.
+                    self.encode_stage.stop()
+            finally:
+                self._running = False
 
     def drain(self, timeout: float = 30.0) -> bool:
         """Wait until every pending update and checkpoint is in the cloud."""
@@ -240,11 +246,13 @@ class Ginja:
         if self._running:
             self.pipeline.abort()
             self.checkpointer.abort()
-        if self._owns_encode_stage:
-            # A shared stage belongs to the fleet: one tenant's disaster
-            # must not tear down its co-tenants' encoder pool.
-            self.encode_stage.stop(discard=True)
-        self._running = False
+        try:
+            if self._owns_encode_stage:
+                # A shared stage belongs to the fleet: one tenant's
+                # disaster must not tear down its co-tenants' pool.
+                self.encode_stage.stop(discard=True)
+        finally:
+            self._running = False
 
     # -- observability ----------------------------------------------------------------
 
@@ -266,6 +274,7 @@ class Ginja:
             "confirmed_ts": self.view.confirmed_ts(),
             "wal_objects": self.view.wal_object_count(),
             "db_bytes_in_cloud": self.view.total_db_bytes(),
+            "encode_mode": self.pipeline.encode_mode,
             "failed": repr(failure) if failure else None,
         }
 

@@ -43,6 +43,10 @@ class GinjaStats:
     recoveries: int = 0
     objects_restored: int = 0
     restored_bytes: int = 0
+    #: Inline↔pool transitions by the adaptive dispatch controller; a
+    #: climbing count on a steady workload means the hysteresis knobs
+    #: are mis-tuned (the controller is flapping).
+    encode_mode_switches: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -71,7 +75,7 @@ class GinjaStats:
         events.RETRY, events.GC_DELETE, events.WAL_OBJECT, events.WAL_BATCH,
         events.DB_OBJECT, events.DUMP_COMPLETE, events.CHECKPOINT_END,
         events.COMMIT_BLOCKED, events.COMMIT_UNBLOCKED, events.CODEC,
-        events.OBJECT_RESTORED, events.RECOVERY_DONE,
+        events.OBJECT_RESTORED, events.RECOVERY_DONE, events.ENCODE_MODE,
     })
 
     def attach(self, bus: EventBus) -> "GinjaStats":
@@ -109,6 +113,8 @@ class GinjaStats:
             return {"objects_restored": 1, "restored_bytes": event.nbytes}
         if kind == events.RECOVERY_DONE:
             return {"recoveries": 1}
+        if kind == events.ENCODE_MODE:
+            return {"encode_mode_switches": 1}
         return None
 
     def handle_event(self, event: Event) -> None:

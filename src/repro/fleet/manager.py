@@ -355,6 +355,13 @@ class FleetManager:
             "started": self._started,
             "tenants": {tid: g.health() for tid, g in sorted(tenants.items())},
             "encode_queue_depth": self.encode_pool.queue_depth(),
+            #: Each tenant's own share of that depth — the lane the
+            #: adaptive controller watches (tenant modes are inside the
+            #: per-tenant health dicts as ``encode_mode``).
+            "encode_lanes": {
+                tid: self.encode_pool.lane_depth(tid)
+                for tid in sorted(tenants)
+            },
             "download_queue_depth": self.download_pool.queue_depth(),
             "uploads": self.uploads.snapshot(),
         }

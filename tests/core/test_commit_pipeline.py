@@ -470,3 +470,45 @@ class TestAbort:
         pipe.start()
         pipe.abort()
         pipe.abort()  # must not raise or hang
+
+    def test_abort_drops_queued_uploads_instead_of_retrying_them(self):
+        """Abort with a backlogged upload queue against a dead cloud:
+        the poisoned uploader must drop queued blobs, not burn a full
+        retry budget per item (inline dispatch pre-encodes every claimed
+        batch into the queue, so at crash time the backlog can be long
+        and abort()'s join would wait out len(queue) retry storms)."""
+
+        class DeadStore(InMemoryObjectStore):
+            def __init__(self):
+                super().__init__()
+                self.puts = 0
+
+            def put(self, key, data):
+                self.puts += 1
+                from repro.common.errors import CloudUnavailable
+
+                raise CloudUnavailable("permanently down")
+
+        backend = DeadStore()
+        pipe, _backend, _view, _stats = make_pipeline(backend=backend)
+        pipe.start()
+        try:
+            for i in range(40):
+                try:
+                    pipe.submit("seg", i * 512, b"u" * 64)
+                except GinjaError:
+                    break  # poisoned while we were still submitting
+            deadline = time.monotonic() + 5.0
+            while pipe.failed is None:
+                assert time.monotonic() < deadline, "pipeline never poisoned"
+                time.sleep(0.005)
+        finally:
+            started = time.monotonic()
+            pipe.abort()
+            elapsed = time.monotonic() - started
+        assert elapsed < 4.0, f"abort took {elapsed:.1f}s draining retries"
+        # Only the puts attempted before the poison ran their retries;
+        # everything queued behind the failure was dropped cold.
+        assert backend.puts <= 3 * (2 + 1)  # uploaders x (budget + first try)
+        for thread in threading.enumerate():
+            assert not thread.name.startswith("ginja-"), thread.name

@@ -227,7 +227,8 @@ class TestUnlockOrderUnderParallelEncode:
                 return super().encode(payload)
 
         config = GinjaConfig(batch=1, safety=10, batch_timeout=0.01,
-                             safety_timeout=30.0, uploaders=2, encoders=3)
+                             safety_timeout=30.0, uploaders=2, encoders=3,
+                             encode_dispatch="pool")
         pipe, backend, view = make_pipeline(config, codec=GateCodec())
         pipe.start()
         try:
@@ -261,7 +262,8 @@ class TestUnlockOrderUnderParallelEncode:
                 return super().encode(payload)
 
         config = GinjaConfig(batch=4, safety=100, batch_timeout=0.01,
-                             safety_timeout=30.0, uploaders=3, encoders=4)
+                             safety_timeout=30.0, uploaders=3, encoders=4,
+                             encode_dispatch="pool")
         pipe, backend, view = make_pipeline(config, codec=JitterCodec())
         pipe.start()
         try:
@@ -290,7 +292,8 @@ class TestEncodePoisonDiscipline:
                 return super().encode(payload)
 
         config = GinjaConfig(batch=1, safety=10, batch_timeout=0.01,
-                             safety_timeout=5.0, uploaders=2, encoders=3)
+                             safety_timeout=5.0, uploaders=2, encoders=3,
+                             encode_dispatch="pool")
         return make_pipeline(config, codec=FaultyCodec())
 
     def test_encode_worker_fault_fails_submitters(self):
@@ -329,12 +332,12 @@ class TestEncodePoisonDiscipline:
 
 class TestParallelInlineEquivalence:
     @staticmethod
-    def _run(seed: int, encode_inline: bool):
+    def _run(seed: int, dispatch: str):
         """Push one seeded page-write stream through a pipeline and
         return the replayed per-file images."""
         config = GinjaConfig(batch=5, safety=200, batch_timeout=0.005,
                              safety_timeout=30.0, uploaders=3,
-                             encoders=4, encode_inline=encode_inline,
+                             encoders=4, encode_dispatch=dispatch,
                              compress=True)
         codec = ObjectCodec(compress=True)
         pipe, backend, view = make_pipeline(config, codec=codec)
@@ -366,14 +369,62 @@ class TestParallelInlineEquivalence:
         return {name: bytes(img) for name, img in images.items()}
 
     @pytest.mark.parametrize("seed", [3, 11, 42])
-    def test_recovered_bytes_identical_parallel_vs_inline(self, seed):
+    def test_recovered_bytes_identical_across_dispatch_modes(self, seed):
         """Batch boundaries are timing-dependent, so bucket *objects*
         may differ between runs — but the replayed file images must be
-        byte-identical with the encode stage on and off, and equal to
+        byte-identical under all three dispatch policies, and equal to
         naively applying the stream in commit order."""
-        parallel = self._run(seed, encode_inline=False)
-        inline = self._run(seed, encode_inline=True)
-        assert parallel == inline == self._naive(seed)
+        pooled = self._run(seed, dispatch="pool")
+        inline = self._run(seed, dispatch="inline")
+        adaptive = self._run(seed, dispatch="adaptive")
+        assert pooled == inline == adaptive == self._naive(seed)
+
+
+class TestWedgedStop:
+    def test_stop_timeout_raises_and_reports_the_leak(self):
+        """The regression this PR fixes: stop() used to clear _threads
+        after a timed-out join, silently leaking the wedged worker while
+        running reported False (and a later start() doubled the pool)."""
+        errors = []
+        stage = EncodeStage(workers=1, on_error=errors.append)
+        stage.start()
+        release = threading.Event()
+        stage.submit(release.wait)  # blocks the only worker indefinitely
+        deadline = time.monotonic() + 5
+        while stage.queue_depth() > 0 and time.monotonic() < deadline:
+            time.sleep(0.005)  # wait until the worker claims the blocker
+        try:
+            with pytest.raises(GinjaError) as excinfo:
+                stage.stop(join_timeout=0.1)
+            assert "wedged" in str(excinfo.value)
+            # The leak stays visible: the stage still reports running,
+            # refuses to stack a second pool, and refuses new work.
+            assert stage.running
+            assert errors and isinstance(errors[0], GinjaError)
+            with pytest.raises(GinjaError):
+                stage.start()
+            with pytest.raises(GinjaError):
+                stage.submit(lambda: None)
+        finally:
+            release.set()
+        stage.stop()  # the unwedged worker exits; clean shutdown now
+        assert not stage.running
+        stage.start()  # and the stage is reusable afterwards
+        try:
+            done = threading.Event()
+            stage.submit(done.set)
+            assert done.wait(timeout=5)
+        finally:
+            stage.stop()
+
+    def test_clean_stop_still_resets_state(self):
+        stage = EncodeStage(workers=2)
+        stage.start()
+        stage.submit(lambda: None)
+        stage.stop()
+        assert not stage.running
+        stage.start()
+        stage.stop()
 
 
 class TestEncodeEvents:
@@ -385,7 +436,8 @@ class TestEncodeEvents:
         bus.subscribe(seen.append,
                       kinds={core_events.ENCODE_QUEUED, core_events.ENCODE_DONE})
         config = GinjaConfig(batch=1, safety=10, batch_timeout=0.01,
-                             safety_timeout=5.0, uploaders=1, encoders=2)
+                             safety_timeout=5.0, uploaders=1, encoders=2,
+                             encode_dispatch="pool")
         pipe, _backend, _view = make_pipeline(config, bus=bus)
         pipe.start()
         try:

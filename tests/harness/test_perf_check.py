@@ -1,0 +1,74 @@
+"""The perf CLI's regression gate — band, parallel floor, 1-CPU floor."""
+
+from __future__ import annotations
+
+from benchmarks.perf.harness import SCHEMA
+from benchmarks.perf.run import check
+
+
+def _report(cpus: int, speedup: float, scale: float = 1.0, **entry) -> dict:
+    return {
+        "schema": SCHEMA,
+        "machine": {"cpus": cpus},
+        "scale": scale,
+        "benchmarks": {
+            "pipeline_submit_unlock": {"speedup": speedup, **entry},
+        },
+    }
+
+
+class TestSingleCoreFloor:
+    def test_below_floor_fails_on_one_cpu(self):
+        committed = _report(1, 1.1, parallel=True, floor_1cpu=1.0)
+        fresh = _report(1, 0.96, parallel=True, floor_1cpu=1.0)
+        failures = check(fresh, committed, band=0.4)
+        assert any("single-core floor" in f for f in failures)
+
+    def test_floor_ignores_the_parallel_exemption(self):
+        """Committed report from a many-core machine, fresh run on one
+        CPU: the parallel flag's floor-only leniency (a generous band)
+        must not excuse dropping below the 1-CPU floor."""
+        committed = _report(8, 1.4, parallel=True, floor_1cpu=1.0)
+        fresh = _report(1, 0.97, parallel=True, floor_1cpu=1.0)
+        failures = check(fresh, committed, band=0.4)
+        assert any("single-core floor" in f for f in failures)
+
+    def test_at_or_above_floor_passes(self):
+        committed = _report(1, 1.05, parallel=True, floor_1cpu=1.0)
+        fresh = _report(1, 1.01, parallel=True, floor_1cpu=1.0)
+        assert check(fresh, committed, band=0.4) == []
+
+    def test_floor_not_applied_on_multicore_runs(self):
+        """With >1 CPU the cross-machine parallel floor still governs;
+        the 1-CPU floor stays dormant."""
+        committed = _report(1, 1.0, parallel=True, floor_1cpu=1.0)
+        fresh = _report(4, 0.9, parallel=True, floor_1cpu=1.0)
+        # 0.9 >= 1.0 * (1 - 0.4): within the cross-machine floor band.
+        assert check(fresh, committed, band=0.4) == []
+
+    def test_floor_not_applied_to_scaled_down_smoke_runs(self):
+        """The floor is a claim about the canonical workload; a 1%-scale
+        smoke run is all startup overhead and is not gated."""
+        committed = _report(1, 1.1, parallel=True, floor_1cpu=1.0)
+        fresh = _report(1, 0.92, scale=0.01, parallel=True, floor_1cpu=1.0)
+        assert check(fresh, committed, band=0.4) == []
+
+    def test_benchmarks_without_floor_keep_old_semantics(self):
+        committed = _report(1, 1.1, parallel=True)
+        fresh = _report(1, 0.95, parallel=True)
+        failures = check(fresh, committed, band=0.4)
+        assert failures == []  # within the band, no floor declared
+
+
+class TestBand:
+    def test_band_still_catches_collapsed_ratio(self):
+        committed = _report(2, 2.0)
+        fresh = _report(2, 1.0)
+        failures = check(fresh, committed, band=0.4)
+        assert any("outside" in f for f in failures)
+
+    def test_missing_benchmark_reported(self):
+        committed = _report(2, 2.0)
+        fresh = {"schema": SCHEMA, "machine": {"cpus": 2}, "benchmarks": {}}
+        failures = check(fresh, committed, band=0.4)
+        assert any("missing" in f for f in failures)

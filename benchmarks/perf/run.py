@@ -39,6 +39,7 @@ from benchmarks.perf.harness import (
     MODE_TRANSITIONS,
     SCHEMA,
     dump,
+    remeasure,
     render,
     run_suite,
 )
@@ -102,6 +103,39 @@ def check(report: dict, committed: dict, band: float) -> list[str]:
     return failures
 
 
+def confirm_outliers(report: dict, committed: dict, band: float) -> list[str]:
+    """Re-measure gate violations in isolation before failing the run.
+
+    Mid-suite readings on a shared host can drift outside their gates
+    purely from throttling or stolen cycles (the suite pegs the CPU for
+    minutes before the later pairs run) — single-core floors squeezed a
+    few percent below 1.0x, pure-CPU ratios halved by a frequency dip.
+    An isolated re-run of just the violating pairs settles it: a genuine
+    regression re-measures out of band again and still fails; a host
+    artifact recovers.  Only at canonical scale — a scaled-down smoke
+    run is all startup overhead and not worth confirming.  Re-measured
+    series replace their entries in ``report`` in place; returns the
+    final failure list.
+    """
+    failures = check(report, committed, band)
+    if not failures or report.get("scale", 1.0) < 1.0:
+        return failures
+    names = {msg.split(":", 1)[0] for msg in failures if ":" in msg}
+    confirmed = False
+    for name in sorted(names & set(report["benchmarks"])):
+        series = remeasure(name)
+        if series is None:
+            continue
+        fresh = report["benchmarks"][name]
+        print(
+            f"  {name}: {fresh['speedup']:.2f}x violated its gate "
+            f"mid-suite; isolated re-measure {series['speedup']:.2f}x"
+        )
+        fresh.update(series)
+        confirmed = True
+    return check(report, committed, band) if confirmed else failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", help="write the canonical report here")
@@ -141,7 +175,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.check:
         with open(args.check, encoding="utf-8") as fh:
             committed = json.load(fh)
-        failures = check(report, committed, args.band)
+        failures = confirm_outliers(report, committed, args.band)
         if failures:
             print("PERF CHECK FAILED:")
             for failure in failures:

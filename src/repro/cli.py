@@ -399,7 +399,17 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     commits), and the run ends with a fleet-wide fsck sweep plus an
     exact per-tenant meter/billing reconciliation.  Exit code 0 only if
     every check passes.
+
+    With ``--thread-budget`` the drill also runs a thread census: a
+    sampler polls the live thread set through the whole run and the
+    drill fails if the peak ever exceeds the budget.  This is the CI
+    guard for the upload reactor's O(1)-upload-threads claim — before
+    the reactor, 50 tenants meant 50+ parked uploader threads; now all
+    PUT traffic multiplexes onto one event loop plus a small executor.
+    ``--census-out`` writes the peak and a name-prefix breakdown as
+    JSON for the CI artifact.
     """
+    import json
     import threading
 
     from repro.core.config import SharedPoolConfig, TenantPolicy
@@ -416,8 +426,39 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     policy = TenantPolicy(
         batch=args.batch, safety=args.safety,
         batch_timeout=0.2, safety_timeout=10.0,
-        uploaders=1,  # thread economy: 50 tenants ~= 200 threads total
+        # In-flight window per tenant lane, not threads: the shared
+        # reactor multiplexes every tenant's PUTs onto one event loop,
+        # so a wider window costs nothing at the thread census.
+        uploaders=4,
     )
+
+    # -- thread census: sample the live thread set through the drill ------
+    census = {"peak": 0, "peak_by_prefix": {}, "samples": 0}
+    census_stop = threading.Event()
+
+    def _prefix(name: str) -> str:
+        # "ginja-reactor-io-3" -> "ginja-reactor-io"; "Thread-7" -> "Thread"
+        return name.rstrip("0123456789").rstrip("-_")
+
+    def census_sample() -> None:
+        threads = threading.enumerate()
+        census["samples"] += 1
+        if len(threads) > census["peak"]:
+            census["peak"] = len(threads)
+            breakdown: dict[str, int] = {}
+            for thread in threads:
+                key = _prefix(thread.name)
+                breakdown[key] = breakdown.get(key, 0) + 1
+            census["peak_by_prefix"] = dict(sorted(breakdown.items()))
+
+    def census_loop() -> None:
+        while not census_stop.wait(0.01):
+            census_sample()
+
+    sampler = threading.Thread(
+        target=census_loop, name="fleet-census", daemon=True
+    )
+    sampler.start()
 
     print(f"admitting {args.tenants} tenants "
           f"(B={args.batch}, S={args.safety}, shared encoders="
@@ -531,6 +572,25 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     for entry in top:
         print(f"    {entry.tenant}: ${entry.dollars:.6f} "
               f"(puts={entry.puts} gets={entry.gets})")
+
+    census_sample()  # one steady-state sample before teardown
+    census_stop.set()
+    sampler.join(timeout=5.0)
+    print(f"  thread census: peak {census['peak']} threads over "
+          f"{census['samples']} samples")
+    for prefix_name, count in census["peak_by_prefix"].items():
+        print(f"    {prefix_name}: {count}")
+    if args.thread_budget:
+        check(census["peak"] <= args.thread_budget,
+              f"thread census within budget ({census['peak']} <= "
+              f"{args.thread_budget})")
+    if args.census_out:
+        census["tenants"] = args.tenants
+        census["thread_budget"] = args.thread_budget
+        with open(args.census_out, "w", encoding="utf-8") as handle:
+            json.dump(census, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  census written to {args.census_out}")
 
     for db in databases.values():
         db.close()
@@ -654,6 +714,13 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--profile", choices=sorted(_PROFILES),
                        default="postgres")
     fleet.add_argument("--segment-size", default="64KB")
+    fleet.add_argument("--thread-budget", type=int, default=0,
+                       help="fail the drill if the peak live thread count "
+                            "ever exceeds this (0 = report only); the "
+                            "upload reactor's O(1)-upload-threads guard")
+    fleet.add_argument("--census-out", default="",
+                       help="write the thread census (peak, name-prefix "
+                            "breakdown) as JSON here")
     fleet.set_defaults(func=cmd_fleet)
 
     chaos = sub.add_parser(

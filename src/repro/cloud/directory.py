@@ -82,3 +82,12 @@ class DirectoryObjectStore(ObjectStore):
         # One stat instead of the base class's full directory listing.
         with self._lock:
             return self._path(key).exists()
+
+    def stat(self, key: str) -> ObjectInfo | None:
+        # One stat instead of the base class's full directory listing.
+        with self._lock:
+            try:
+                size = self._path(key).stat().st_size
+            except FileNotFoundError:
+                return None
+        return ObjectInfo(key=key, size=size)

@@ -61,10 +61,19 @@ class ObjectStore:
         this fallback issues a LIST narrowed to ``key`` and matches the
         exact key (a prefix hit alone is not existence).
         """
+        return self.stat(key) is not None
+
+    def stat(self, key: str) -> ObjectInfo | None:
+        """Metadata for one object, or ``None`` if ``key`` is absent.
+
+        The transport's latency layer probes this on every PUT and
+        DELETE (overwrite/removal accounting), so backends should
+        override the LIST-narrowed fallback with a native O(1) lookup.
+        """
         for info in self.list(prefix=key):
             if info.key == key:
-                return True
-        return False
+                return info
+        return None
 
     def total_bytes(self, prefix: str = "") -> int:
         """Sum of object sizes under ``prefix`` (used by the 150% rule)."""

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import asyncio
 import threading
 
 from repro.common.errors import CloudObjectNotFound
@@ -24,6 +25,20 @@ class InMemoryObjectStore(ObjectStore):
         snapshot = bytes(data)
         with self._lock:
             self._objects[key] = snapshot
+
+    async def aput(self, key: str, data: bytes) -> None:
+        # A dict insert never blocks meaningfully, so the async path
+        # runs it inline on the loop instead of paying an executor hop.
+        # Subclasses routinely override ``put`` with blocking fault
+        # models (stalls, sleeps); inheriting the inline path would let
+        # one stalled PUT wedge the reactor loop, so only the pristine
+        # ``put`` qualifies — anything else bridges off the loop.
+        if type(self).put is not InMemoryObjectStore.put:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.put, key, data
+            )
+            return
+        self.put(key, data)
 
     def get(self, key: str) -> bytes:
         with self._lock:
@@ -48,6 +63,12 @@ class InMemoryObjectStore(ObjectStore):
         # O(1) dict lookup instead of the base class's prefix listing.
         with self._lock:
             return key in self._objects
+
+    def stat(self, key: str) -> ObjectInfo | None:
+        # O(1) dict lookup instead of the base class's prefix listing.
+        with self._lock:
+            body = self._objects.get(key)
+        return None if body is None else ObjectInfo(key=key, size=len(body))
 
     # Test/diagnostic helpers ----------------------------------------------
 

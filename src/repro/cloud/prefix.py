@@ -17,6 +17,7 @@ meter bank attribute each request back to a tenant by prefix.
 
 from __future__ import annotations
 
+from repro.cloud import aio
 from repro.cloud.interface import ObjectInfo, ObjectStore
 
 #: Root of every tenant keyspace in a shared fleet bucket.
@@ -79,6 +80,9 @@ class PrefixedObjectStore(ObjectStore):
     def put(self, key: str, data: bytes) -> None:
         self._inner.put(self._qualify(key), data)
 
+    async def aput(self, key: str, data: bytes) -> None:
+        await aio.aput(self._inner, self._qualify(key), data)
+
     def get(self, key: str) -> bytes:
         return self._inner.get(self._qualify(key))
 
@@ -95,6 +99,12 @@ class PrefixedObjectStore(ObjectStore):
 
     def exists(self, key: str) -> bool:
         return self._inner.exists(self._qualify(key))
+
+    def stat(self, key: str) -> ObjectInfo | None:
+        info = self._inner.stat(self._qualify(key))
+        if info is None:
+            return None
+        return ObjectInfo(key=key, size=info.size)
 
     def total_bytes(self, prefix: str = "") -> int:
         return self._inner.total_bytes(prefix=self._prefix + prefix)

@@ -1,0 +1,568 @@
+"""The shared upload reactor: every PUT in the fleet on one thread.
+
+Before this module, each tenant's :class:`CommitPipeline` held
+``uploaders`` blocking PUT threads and its :class:`CheckpointUploader`
+one more — 50 tenants ≈ 300 parked threads, most of them asleep in a
+latency model or a retry backoff.  The :class:`UploadReactor` replaces
+all of them with **one** asyncio event-loop thread:
+
+* WAL and checkpoint PUTs are submitted from any thread via
+  :meth:`UploadReactor.submit` and return an :class:`UploadHandle`;
+* a bounded global in-flight window caps concurrency fleet-wide, and
+  per-tenant *lanes* with round-robin admission keep one hot tenant
+  from starving the rest (mirroring the encode stage's lane
+  discipline);
+* retry backoff happens inside :meth:`RetryLayer.aput
+  <repro.cloud.retry.RetryLayer.aput>` as an ``await`` on a loop
+  timer, so a backing-off PUT holds zero threads;
+* stores without a native ``aput`` are bridged through a small
+  reactor-owned executor pool (``io_threads``), keeping the thread
+  count O(1) in the number of tenants either way.
+
+Poison discipline matches the encode stage's: a fatal PUT resolves its
+handle with the error (the owning pipeline poisons *itself* from its
+completion callback — only that tenant dies); :meth:`cancel` drops one
+tenant's queued submissions and interrupts its in-flight backoffs
+without touching any other tenant's retry budgets; and death of the
+reactor thread itself (:meth:`crash`, or an escaped internal error)
+resolves every pending handle and fires every lane's ``on_fatal``
+callback, so attached pipelines poison rather than hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.cloud import aio
+from repro.common.clock import Clock, SYSTEM_CLOCK
+from repro.common.errors import GinjaError
+
+
+class UploadHandle:
+    """The future of one submitted PUT.
+
+    Resolved exactly once, from the reactor's loop thread; waiters on
+    any other thread use :meth:`wait`.  Never call :meth:`wait` *from*
+    a reactor callback (``on_done`` / ``on_fatal``) — that would block
+    the loop that has to resolve it.
+    """
+
+    __slots__ = ("key", "nbytes", "tenant", "error", "cancelled", "_event")
+
+    def __init__(self, key: str, nbytes: int, tenant: str):
+        self.key = key
+        self.nbytes = nbytes
+        self.tenant = tenant
+        #: The exception the PUT ultimately failed with, or None.
+        self.error: BaseException | None = None
+        #: True when the submission was cancelled (tenant abort or
+        #: reactor shutdown) rather than attempted to completion.
+        self.cancelled = False
+        self._event = threading.Event()
+
+    def _resolve(self, error: BaseException | None, cancelled: bool = False) -> None:
+        if self._event.is_set():  # first resolution wins (cancel vs finish races)
+            return
+        self.error = error
+        self.cancelled = cancelled
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def ok(self) -> bool:
+        """True once the PUT completed successfully."""
+        return self._event.is_set() and self.error is None and not self.cancelled
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block the calling thread until resolution (or timeout)."""
+        return self._event.wait(timeout)
+
+
+class _Submission:
+    __slots__ = ("store", "key", "data", "tenant", "on_done", "handle", "task")
+
+    def __init__(self, store, key, data, tenant, on_done):
+        self.store = store
+        self.key = key
+        self.data = data
+        self.tenant = tenant
+        self.on_done = on_done
+        self.handle = UploadHandle(key=key, nbytes=len(data), tenant=tenant)
+        self.task: asyncio.Task | None = None
+
+
+class _Lane:
+    """One tenant's admission state (guarded by the reactor lock)."""
+
+    __slots__ = (
+        "queue", "active", "inflight", "window", "backoffs", "retries",
+        "attachments", "on_fatals",
+    )
+
+    def __init__(self, window: int):
+        self.queue: deque[_Submission] = deque()
+        self.active: set[_Submission] = set()
+        self.inflight = 0
+        self.window = window
+        #: Uploads currently parked in a retry backoff timer.
+        self.backoffs = 0
+        #: Cumulative retry attempts this lane has absorbed.
+        self.retries = 0
+        self.attachments = 0
+        self.on_fatals: list = []
+
+
+class _LaneBackoffNote(aio.BackoffNote):
+    """Feeds a lane's backoff gauge from the retry layer, via the
+    :data:`~repro.cloud.aio.CURRENT_UPLOAD` context variable — the
+    retry layer never learns the reactor exists."""
+
+    __slots__ = ("_reactor", "_lane")
+
+    def __init__(self, reactor: "UploadReactor", lane: _Lane):
+        self._reactor = reactor
+        self._lane = lane
+
+    def backoff_started(self, seconds: float) -> None:
+        with self._reactor._lock:
+            self._lane.backoffs += 1
+            self._lane.retries += 1
+
+    def backoff_ended(self) -> None:
+        with self._reactor._lock:
+            self._lane.backoffs -= 1
+
+
+class UploadReactor:
+    """One event-loop thread driving all WAL and checkpoint PUTs.
+
+    Args:
+        inflight_window: global cap on concurrently running PUTs.
+        io_threads: size of the executor pool bridging stores that
+            have no native ``aput`` (and exotic ``Clock.sleep_async``
+            fallbacks).  This bounds the *total* thread cost of the
+            upload path regardless of tenant count.
+        clock: unused by the reactor itself but plumbed for symmetry;
+            retry/latency layers bring their own clocks.
+        name: thread-name prefix (``<name>`` for the loop thread,
+            ``<name>-io-*`` for the bridge pool) — the CI thread
+            census groups by these prefixes.
+    """
+
+    def __init__(
+        self,
+        *,
+        inflight_window: int = 64,
+        io_threads: int = 4,
+        clock: Clock = SYSTEM_CLOCK,
+        name: str = "ginja-reactor",
+    ):
+        if inflight_window < 1:
+            raise ValueError("inflight_window must be >= 1")
+        if io_threads < 1:
+            raise ValueError("io_threads must be >= 1")
+        self._window = inflight_window
+        self._io_threads = io_threads
+        self._clock = clock
+        self._name = name
+        self._lock = threading.Lock()
+        self._lanes: dict[str, _Lane] = {}
+        self._order: list[str] = []
+        self._rr = 0
+        self._inflight = 0
+        self._queued = 0
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._started = threading.Event()
+        self._stop_evt: asyncio.Event | None = None
+        self._stopping = False
+        self._pump_scheduled = False
+        self._crash_exc: BaseException | None = None
+        self._fatal: BaseException | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "UploadReactor":
+        if self._thread is not None:
+            raise GinjaError("upload reactor already started")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._io_threads, thread_name_prefix=f"{self._name}-io"
+        )
+        self._thread = threading.Thread(
+            target=self._main, name=self._name, daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(10.0):  # pragma: no cover - never in practice
+            raise GinjaError("upload reactor failed to start")
+        return self
+
+    def _main(self) -> None:
+        loop = asyncio.new_event_loop()
+        loop.set_default_executor(self._executor)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        except BaseException as exc:
+            self._die(exc)
+        finally:
+            try:
+                loop.close()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+            # Crash paths never reach stop(); retire the io threads
+            # here so a dead reactor leaks nothing.
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+
+    async def _serve(self) -> None:
+        self._stop_evt = asyncio.Event()
+        self._started.set()
+        await self._stop_evt.wait()
+        # Teardown: interrupt whatever is still running (in-flight PUTs
+        # and their backoff timers) and wait for the bookkeeping to
+        # settle before the loop goes away.
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self._crash_exc is not None:
+            raise self._crash_exc
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the loop thread; queued submissions fail, in-flight
+        PUTs are cancelled.  Callers drain their pipelines first, so a
+        healthy shutdown reaches this with nothing pending."""
+        if self._thread is None:
+            return
+        if threading.current_thread() is self._thread:
+            # A reactor callback must never join the loop it runs on.
+            raise GinjaError("reactor cannot stop itself from its loop thread")
+        with self._lock:
+            self._stopping = True
+            orphans = []
+            for lane in self._lanes.values():
+                orphans.extend(lane.queue)
+                lane.queue.clear()
+            self._queued = 0
+        err = GinjaError("upload reactor stopped")
+        for sub in orphans:
+            sub.handle._resolve(err)
+        self._signal_stop()
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - wedged loop
+            raise GinjaError("upload reactor thread failed to stop")
+        self._thread = None
+        if self._executor is not None:
+            # wait=True: the io threads must be gone when stop()
+            # returns, or thread-leak checks see them linger.
+            self._executor.shutdown(wait=True)
+
+    def crash(self, exc: BaseException | None = None) -> None:
+        """Kill the loop thread mid-stream (chaos drills).
+
+        Every pending handle resolves with the error and every lane's
+        ``on_fatal`` fires — attached pipelines poison, none hang.
+        The loop thread exits; the reactor cannot be restarted.
+        """
+        with self._lock:
+            if self._thread is None or self._fatal is not None:
+                return
+            self._crash_exc = exc or GinjaError("upload reactor crashed")
+            self._stopping = True
+        self._signal_stop()
+        if threading.current_thread() is not self._thread:
+            self._thread.join(10.0)
+
+    def _signal_stop(self) -> None:
+        self._started.wait(10.0)
+        loop, evt = self._loop, self._stop_evt
+        if loop is None or evt is None:
+            return
+        try:
+            loop.call_soon_threadsafe(evt.set)
+        except RuntimeError:  # loop already closed
+            pass
+
+    def _die(self, exc: BaseException) -> None:
+        """The loop thread is gone: fail everything, poison everyone."""
+        with self._lock:
+            self._fatal = exc
+            self._stopping = True
+            pending: list[_Submission] = []
+            for lane in self._lanes.values():
+                pending.extend(lane.queue)
+                lane.queue.clear()
+                pending.extend(lane.active)
+                lane.active.clear()
+                lane.inflight = 0
+            self._queued = 0
+            self._inflight = 0
+            callbacks = [
+                cb for lane in self._lanes.values() for cb in lane.on_fatals
+            ]
+        for sub in pending:
+            sub.handle._resolve(exc)
+        for cb in callbacks:
+            try:
+                cb(exc)
+            except Exception:  # a poison hook must not mask the fatal
+                pass
+
+    # -- tenant lanes --------------------------------------------------------
+
+    def attach(self, tenant: str, *, window: int, on_fatal=None) -> None:
+        """Register a client (pipeline or checkpointer) on a tenant lane.
+
+        Attachments are refcounted: a pipeline and a checkpointer of
+        the same tenant share one lane, whose per-tenant window is the
+        max of the attachment windows.  ``on_fatal(exc)`` fires if the
+        reactor thread dies.
+        """
+        if window < 1:
+            raise ValueError("per-tenant window must be >= 1")
+        with self._lock:
+            if self._fatal is not None:
+                raise GinjaError("upload reactor is dead") from self._fatal
+            lane = self._lanes.get(tenant)
+            if lane is None:
+                lane = self._lanes[tenant] = _Lane(window=window)
+                self._order.append(tenant)
+            lane.attachments += 1
+            lane.window = max(lane.window, window)
+            if on_fatal is not None:
+                lane.on_fatals.append(on_fatal)
+
+    def detach(self, tenant: str, on_fatal=None) -> None:
+        with self._lock:
+            lane = self._lanes.get(tenant)
+            if lane is None:
+                return
+            lane.attachments -= 1
+            if on_fatal is not None and on_fatal in lane.on_fatals:
+                lane.on_fatals.remove(on_fatal)
+            if lane.attachments <= 0 and not lane.queue and not lane.active:
+                del self._lanes[tenant]
+                self._order.remove(tenant)
+                if self._order:
+                    self._rr %= len(self._order)
+                else:
+                    self._rr = 0
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, store, key: str, data: bytes, *, tenant: str,
+               on_done=None) -> UploadHandle:
+        """Queue one PUT; returns immediately with its handle.
+
+        ``on_done(handle)`` runs on the loop thread after resolution —
+        it must be fast and must not block (it feeds ack queues, not
+        the other way around).
+        """
+        sub = _Submission(store, key, data, tenant, on_done)
+        with self._lock:
+            if self._fatal is not None:
+                raise GinjaError("upload reactor is dead") from self._fatal
+            if self._stopping or self._thread is None:
+                raise GinjaError("upload reactor is not running")
+            lane = self._lanes.get(tenant)
+            if lane is None:
+                raise GinjaError(f"tenant {tenant!r} is not attached to the reactor")
+            lane.queue.append(sub)
+            self._queued += 1
+            # Coalesced wakeup: waking the loop is a self-pipe write
+            # (a syscall per call), so skip it when a pump is already
+            # scheduled or the window is full — every completion
+            # re-pumps on the loop thread, which drains the queue.
+            need_wake = (
+                not self._pump_scheduled and self._inflight < self._window
+            )
+            if need_wake:
+                self._pump_scheduled = True
+        if need_wake:
+            self._wake()
+        return sub.handle
+
+    def cancel(self, tenant: str, *, queued_only: bool = False) -> None:
+        """Drop ``tenant``'s queued submissions and (unless
+        ``queued_only``) interrupt its in-flight PUTs — cancelling a
+        backoff await mid-timer — without touching any other tenant's
+        work or retry budgets.  Dropped handles resolve ``cancelled``
+        and still see their ``on_done``, so drop accounting
+        (``upload_dropped``) fires.  ``queued_only=True`` is the poison
+        path: a poisoned pipeline abandons work it has not started but
+        lets PUTs already on the wire run to their own verdict."""
+        def _do() -> None:
+            with self._lock:
+                lane = self._lanes.get(tenant)
+                if lane is None:
+                    return
+                dropped = list(lane.queue)
+                lane.queue.clear()
+                self._queued -= len(dropped)
+                active = [] if queued_only else list(lane.active)
+            for sub in dropped:
+                sub.handle._resolve(None, cancelled=True)
+                if sub.on_done is not None:
+                    try:
+                        sub.on_done(sub.handle)
+                    except BaseException:
+                        pass
+            for sub in active:
+                if sub.task is not None:
+                    sub.task.cancel()
+
+        loop = self._loop
+        if loop is None:
+            return
+        if threading.current_thread() is self._thread:
+            _do()
+            return
+        try:
+            loop.call_soon_threadsafe(_do)
+        except RuntimeError:  # loop already closed; _die handled cleanup
+            pass
+
+    def wait_idle(self, tenant: str, timeout: float = 10.0) -> bool:
+        """Block (real time) until ``tenant`` has nothing queued or in
+        flight.  Shutdown machinery: a pipeline stops its unlocker only
+        after its last upload resolved, so late acks are never lost."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if self._fatal is not None or self._crash_exc is not None:
+                    return False
+                lane = self._lanes.get(tenant)
+                if lane is None or (not lane.queue and not lane.active):
+                    return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.002)
+
+    def _wake(self) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._pump_entry)
+        except RuntimeError:
+            pass
+
+    def _pump_entry(self) -> None:
+        with self._lock:
+            self._pump_scheduled = False
+        self._pump()
+
+    # -- loop-thread machinery -----------------------------------------------
+
+    def _pump(self) -> None:
+        """Admit queued submissions up to the global and lane windows.
+
+        Round-robin over lanes, one claim per visit, so a tenant with a
+        thousand queued PUTs cannot starve one with a single PUT —
+        the same fair-share discipline as the encode stage's lanes.
+        """
+        while True:
+            with self._lock:
+                if self._stopping or self._crash_exc is not None:
+                    return
+                if self._inflight >= self._window:
+                    return
+                claimed = self._next_locked()
+                if claimed is None:
+                    return
+                lane, sub = claimed
+                lane.inflight += 1
+                lane.active.add(sub)
+                self._inflight += 1
+                self._queued -= 1
+            task = self._loop.create_task(self._run_one(lane, sub))
+            sub.task = task
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    def _next_locked(self):
+        order = self._order
+        n = len(order)
+        for i in range(n):
+            lane = self._lanes[order[(self._rr + i) % n]]
+            if lane.queue and lane.inflight < lane.window:
+                self._rr = (self._rr + i + 1) % n
+                return lane, lane.queue.popleft()
+        return None
+
+    async def _run_one(self, lane: _Lane, sub: _Submission) -> None:
+        # Each task runs in its own copied context, so this set is
+        # private to this upload — the retry layer finds the note via
+        # CURRENT_UPLOAD without ever importing the reactor.
+        aio.CURRENT_UPLOAD.set(_LaneBackoffNote(self, lane))
+        error: BaseException | None = None
+        cancelled = False
+        try:
+            await aio.aput(sub.store, sub.key, sub.data)
+        except asyncio.CancelledError:
+            cancelled = True
+        except BaseException as exc:
+            error = exc
+        self._finish(lane, sub, error, cancelled)
+
+    def _finish(self, lane: _Lane, sub: _Submission, error, cancelled) -> None:
+        with self._lock:
+            lane.active.discard(sub)
+            lane.inflight -= 1
+            self._inflight -= 1
+            if cancelled and error is None and self._crash_exc is not None:
+                # Interrupted by reactor death, not by a tenant cancel:
+                # the handle carries the crash, so waiters see *why*.
+                error, cancelled = self._crash_exc, False
+        sub.handle._resolve(error, cancelled)
+        if sub.on_done is not None:
+            try:
+                sub.on_done(sub.handle)
+            except BaseException as exc:
+                # A broken completion hook poisons its own lane, never
+                # the loop: fire the tenant's on_fatal and move on.
+                with self._lock:
+                    callbacks = list(lane.on_fatals)
+                for cb in callbacks:
+                    try:
+                        cb(exc)
+                    except Exception:
+                        pass
+        self._pump()
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive() and self._fatal is None
+
+    def health(self) -> dict:
+        """In-flight / queued / backoff gauges, global and per tenant."""
+        with self._lock:
+            return {
+                "running": self.alive and not self._stopping,
+                "window": self._window,
+                "io_threads": self._io_threads,
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "tenants": {
+                    tenant: {
+                        "queued": len(lane.queue),
+                        "inflight": lane.inflight,
+                        "backoffs": lane.backoffs,
+                        "retries": lane.retries,
+                        "window": lane.window,
+                    }
+                    for tenant, lane in self._lanes.items()
+                },
+            }

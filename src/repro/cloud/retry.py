@@ -25,6 +25,7 @@ from repro.common.clock import Clock, SYSTEM_CLOCK
 from repro.common.errors import CloudError
 from repro.common import events
 from repro.common.events import EventBus, NULL_BUS
+from repro.cloud import aio
 from repro.cloud.interface import ObjectStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -164,10 +165,46 @@ class RetryLayer(ObjectStore):
     def total_bytes(self, prefix: str = "") -> int:
         return self._run("LIST", prefix, lambda: self._inner.total_bytes(prefix))
 
+    def stat(self, key: str):
+        return self._run("LIST", key, lambda: self._inner.stat(key))
+
     # -- the one retry loop --------------------------------------------------
 
     def _put_with_retries(self, key: str, data: bytes) -> None:
         self._run("PUT", key, lambda: self._inner.put(key, data))
+
+    async def aput(self, key: str, data: bytes) -> None:
+        """Async twin of the PUT retry loop.
+
+        Identical schedule and budget to :meth:`_run` — this module
+        stays the single retry implementation — but the backoff is an
+        ``await`` on a loop timer, so a backing-off upload holds zero
+        threads.  Cancelling the task (tenant abort) interrupts the
+        await mid-backoff without draining the retry budget of any
+        other in-flight request.
+        """
+        attempts = 0
+        budget = self._policy.budget("PUT")
+        while True:
+            try:
+                await aio.aput(self._inner, key, data)
+            except CloudError as exc:
+                attempts += 1
+                if attempts > budget:
+                    raise
+                self._bus.emit(
+                    events.RETRY, verb="PUT", key=key, attempt=attempts,
+                    detail=repr(exc),
+                )
+                delay = self._policy.backoff(attempts, self._rng)
+                note = aio.current_upload()
+                note.backoff_started(delay)
+                try:
+                    await self._clock.sleep_async(delay)
+                finally:
+                    note.backoff_ended()
+                continue
+            return None
 
     def _run(self, verb: str, key: str, request):
         attempts = 0

@@ -22,6 +22,7 @@ store's event bus (it is no longer called directly); pass your own
 
 from __future__ import annotations
 
+from repro.cloud import aio
 from repro.common.clock import Clock, SYSTEM_CLOCK
 from repro.common.events import EventBus
 from repro.cloud.faults import FaultPolicy, NO_FAULTS
@@ -100,6 +101,9 @@ class SimulatedCloud(ObjectStore):
 
     def put(self, key: str, data: bytes) -> None:
         self._stack.put(key, data)
+
+    async def aput(self, key: str, data: bytes) -> None:
+        await aio.aput(self._stack, key, data)
 
     def get(self, key: str) -> bytes:
         return self._stack.get(key)

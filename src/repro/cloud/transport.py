@@ -28,10 +28,11 @@ time so ``time_scale`` does not distort the cost model).
 
 from __future__ import annotations
 
+import contextvars
 import random
-import threading
 from typing import TYPE_CHECKING
 
+from repro.cloud import aio
 from repro.common import events
 from repro.common.clock import Clock, SYSTEM_CLOCK
 from repro.common.errors import CloudError, CloudUnavailable
@@ -78,32 +79,42 @@ class TransportLayer(ObjectStore):
     def exists(self, key: str) -> bool:
         return self._inner.exists(key)
 
+    def stat(self, key: str) -> ObjectInfo | None:
+        return self._inner.stat(key)
+
     def total_bytes(self, prefix: str = "") -> int:
         return self._inner.total_bytes(prefix)
 
 
-# -- LatencyLayer → MeterLayer thread-local handoff --------------------------
+# -- LatencyLayer → MeterLayer context handoff -------------------------------
 #
 # The meter must record the *modeled* latency (what the request would
 # have cost against the real provider), not the scaled wall time the
 # LatencyLayer actually slept.  The layers may be separated by a
-# FaultLayer, so the value travels in a thread-local the LatencyLayer
-# writes and the MeterLayer consumes.  ``adjusted`` carries the bytes a
-# PUT replaced / a DELETE removed, for the storage integral.
+# FaultLayer, so the value travels in a context variable the
+# LatencyLayer writes and the MeterLayer consumes.  ``adjusted``
+# carries the bytes a PUT replaced / a DELETE removed, for the storage
+# integral.
+#
+# A ContextVar, not a thread-local: the upload reactor multiplexes many
+# concurrent PUTs on one event-loop thread, and each asyncio task runs
+# in its own copied context, so interleaved requests cannot corrupt
+# each other's billing.  Plain threads keep per-thread semantics (each
+# thread has an independent context), so the synchronous path is
+# unchanged.
 
-_modeled = threading.local()
+_modeled: contextvars.ContextVar[tuple[float, int]] = contextvars.ContextVar(
+    "repro_modeled_latency", default=(0.0, 0)
+)
 
 
 def _set_modeled(latency: float, adjusted: int = 0) -> None:
-    _modeled.latency = latency
-    _modeled.adjusted = adjusted
+    _modeled.set((latency, adjusted))
 
 
 def _take_modeled() -> tuple[float, int]:
-    latency = getattr(_modeled, "latency", 0.0)
-    adjusted = getattr(_modeled, "adjusted", 0)
-    _modeled.latency = 0.0
-    _modeled.adjusted = 0
+    latency, adjusted = _modeled.get()
+    _modeled.set((0.0, 0))
     return latency, adjusted
 
 
@@ -145,6 +156,13 @@ class LatencyLayer(TransportLayer):
         return modeled_latency
 
     def _existing_size(self, key: str) -> int:
+        stat = getattr(self._inner, "stat", None)
+        if stat is not None:
+            # Backends override stat() with an O(1) lookup; probing it
+            # on every PUT beats the LIST scan by orders of magnitude
+            # on large buckets.
+            info = stat(key)
+            return 0 if info is None else info.size
         for info in self._inner.list(prefix=key):
             if info.key == key:
                 return info.size
@@ -155,6 +173,17 @@ class LatencyLayer(TransportLayer):
         replaced = self._existing_size(key)
         self._inner.put(key, data)
         _set_modeled(latency, replaced)
+
+    async def aput(self, key: str, data: bytes) -> None:
+        # Async twin of :meth:`put`: the latency sleep is a loop timer
+        # (``sleep_async``), so a thousand in-flight PUTs park zero
+        # threads while paying their modeled WAN latency.
+        modeled = self._model.put_latency(len(data), self._rng)
+        if modeled > 0 and self._time_scale > 0:
+            await self._clock.sleep_async(modeled * self._time_scale)
+        replaced = self._existing_size(key)
+        await aio.aput(self._inner, key, data)
+        _set_modeled(modeled, replaced)
 
     def get(self, key: str) -> bytes:
         data = self._inner.get(key)
@@ -223,6 +252,10 @@ class FaultLayer(TransportLayer):
         self._check("PUT", key)
         self._inner.put(key, data)
 
+    async def aput(self, key: str, data: bytes) -> None:
+        self._check("PUT", key)
+        await aio.aput(self._inner, key, data)
+
     def get(self, key: str) -> bytes:
         self._check("GET", key)
         return self._inner.get(key)
@@ -245,6 +278,10 @@ class FaultLayer(TransportLayer):
     def total_bytes(self, prefix: str = "") -> int:
         self._check("LIST", prefix)
         return self._inner.total_bytes(prefix)
+
+    def stat(self, key: str) -> ObjectInfo | None:
+        self._check("LIST", key)
+        return self._inner.stat(key)
 
 
 class MeterLayer(TransportLayer):
@@ -280,6 +317,17 @@ class MeterLayer(TransportLayer):
     def put(self, key: str, data: bytes) -> None:
         _set_modeled(0.0)
         self._inner.put(key, data)
+        latency, replaced = _take_modeled()
+        self._bus.emit(
+            events.METER, verb="PUT", key=key, nbytes=len(data),
+            latency=latency, at=self._now(), count=replaced,
+        )
+
+    async def aput(self, key: str, data: bytes) -> None:
+        # The handoff is a ContextVar, so the set→await→take window is
+        # safe even with many PUTs interleaved on one loop thread.
+        _set_modeled(0.0)
+        await aio.aput(self._inner, key, data)
         latency, replaced = _take_modeled()
         self._bus.emit(
             events.METER, verb="PUT", key=key, nbytes=len(data),
@@ -366,6 +414,23 @@ class TracingLayer(TransportLayer):
 
     def put(self, key: str, data: bytes) -> None:
         self._traced("PUT", key, len(data), lambda: self._inner.put(key, data))
+
+    async def aput(self, key: str, data: bytes) -> None:
+        start_kind, end_kind = _TRACE_EVENTS["PUT"]
+        t0 = self._clock.now()
+        self._bus.emit(start_kind, verb="PUT", key=key, nbytes=len(data), at=t0)
+        try:
+            await aio.aput(self._inner, key, data)
+        except CloudError:
+            self._bus.emit(
+                end_kind, verb="PUT", key=key, nbytes=len(data), ok=False,
+                latency=self._clock.now() - t0, at=self._clock.now(),
+            )
+            raise
+        self._bus.emit(
+            end_kind, verb="PUT", key=key, nbytes=len(data),
+            latency=self._clock.now() - t0, at=self._clock.now(),
+        )
 
     def get(self, key: str) -> bytes:
         return self._traced("GET", key, 0, lambda: self._inner.get(key))

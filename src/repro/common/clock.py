@@ -17,6 +17,7 @@ paper's time units while executing quickly.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 
@@ -32,6 +33,15 @@ class Clock:
         """Block the calling thread for ``seconds``."""
         raise NotImplementedError
 
+    async def sleep_async(self, seconds: float) -> None:
+        """Pause the calling *task* for ``seconds`` without holding a
+        thread.  The default bridges :meth:`sleep` through the loop's
+        executor so exotic clock subclasses keep working; the stock
+        clocks override it with a zero-thread implementation.
+        """
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.sleep, seconds)
+
 
 class MonotonicClock(Clock):
     """Real time, via :func:`time.monotonic` / :func:`time.sleep`."""
@@ -42,6 +52,11 @@ class MonotonicClock(Clock):
     def sleep(self, seconds: float) -> None:
         if seconds > 0:
             time.sleep(seconds)
+
+    async def sleep_async(self, seconds: float) -> None:
+        # A loop timer: a backing-off upload holds zero threads.
+        if seconds > 0:
+            await asyncio.sleep(seconds)
 
 
 class ManualClock(Clock):
@@ -66,6 +81,11 @@ class ManualClock(Clock):
         with self._cond:
             self._now += seconds
             self._cond.notify_all()
+
+    async def sleep_async(self, seconds: float) -> None:
+        # Virtual time: advance instantly, exactly like :meth:`sleep`,
+        # so reactor-driven retries stay deterministic under drills.
+        self.sleep(seconds)
 
     def advance(self, seconds: float) -> None:
         """Move time forward, waking any :meth:`wait_until` callers."""

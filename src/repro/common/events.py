@@ -43,6 +43,11 @@ WAL_BATCH = "wal_batch"
 WAL_OBJECT = "wal_object"
 #: The unlocker removed one acked batch from the queue head.
 BATCH_UNLOCKED = "batch_unlocked"
+#: A poisoned pipeline dropped an encoded WAL object instead of
+#: uploading it; ``count`` is the batch id, ``nbytes`` the encoded
+#: bytes that never reached the cloud, ``detail`` why.  Before this
+#: event existed the blobs vanished silently on abort.
+UPLOAD_DROPPED = "upload_dropped"
 #: One update entered the queue; ``count`` is the unconfirmed depth
 #: (chaos drills trigger on this instead of polling pipeline internals).
 QUEUE_DEPTH = "queue_depth"

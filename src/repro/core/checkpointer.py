@@ -48,6 +48,7 @@ from repro.core.data_model import (
 )
 from repro.core.encode_stage import EncodeStage
 from repro.cloud.interface import ObjectStore
+from repro.cloud.reactor import UploadReactor
 from repro.db.profiles import DBMSProfile
 from repro.storage.interface import FileSystem
 
@@ -250,12 +251,22 @@ class CheckpointUploader:
         view: CloudView,
         bus: EventBus | None = None,
         clock: Clock = SYSTEM_CLOCK,
+        reactor: UploadReactor | None = None,
+        lane: str = "",
     ):
         self._config = config
         self._cloud = cloud
         self._view = view
         self._bus = bus or NULL_BUS
         self._clock = clock
+        #: Shared upload reactor: DB-object PUTs ride the same loop as
+        #: the commit pipeline's WAL PUTs (same tenant lane, refcounted
+        #: attachment), and a multi-part checkpoint uploads its parts
+        #: concurrently within the lane window.  ``None`` keeps the
+        #: direct synchronous path (tests constructing the uploader
+        #: standalone).
+        self._reactor = reactor
+        self._lane = lane
         self.queue: "queue.Queue" = queue.Queue()
         self._thread: threading.Thread | None = None
         self._fatal: Exception | None = None
@@ -277,6 +288,14 @@ class CheckpointUploader:
     def start(self) -> None:
         if self._thread is not None:
             raise GinjaError("checkpoint uploader already started")
+        if self._reactor is not None:
+            # Reactor death must kill this uploader, not hang its
+            # drain(); the lane attachment is refcounted with the
+            # commit pipeline's (same tenant).
+            self._reactor.attach(
+                self._lane, window=self._config.uploaders,
+                on_fatal=self._poison,
+            )
         self._thread = threading.Thread(
             target=self._loop, name="ginja-checkpointer", daemon=True
         )
@@ -288,6 +307,8 @@ class CheckpointUploader:
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
+        if self._reactor is not None:
+            self._reactor.detach(self._lane, self._poison)
 
     def abort(self) -> None:
         """Abrupt primary loss: discard queued objects without draining.
@@ -301,10 +322,26 @@ class CheckpointUploader:
             self._fatal = GinjaError("primary crashed")
         with self._idle:
             self._idle.notify_all()
+        if self._reactor is not None:
+            # The worker may be blocked in handle.wait() on an
+            # in-flight part; cancelling the lane resolves it.
+            self._reactor.cancel(self._lane)
         self.queue.put(_STOP)
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        if self._reactor is not None:
+            self._reactor.detach(self._lane, self._poison)
+
+    def _poison(self, exc: BaseException) -> None:
+        """Record a fatal error from outside the worker loop (reactor
+        death), waking anything blocked in :meth:`drain`."""
+        if self._fatal is None:
+            self._fatal = (
+                exc if isinstance(exc, Exception) else GinjaError(repr(exc))
+            )
+        with self._idle:
+            self._idle.notify_all()
 
     def drain(self, timeout: float = 30.0) -> bool:
         """Wait until the queue is empty AND no upload is in progress.
@@ -361,9 +398,8 @@ class CheckpointUploader:
         nparts = len(pending.payloads)
         seq = self._next_seq
         self._next_seq += 1
-        metas: list[DBObjectMeta] = []
-        for part, blob in enumerate(pending.payloads):
-            meta = DBObjectMeta(
+        metas: list[DBObjectMeta] = [
+            DBObjectMeta(
                 ts=pending.ts,
                 type=pending.type,
                 size=len(blob),
@@ -371,14 +407,38 @@ class CheckpointUploader:
                 nparts=nparts,
                 seq=seq,
             )
-            # A CloudError here means the transport's PUT budget is
+            for part, blob in enumerate(pending.payloads)
+        ]
+        if self._reactor is not None:
+            # All parts in flight at once (bounded by the lane window),
+            # confirmed in part order below.  A CloudError resolved
+            # into a handle means the transport's PUT budget is
             # exhausted; it propagates and kills the checkpointer.
-            self._cloud.put(meta.key, blob)
-            metas.append(meta)
-            self._bus.emit(
-                events.DB_OBJECT, key=meta.key, nbytes=len(blob),
-                detail=pending.type,
-            )
+            handles = [
+                self._reactor.submit(
+                    self._cloud, meta.key, blob, tenant=self._lane,
+                )
+                for meta, blob in zip(metas, pending.payloads)
+            ]
+            for meta, handle in zip(metas, handles):
+                handle.wait()
+                if handle.error is not None:
+                    raise handle.error
+                if handle.cancelled:
+                    raise GinjaError(f"checkpoint upload cancelled: {meta.key}")
+                self._bus.emit(
+                    events.DB_OBJECT, key=meta.key, nbytes=handle.nbytes,
+                    detail=pending.type,
+                )
+        else:
+            for meta, blob in zip(metas, pending.payloads):
+                # A CloudError here means the transport's PUT budget is
+                # exhausted; it propagates and kills the checkpointer.
+                self._cloud.put(meta.key, blob)
+                self._bus.emit(
+                    events.DB_OBJECT, key=meta.key, nbytes=len(blob),
+                    detail=pending.type,
+                )
         for meta in metas:
             self._view.add_db(meta)
         if pending.type == DUMP:

@@ -25,8 +25,14 @@ Thread anatomy (the paper's Figure 3, grown into three stages):
   contended fleet, tiny pages).  ``"inline"``/``"pool"`` pin the mode
   for ablation; the legacy ``encode_inline=True`` flag folds into
   ``"inline"``.
-* **Uploader** threads PUT objects in parallel through the cloud
-  transport, whose RetryLayer absorbs transient failures.
+* Encoded objects are submitted to the shared **upload reactor**
+  (:class:`~repro.cloud.reactor.UploadReactor`): one event-loop thread
+  drives every PUT through the cloud transport's async path, with the
+  tenant's ``uploaders`` knob now a per-lane in-flight *window* rather
+  than a thread count.  The RetryLayer still absorbs transient
+  failures; its backoffs are loop timers that hold no threads.
+  Completions feed the ack queue from the reactor's completion
+  callback.
 * The **Unlocker** thread receives batch-completion acks and removes
   entries from the queue head strictly in batch order — the
   "consecutive timestamps" rule that makes S a true bound on loss even
@@ -79,6 +85,7 @@ from repro.core.encode_stage import (
     EncodeStage,
 )
 from repro.cloud.interface import ObjectStore
+from repro.cloud.reactor import UploadHandle, UploadReactor
 
 
 @dataclass(slots=True)
@@ -100,13 +107,6 @@ class _EncodeTask:
     batch_id: int
     meta: WALObjectMeta
     chunks: list
-
-
-@dataclass(slots=True)
-class _UploadTask:
-    batch_id: int
-    meta: WALObjectMeta
-    blob: bytes
 
 
 _STOP = object()
@@ -131,6 +131,11 @@ class CommitPipeline:
             and own a private stage sized by ``config.encoders``
             (unless the resolved dispatch policy is pinned ``"inline"``,
             which never needs one).
+        reactor: a shared :class:`UploadReactor` (a fleet passes one
+            loop serving every tenant; the Ginja facade passes one
+            shared with the checkpointer).  ``None`` makes the pipeline
+            build and own a private reactor whose global window equals
+            ``config.uploaders``.
     """
 
     def __init__(
@@ -143,6 +148,7 @@ class CommitPipeline:
         clock: Clock = SYSTEM_CLOCK,
         encode_stage: EncodeStage | None = None,
         lane: str = "",
+        reactor: UploadReactor | None = None,
     ):
         self._config = config
         self._cloud = cloud
@@ -164,6 +170,15 @@ class CommitPipeline:
         else:
             self._stage = EncodeStage(config.encoders, on_error=self._poison)
             self._owns_stage = True
+        if reactor is not None:
+            self._reactor = reactor
+            self._owns_reactor = False
+        else:
+            self._reactor = UploadReactor(
+                inflight_window=config.uploaders,
+                io_threads=config.reactor_io_threads,
+            )
+            self._owns_reactor = True
         #: Per-batch inline/pool decisions from measured EWMAs; public
         #: so operators and the perf harness can read mode/transitions.
         self.dispatch = DispatchController(
@@ -197,7 +212,6 @@ class CommitPipeline:
         self._fatal: Exception | None = None
         self._stop = False
 
-        self._upload_q: queue.Queue = queue.Queue()
         self._ack_q: queue.Queue = queue.Queue()
         self._threads: list[threading.Thread] = []
 
@@ -208,15 +222,17 @@ class CommitPipeline:
             raise GinjaError("pipeline already started")
         if self._owns_stage and not self._stage.running:
             self._stage.start()
+        if self._owns_reactor and not self._reactor.alive:
+            self._reactor.start()
+        # Reactor death must poison this pipeline, not hang it: the
+        # lane's on_fatal is our own poison hook.
+        self._reactor.attach(
+            self._lane, window=self._config.uploaders, on_fatal=self._poison,
+        )
         self._threads.append(
             threading.Thread(target=self._aggregator_loop, name="ginja-aggregator",
                              daemon=True)
         )
-        for index in range(self._config.uploaders):
-            self._threads.append(
-                threading.Thread(target=self._uploader_loop,
-                                 name=f"ginja-uploader-{index}", daemon=True)
-            )
         self._threads.append(
             threading.Thread(target=self._unlocker_loop, name="ginja-unlocker",
                              daemon=True)
@@ -236,21 +252,26 @@ class CommitPipeline:
             self._stop = True
             self._cond.notify_all()
         if self._owns_stage:
-            # Encoders first: anything they finish still reaches the
-            # upload queue before the uploaders see their sentinels.  A
-            # wedged stage raises; record it but keep tearing down the
-            # uploaders/unlocker — one stuck codec thread must not leak
-            # the whole thread complement.
+            # Encoders first: anything they finish is still submitted
+            # to the reactor before we wait the lane idle.  A wedged
+            # stage raises; record it but keep tearing down the
+            # unlocker — one stuck codec thread must not leak the whole
+            # thread complement.
             try:
                 self._stage.stop()
             except GinjaError as exc:
                 self._poison(exc)
-        for _ in range(self._config.uploaders):
-            self._upload_q.put(_STOP)
+        # Let this lane's in-flight uploads resolve before the unlocker
+        # sees its sentinel, so their acks are never dropped (shared
+        # reactor: other tenants' traffic is untouched).
+        self._reactor.wait_idle(self._lane, timeout=10.0)
         self._ack_q.put(_STOP)
         for thread in self._threads:
             thread.join(timeout=10.0)
         self._threads.clear()
+        self._reactor.detach(self._lane, self._poison)
+        if self._owns_reactor:
+            self._reactor.stop()
         if self._fatal is not None:
             raise GinjaError("commit pipeline failed during shutdown") from self._fatal
 
@@ -275,12 +296,17 @@ class CommitPipeline:
                 # abort() already records a fatal and never reports a
                 # clean shutdown; finish releasing the other threads.
                 pass
-        for _ in range(self._config.uploaders):
-            self._upload_q.put(_STOP)
+        # Queued submissions are dropped and in-flight PUTs interrupted
+        # mid-backoff — without draining their retry budgets — exactly
+        # as a power failure would abandon them.  Only this lane.
+        self._reactor.cancel(self._lane)
         self._ack_q.put(_STOP)
         for thread in self._threads:
             thread.join(timeout=5.0)
         self._threads.clear()
+        self._reactor.detach(self._lane, self._poison)
+        if self._owns_reactor:
+            self._reactor.stop()
 
     def drain(self, timeout: float = 30.0) -> bool:
         """Block until every queued update is confirmed (or timeout).
@@ -366,11 +392,19 @@ class CommitPipeline:
         nobody will ever notify again.
         """
         with self._cond:
-            if self._fatal is None:
+            first = self._fatal is None
+            if first:
                 self._fatal = (
                     exc if isinstance(exc, Exception) else GinjaError(repr(exc))
                 )
             self._cond.notify_all()
+        if first:
+            # Poisoned: queued uploads can never ack, so drop them
+            # (their on_done emits ``upload_dropped``) instead of
+            # burning full retry budgets against a cloud that may be
+            # gone.  PUTs already on the wire run to their own verdict,
+            # exactly like the in-flight uploader threads used to.
+            self._reactor.cancel(self._lane, queued_only=True)
 
     # -- Aggregator ---------------------------------------------------------------------
 
@@ -531,9 +565,7 @@ class CommitPipeline:
         bus = self._bus
         if bus.wants(events.CODEC):
             bus.emit(events.CODEC, nbytes=len(payload), key=task.meta.filename)
-        self._upload_q.put(
-            _UploadTask(batch_id=task.batch_id, meta=task.meta, blob=blob)
-        )
+        self._submit_upload(task.batch_id, task.meta, blob)
         if bus.wants(events.ENCODE_DONE):
             bus.emit(
                 events.ENCODE_DONE, key=task.meta.key, nbytes=len(blob),
@@ -542,37 +574,70 @@ class CommitPipeline:
                 at=self._clock.now(),
             )
 
-    # -- Uploaders -----------------------------------------------------------------------
+    # -- Uploads (reactor submissions) ---------------------------------------------------
 
-    def _uploader_loop(self) -> None:
-        while True:
-            item = self._upload_q.get()
-            if item is _STOP:
-                return
-            if self._fatal is not None:
-                # Poisoned (or aborted): the batch can never ack, so
-                # drop the blob instead of burning a full retry budget
-                # against a cloud that may be gone.  Inline dispatch
-                # made this path hot — every claimed batch is already
-                # encoded into this queue at crash time, and abort()'s
-                # join must not wait out len(queue) retry storms.
-                continue
+    def _submit_upload(self, batch_id: int, meta: WALObjectMeta, blob: bytes) -> None:
+        """Hand one encoded WAL object to the upload reactor.
+
+        Runs on the Aggregator thread (inline dispatch) or an encoder
+        worker; either way it returns immediately — PUT concurrency is
+        the reactor lane's in-flight window, not a thread count.
+        """
+        if self._fatal is not None:
+            # Poisoned (or aborted): the batch can never ack, so drop
+            # the blob instead of burning a full retry budget against a
+            # cloud that may be gone.  Inline dispatch made this path
+            # hot — every claimed batch is already encoded at crash
+            # time, and abort() must not wait out the retry storms.
+            self._drop_upload(batch_id, meta, len(blob), "pipeline poisoned")
+            return
+        try:
+            self._reactor.submit(
+                self._cloud, meta.key, blob, tenant=self._lane,
+                on_done=lambda handle, batch_id=batch_id, meta=meta:
+                    self._upload_done(batch_id, meta, handle),
+            )
+        except GinjaError as exc:
+            # Reactor dead or stopped under us: the lane's on_fatal has
+            # poisoned (or will poison) this pipeline; account the drop.
+            self._poison(exc)
+            self._drop_upload(batch_id, meta, len(blob), "reactor unavailable")
+
+    def _upload_done(self, batch_id: int, meta: WALObjectMeta,
+                     handle: UploadHandle) -> None:
+        """Completion callback, on the reactor's loop thread.
+
+        The success path mirrors the old uploader thread's tail: view
+        bookkeeping, the ``wal_object`` event, then the ack.  A PUT
+        whose retries are exhausted poisons the pipeline (the batch can
+        never ack); a cancelled submission is accounted as dropped.
+        """
+        if handle.ok:
             try:
-                # The transport's RetryLayer absorbs transient errors; a
-                # CloudError surfacing here has exhausted its budget.  Any
-                # other exception (view bookkeeping, event handler) is just
-                # as fatal — the batch will never ack, so it must poison
-                # the pipeline rather than kill this thread silently.
-                self._cloud.put(item.meta.key, item.blob)
-                self._view.add_wal(item.meta)
+                self._view.add_wal(meta)
                 self._bus.emit(
-                    events.WAL_OBJECT, key=item.meta.key, nbytes=len(item.blob),
+                    events.WAL_OBJECT, key=meta.key, nbytes=handle.nbytes,
                     at=self._clock.now(),
                 )
-            except BaseException as exc:  # noqa: BLE001 - worker loop boundary
+            except BaseException as exc:  # noqa: BLE001 - callback boundary
                 self._poison(exc)
-                continue
-            self._ack_q.put(item.batch_id)
+                return
+            self._ack_q.put(batch_id)
+            return
+        if handle.cancelled:
+            self._drop_upload(batch_id, meta, handle.nbytes, "cancelled")
+            return
+        self._poison(handle.error)
+        self._drop_upload(batch_id, meta, handle.nbytes, repr(handle.error))
+
+    def _drop_upload(self, batch_id: int, meta: WALObjectMeta, nbytes: int,
+                     why: str) -> None:
+        # The audit trail for what an abort abandoned: before this
+        # event, blobs vanished silently from the poisoned drop path.
+        self._bus.emit(
+            events.UPLOAD_DROPPED, key=meta.key, count=batch_id,
+            nbytes=nbytes, detail=why, at=self._clock.now(),
+        )
 
     # -- Unlocker -------------------------------------------------------------------------
 

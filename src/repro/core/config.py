@@ -73,6 +73,14 @@ class SharedPoolConfig:
     #: map like ``wal=mirror-2,db=stripe-2-3``
     #: (:func:`repro.placement.policy.parse_placement`).
     placement: str = "mirror-1"
+    #: Global in-flight window of the shared upload reactor — the cap
+    #: on concurrently running PUTs fleet-wide (the reactor replaces
+    #: thread-per-upload, so this, not thread count, bounds upload
+    #: concurrency).
+    reactor_inflight: int = 64
+    #: Executor threads the reactor keeps for bridging stores without
+    #: a native async PUT; the total thread cost of the upload path.
+    reactor_io_threads: int = 4
 
     def __post_init__(self) -> None:
         if self.encoders < 1:
@@ -91,6 +99,10 @@ class SharedPoolConfig:
             raise ConfigError("dispatch_window must be >= 1")
         if self.dispatch_hysteresis < 1.0:
             raise ConfigError("dispatch_hysteresis must be >= 1.0")
+        if self.reactor_inflight < 1:
+            raise ConfigError("reactor_inflight must be >= 1")
+        if self.reactor_io_threads < 1:
+            raise ConfigError("reactor_io_threads must be >= 1")
         _validate_placement(self.providers, self.placement)
 
 
@@ -129,6 +141,38 @@ class TenantPolicy:
     retention: RetentionPolicy = field(default_factory=RetentionPolicy.none)
     sync_schedule: SyncSchedule | None = None
 
+    def __post_init__(self) -> None:
+        # Eager validation, mirroring SharedPoolConfig: a bad policy
+        # used to survive construction and only blow up at ``compose``
+        # time (inside ``FleetManager.add_tenant``), which made the
+        # two halves asymmetric — SharedPoolConfig rejected a zero
+        # window at the constructor, TenantPolicy accepted anything.
+        if self.batch < 1:
+            raise ConfigError("batch (B) must be >= 1")
+        if self.safety < 1:
+            raise ConfigError("safety (S) must be >= 1")
+        if self.batch > self.safety:
+            raise ConfigError("batch (B) must not exceed safety (S)")
+        if self.batch_timeout <= 0 or self.safety_timeout <= 0:
+            raise ConfigError("timeouts must be positive")
+        if self.uploaders < 1:
+            raise ConfigError("need at least one upload slot (uploaders >= 1)")
+        if self.encode_dispatch not in ("adaptive", "inline", "pool"):
+            raise ConfigError(
+                f"unknown encode_dispatch {self.encode_dispatch!r} "
+                "(expected 'adaptive', 'inline' or 'pool')"
+            )
+        if self.encode_inline and self.encode_dispatch == "pool":
+            raise ConfigError(
+                "encode_inline=True contradicts encode_dispatch='pool'"
+            )
+        if self.max_object_bytes < 64 * 1024:
+            raise ConfigError("max_object_bytes unreasonably small")
+        if self.encrypt and not self.password:
+            raise ConfigError("encryption requires a password")
+        if self.dump_threshold < 1.0:
+            raise ConfigError("dump_threshold below 1.0 would dump constantly")
+
 
 @dataclass
 class GinjaConfig:
@@ -155,7 +199,10 @@ class GinjaConfig:
     safety_timeout: float = 10.0
 
     # -- §6: pipeline shape ---------------------------------------------------
-    #: Parallel Uploader threads (the paper's evaluation uses five).
+    #: Per-tenant upload concurrency (the paper's evaluation uses five).
+    #: Since the reactor refactor this is an in-flight *window* on the
+    #: shared event loop, not a thread count — the name is kept for
+    #: config compatibility.
     uploaders: int = 5
     #: Parallel encoder threads (the middle stage of the three-stage
     #: pipeline).  zlib/AES/HMAC release the GIL, so with compression or
@@ -217,6 +264,11 @@ class GinjaConfig:
     #: ``stripe-K-N`` (XOR erasure fragments, K-of-N reads), or a
     #: per-class map such as ``wal=mirror-2,db=stripe-2-3``.
     placement: str = "mirror-1"
+    #: Global in-flight window of the upload reactor (shared: one
+    #: reactor exists per process, like the encode pool).
+    reactor_inflight: int = 64
+    #: Executor threads the reactor bridges non-async stores through.
+    reactor_io_threads: int = 4
 
     # -- observability ---------------------------------------------------------
     #: Events kept verbatim by a TraceRecorder attached to the run
@@ -307,6 +359,10 @@ class GinjaConfig:
             raise ConfigError("retry_jitter must be within [0, 1]")
         if self.trace_capacity < 1:
             raise ConfigError("trace_capacity must be >= 1")
+        if self.reactor_inflight < 1:
+            raise ConfigError("reactor_inflight must be >= 1")
+        if self.reactor_io_threads < 1:
+            raise ConfigError("reactor_io_threads must be >= 1")
         _validate_placement(self.providers, self.placement)
 
     @classmethod
@@ -325,6 +381,7 @@ class GinjaConfig:
         "retry_backoff", "retry_backoff_cap", "retry_jitter",
         "retry_budgets", "seed", "trace_capacity", "providers",
         "placement", "dispatch_window", "dispatch_hysteresis",
+        "reactor_inflight", "reactor_io_threads",
     )
     #: GinjaConfig fields owned by the per-tenant half.
     _POLICY_FIELDS = (

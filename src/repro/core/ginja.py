@@ -35,6 +35,7 @@ from repro.core.encode_stage import EncodeStage
 from repro.core.processors import DatabaseProcessor
 from repro.core.stats import GinjaStats
 from repro.cloud.interface import ObjectStore
+from repro.cloud.reactor import UploadReactor
 from repro.cloud.transport import build_transport
 from repro.db.profiles import DBMSProfile
 from repro.storage.interface import FileSystem
@@ -64,6 +65,7 @@ class Ginja:
         transport: ObjectStore | None = None,
         encode_stage: EncodeStage | None = None,
         download_pool: EncodeStage | None = None,
+        reactor: UploadReactor | None = None,
     ):
         """Stand-alone construction builds everything privately; a fleet
         injects the shared halves instead:
@@ -76,6 +78,10 @@ class Ginja:
         * ``encode_stage`` / ``download_pool`` — shared worker pools;
           this instance submits into its ``tenant`` lane and never
           starts or stops them.
+        * ``reactor`` — the shared upload reactor; this instance
+          attaches its ``tenant`` lane and never starts or stops it.
+          ``None`` builds a private reactor serving both the commit
+          pipeline and the checkpointer.
         * ``bus`` — a tenant-scoped :class:`EventBus` so every event this
           instance emits carries the tenant stamp.
         """
@@ -135,12 +141,26 @@ class Ginja:
         #: Shared pool for recovery GETs (a fleet reuses one pool across
         #: every tenant restore); ``None`` spawns private downloaders.
         self.download_pool = download_pool
+        #: One upload reactor drives both WAL and checkpoint PUTs (the
+        #: tenant's lane on a fleet-shared loop, or a private loop for
+        #: a stand-alone instance) — O(1) upload threads either way.
+        if reactor is not None:
+            self.reactor = reactor
+            self._owns_reactor = False
+        else:
+            self.reactor = UploadReactor(
+                inflight_window=self.config.uploaders,
+                io_threads=self.config.reactor_io_threads,
+            )
+            self._owns_reactor = True
         self.pipeline = CommitPipeline(
             self.config, self.transport, self.codec, self.view, self.bus,
             clock=clock, encode_stage=self.encode_stage, lane=tenant,
+            reactor=self.reactor,
         )
         self.checkpointer = CheckpointUploader(
-            self.config, self.transport, self.view, self.bus, clock=clock
+            self.config, self.transport, self.view, self.bus, clock=clock,
+            reactor=self.reactor, lane=tenant,
         )
         self.collector = CheckpointCollector(
             self.config,
@@ -191,6 +211,13 @@ class Ginja:
                     "pools before starting tenants"
                 )
             self.encode_stage.start()
+        if not self.reactor.alive:
+            if not self._owns_reactor:
+                raise GinjaError(
+                    "shared upload reactor is not running; start the "
+                    "fleet's pools before starting tenants"
+                )
+            self.reactor.start()
         self.pipeline.start()
         self.checkpointer.start()
         self.fs.set_interceptor(self.processor)
@@ -224,6 +251,10 @@ class Ginja:
                     # still marked stopped either way.
                     self.encode_stage.stop()
             finally:
+                # Last, after both clients detached: a shared reactor
+                # belongs to the fleet and is left untouched.
+                if self._owns_reactor:
+                    self.reactor.stop()
                 self._running = False
 
     def drain(self, timeout: float = 30.0) -> bool:
@@ -252,6 +283,11 @@ class Ginja:
                 # disaster must not tear down its co-tenants' pool.
                 self.encode_stage.stop(discard=True)
         finally:
+            # Same fleet discipline for the reactor: abort() already
+            # cancelled this tenant's lane; only a private loop dies
+            # with its instance.
+            if self._owns_reactor:
+                self.reactor.stop()
             self._running = False
 
     # -- observability ----------------------------------------------------------------
@@ -275,6 +311,7 @@ class Ginja:
             "wal_objects": self.view.wal_object_count(),
             "db_bytes_in_cloud": self.view.total_db_bytes(),
             "encode_mode": self.pipeline.encode_mode,
+            "reactor": self.reactor.health(),
             "failed": repr(failure) if failure else None,
         }
 
@@ -298,6 +335,7 @@ class Ginja:
         transport: ObjectStore | None = None,
         encode_stage: EncodeStage | None = None,
         download_pool: EncodeStage | None = None,
+        reactor: UploadReactor | None = None,
     ) -> tuple["Ginja", RecoveryReport]:
         """Rebuild the database files from the cloud and return a mounted
         Ginja ready to protect the recovered database.
@@ -329,6 +367,7 @@ class Ginja:
             transport=transport,
             encode_stage=encode_stage,
             download_pool=download_pool,
+            reactor=reactor,
         )
         if on_event is not None:
             ginja.bus.subscribe(on_event, kinds=RECOVERY_EVENT_KINDS)

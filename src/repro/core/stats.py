@@ -31,6 +31,11 @@ class GinjaStats:
     gc_deletes: int = 0
     gc_delete_failures: int = 0
     upload_retries: int = 0
+    #: Encoded WAL objects a poisoned pipeline dropped instead of
+    #: uploading (and the bytes that never reached the cloud) — the
+    #: audit trail for what an abort abandoned.
+    uploads_dropped: int = 0
+    uploads_dropped_bytes: int = 0
     #: How many times a DBMS write blocked on the Safety limit, and for
     #: how long in total.
     blocks: int = 0
@@ -76,6 +81,7 @@ class GinjaStats:
         events.DB_OBJECT, events.DUMP_COMPLETE, events.CHECKPOINT_END,
         events.COMMIT_BLOCKED, events.COMMIT_UNBLOCKED, events.CODEC,
         events.OBJECT_RESTORED, events.RECOVERY_DONE, events.ENCODE_MODE,
+        events.UPLOAD_DROPPED,
     })
 
     def attach(self, bus: EventBus) -> "GinjaStats":
@@ -115,6 +121,8 @@ class GinjaStats:
             return {"recoveries": 1}
         if kind == events.ENCODE_MODE:
             return {"encode_mode_switches": 1}
+        if kind == events.UPLOAD_DROPPED:
+            return {"uploads_dropped": 1, "uploads_dropped_bytes": event.nbytes}
         return None
 
     def handle_event(self, event: Event) -> None:

@@ -4,12 +4,13 @@ Ownership is split exactly along :class:`~repro.core.config
 .SharedPoolConfig` / :class:`~repro.core.config.TenantPolicy` lines:
 
 * **Fleet-owned (one per process):** the encoder pool, the recovery
-  download pool, the transport stack (tracing → retry → meter over the
-  shared backend), the fleet event bus, the per-tenant meter bank and
-  stats rollup.
-* **Tenant-owned (one per database):** the commit pipeline and its
-  uploader threads, the checkpointer, the codec (per-tenant keys), the
-  cloud view, and a tenant-scoped event bus.
+  download pool, the upload reactor (one event-loop thread driving
+  every tenant's WAL and checkpoint PUTs), the transport stack
+  (tracing → retry → meter over the shared backend), the fleet event
+  bus, the per-tenant meter bank and stats rollup.
+* **Tenant-owned (one per database):** the commit pipeline, the
+  checkpointer, the codec (per-tenant keys), the cloud view, and a
+  tenant-scoped event bus.
 
 Each tenant sees the shared bucket through a
 :class:`~repro.cloud.prefix.PrefixedObjectStore` under
@@ -41,6 +42,7 @@ from repro.cloud.interface import ObjectStore
 from repro.cloud.metering import TenantMeterBank
 from repro.cloud.prefix import PrefixedObjectStore, tenant_of_key, tenant_prefix
 from repro.cloud.pricing import PriceBook, S3_STANDARD_2017
+from repro.cloud.reactor import UploadReactor
 from repro.cloud.transport import build_transport
 from repro.costmodel.attribution import FleetBill, attribute_fleet_costs
 from repro.db.profiles import DBMSProfile
@@ -150,6 +152,15 @@ class FleetManager:
         self.download_pool = EncodeStage(
             self.shared.downloaders, name="fleet-downloader"
         )
+        #: One upload reactor for every tenant's WAL and checkpoint PUTs
+        #: (fleet-owned exactly like the encode pool: tenants attach
+        #: fair-share lanes, the event loop owns the in-flight window).
+        self.reactor = UploadReactor(
+            inflight_window=self.shared.reactor_inflight,
+            io_threads=self.shared.reactor_io_threads,
+            clock=clock,
+            name="ginja-reactor",
+        )
         #: Store-time zero of the fleet's metering window (billing
         #: ``at`` stamps and :meth:`elapsed` are relative to this).
         self.epoch = clock.now()
@@ -169,6 +180,7 @@ class FleetManager:
             raise GinjaError("fleet already started")
         self.encode_pool.start()
         self.download_pool.start()
+        self.reactor.start()
         self._started = True
 
     def stop_all(self, drain_timeout: float = 30.0) -> None:
@@ -187,6 +199,8 @@ class FleetManager:
                     first_failure = exc
         self.encode_pool.stop()
         self.download_pool.stop()
+        if self.reactor.alive:
+            self.reactor.stop()
         self._started = False
         if first_failure is not None:
             raise first_failure
@@ -244,6 +258,7 @@ class FleetManager:
                 transport=store,
                 encode_stage=self.encode_pool,
                 download_pool=self.download_pool,
+                reactor=self.reactor,
             )
             self._tenants[tenant_id] = ginja
         try:
@@ -329,6 +344,7 @@ class FleetManager:
             transport=store,
             encode_stage=self.encode_pool,
             download_pool=self.download_pool,
+            reactor=self.reactor,
         )
         with self._lock:
             self._tenants[tenant_id] = ginja
@@ -364,6 +380,9 @@ class FleetManager:
             },
             "download_queue_depth": self.download_pool.queue_depth(),
             "uploads": self.uploads.snapshot(),
+            #: In-flight / queued / backoff counts per tenant lane, from
+            #: the shared upload reactor.
+            "reactor": self.reactor.health(),
         }
 
     def fsck_sweep(self) -> FleetAuditReport:

@@ -1,0 +1,365 @@
+"""Unit tests for the shared upload reactor (repro.cloud.reactor).
+
+The reactor is the one event-loop thread driving every tenant's WAL and
+checkpoint PUTs, so these tests pin exactly the properties the pipeline
+and fleet rely on: the bounded global window, per-lane fair-share
+admission, backoff bookkeeping without parked threads, the two cancel
+flavours (poison drops queued work only; abort interrupts in-flight
+PUTs), crash poisoning every attached lane, and a stop() that leaves no
+``ginja-`` threads behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.cloud.memory import InMemoryObjectStore
+from repro.cloud.reactor import UploadReactor
+from repro.cloud.retry import RetryLayer, RetryPolicy
+from repro.common.clock import ManualClock
+from repro.common.errors import CloudUnavailable, GinjaError
+from repro.common.events import EventBus
+
+
+class GatedStore(InMemoryObjectStore):
+    """An async store whose PUTs park (as loop timers) until released."""
+
+    def __init__(self):
+        super().__init__()
+        self.release = threading.Event()
+        self.concurrent = 0
+        self.peak = 0
+
+    async def aput(self, key, data):
+        # Runs on the reactor loop thread only, so plain ints are safe.
+        self.concurrent += 1
+        self.peak = max(self.peak, self.concurrent)
+        try:
+            while not self.release.is_set():
+                await asyncio.sleep(0.001)
+        finally:
+            self.concurrent -= 1
+        self.put(key, data)
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+@pytest.fixture
+def reactor():
+    r = UploadReactor(inflight_window=4, io_threads=2)
+    r.start()
+    yield r
+    if r.alive:
+        r.stop()
+
+
+class TestWindows:
+    def test_global_window_bounds_inflight(self, reactor):
+        store = GatedStore()
+        reactor.attach("a", window=64)
+        handles = [
+            reactor.submit(store, f"k{i}", b"x", tenant="a") for i in range(12)
+        ]
+        assert wait_for(lambda: reactor.health()["inflight"] == 4)
+        health = reactor.health()
+        assert health["queued"] == 8
+        assert store.peak <= 4
+        store.release.set()
+        for handle in handles:
+            assert handle.wait(5.0) and handle.ok
+        assert store.peak == 4
+        assert len(store) == 12
+
+    def test_lane_window_caps_one_tenant(self, reactor):
+        store = GatedStore()
+        reactor.attach("hot", window=2)
+        reactor.attach("cold", window=2)
+        hot = [
+            reactor.submit(store, f"h{i}", b"x", tenant="hot")
+            for i in range(10)
+        ]
+        # The hot tenant may not hog the global window: its lane caps it
+        # at 2 even though 4 global slots exist.
+        assert wait_for(
+            lambda: reactor.health()["tenants"]["hot"]["inflight"] == 2
+        )
+        cold = reactor.submit(store, "c0", b"x", tenant="cold")
+        assert wait_for(
+            lambda: reactor.health()["tenants"]["cold"]["inflight"] == 1
+        )
+        store.release.set()
+        for handle in [*hot, cold]:
+            assert handle.wait(5.0) and handle.ok
+
+    def test_attach_refcounts_and_window_max(self, reactor):
+        reactor.attach("t", window=2)
+        reactor.attach("t", window=6)  # pipeline + checkpointer share
+        assert reactor.health()["tenants"]["t"]["window"] == 6
+        reactor.detach("t")
+        assert "t" in reactor.health()["tenants"]
+        reactor.detach("t")
+        assert "t" not in reactor.health()["tenants"]
+
+    def test_submit_requires_attached_lane(self, reactor):
+        with pytest.raises(GinjaError, match="not attached"):
+            reactor.submit(InMemoryObjectStore(), "k", b"x", tenant="ghost")
+
+
+class TestCancel:
+    def test_cancel_queued_only_lets_inflight_finish(self, reactor):
+        store = GatedStore()
+        reactor.attach("t", window=1)
+        seen = []
+        handles = [
+            reactor.submit(store, f"k{i}", b"x", tenant="t",
+                           on_done=seen.append)
+            for i in range(3)
+        ]
+        assert wait_for(lambda: store.concurrent == 1)
+        reactor.cancel("t", queued_only=True)
+        # The two queued submissions resolve cancelled, with on_done.
+        assert handles[1].wait(5.0) and handles[1].cancelled
+        assert handles[2].wait(5.0) and handles[2].cancelled
+        # The in-flight PUT was not interrupted: it completes once
+        # released, to its own verdict.
+        assert not handles[0].done
+        store.release.set()
+        assert handles[0].wait(5.0) and handles[0].ok
+        assert wait_for(lambda: len(seen) == 3)
+
+    def test_full_cancel_interrupts_inflight(self, reactor):
+        store = GatedStore()
+        reactor.attach("t", window=1)
+        handle = reactor.submit(store, "k", b"x", tenant="t")
+        assert wait_for(lambda: store.concurrent == 1)
+        reactor.cancel("t")
+        assert handle.wait(5.0)
+        assert handle.cancelled and not handle.ok
+        assert "k" not in store.snapshot()
+
+    def test_cancel_spares_other_lanes(self, reactor):
+        store = GatedStore()
+        reactor.attach("a", window=1)
+        reactor.attach("b", window=1)
+        doomed = reactor.submit(store, "a0", b"x", tenant="a")
+        spared = reactor.submit(store, "b0", b"x", tenant="b")
+        assert wait_for(lambda: store.concurrent == 2)
+        reactor.cancel("a")
+        assert doomed.wait(5.0) and doomed.cancelled
+        assert not spared.done
+        store.release.set()
+        assert spared.wait(5.0) and spared.ok
+
+
+class TestCrash:
+    def test_crash_poisons_every_attached_lane(self, reactor):
+        store = GatedStore()
+        fatals: list[BaseException] = []
+        reactor.attach("a", window=1, on_fatal=fatals.append)
+        reactor.attach("b", window=1, on_fatal=fatals.append)
+        inflight = reactor.submit(store, "a0", b"x", tenant="a")
+        reactor.attach("c", window=1)
+        queued = [
+            reactor.submit(store, f"c{i}", b"x", tenant="c")
+            for i in range(3)
+        ]
+        assert wait_for(lambda: store.concurrent >= 1)
+        boom = RuntimeError("loop died")
+        reactor.crash(boom)
+        assert not reactor.alive
+        assert len(fatals) == 2 and all(f is boom for f in fatals)
+        assert inflight.wait(5.0) and inflight.error is boom
+        for handle in queued:
+            assert handle.wait(5.0) and handle.error is boom
+        with pytest.raises(GinjaError, match="dead"):
+            reactor.submit(store, "k", b"x", tenant="a")
+
+    def test_wait_idle_reports_failure_after_crash(self, reactor):
+        store = GatedStore()
+        reactor.attach("t", window=1)
+        reactor.submit(store, "k", b"x", tenant="t")
+        assert wait_for(lambda: store.concurrent == 1)
+        reactor.crash()
+        assert reactor.wait_idle("t", timeout=1.0) is False
+
+
+class TestStop:
+    def test_stop_fails_queued_and_retires_threads(self):
+        reactor = UploadReactor(inflight_window=1, io_threads=2)
+        reactor.start()
+        store = GatedStore()
+        reactor.attach("t", window=1)
+        inflight = reactor.submit(store, "k0", b"x", tenant="t")
+        queued = reactor.submit(store, "k1", b"x", tenant="t")
+        assert wait_for(lambda: store.concurrent == 1)
+        reactor.stop()
+        assert queued.wait(5.0) and isinstance(queued.error, GinjaError)
+        assert inflight.wait(5.0) and not inflight.ok
+        assert not reactor.alive
+        lingering = [
+            t.name for t in threading.enumerate()
+            if t.name.startswith("ginja-reactor")
+        ]
+        assert lingering == []
+        with pytest.raises(GinjaError, match="not running"):
+            reactor.submit(store, "k2", b"x", tenant="t")
+
+    def test_blocking_put_override_does_not_wedge_the_loop(self):
+        # InMemoryObjectStore.aput inlines the dict insert on the loop
+        # thread — but only for the pristine put.  A subclass whose put
+        # blocks (every fault-model store in the benchmarks) must be
+        # bridged off the loop, or one stalled PUT serializes the whole
+        # reactor.
+        class StallsFirst(InMemoryObjectStore):
+            def __init__(self):
+                super().__init__()
+                self.release = threading.Event()
+                self._n = 0
+                self._lock = threading.Lock()
+
+            def put(self, key, data):
+                with self._lock:
+                    self._n += 1
+                    first = self._n == 1
+                if first:
+                    self.release.wait(timeout=10.0)
+                super().put(key, data)
+
+        reactor = UploadReactor(inflight_window=3, io_threads=4)
+        reactor.start()
+        store = StallsFirst()
+        try:
+            reactor.attach("t", window=3)
+            handles = [
+                reactor.submit(store, f"k{i}", b"x", tenant="t")
+                for i in range(3)
+            ]
+            # The stalled first PUT must not stop the other two.
+            assert wait_for(lambda: handles[1].done and handles[2].done)
+            assert not handles[0].done
+        finally:
+            store.release.set()
+            for handle in handles:
+                assert handle.wait(5.0) and handle.ok
+            reactor.stop()
+
+    def test_executor_bridges_sync_only_stores(self):
+        # A store with no native aput still uploads — through the
+        # reactor's bounded executor, not a per-upload thread.
+        class SyncOnly:
+            def __init__(self):
+                self.inner = InMemoryObjectStore()
+
+            def put(self, key, data):
+                self.inner.put(key, data)
+
+        reactor = UploadReactor(inflight_window=2, io_threads=2)
+        reactor.start()
+        try:
+            reactor.attach("t", window=2)
+            store = SyncOnly()
+            handles = [
+                reactor.submit(store, f"k{i}", b"x", tenant="t")
+                for i in range(6)
+            ]
+            for handle in handles:
+                assert handle.wait(5.0) and handle.ok
+            assert len(store.inner) == 6
+        finally:
+            reactor.stop()
+
+
+class TestBackoffBookkeeping:
+    def test_retries_ride_loop_timers_and_feed_the_gauge(self, reactor):
+        class Flaky(InMemoryObjectStore):
+            def __init__(self, failures):
+                super().__init__()
+                self.failures = failures
+                self.attempts = 0
+
+            def put(self, key, data):
+                self.attempts += 1
+                if self.attempts <= self.failures:
+                    raise CloudUnavailable("injected")
+                super().put(key, data)
+
+        store = Flaky(2)
+        layer = RetryLayer(
+            store, RetryPolicy(max_retries=5, base_backoff=1.0, jitter=0.0),
+            clock=ManualClock(), bus=EventBus(),
+        )
+        reactor.attach("t", window=1)
+        handle = reactor.submit(layer, "k", b"x", tenant="t")
+        assert handle.wait(5.0) and handle.ok
+        health = reactor.health()["tenants"]["t"]
+        assert health["retries"] == 2
+        assert health["backoffs"] == 0  # gauge returns to zero
+        assert store.attempts == 3
+
+
+class TestRetryBudgetsUnderConcurrency:
+    def test_same_key_puts_keep_private_budgets(self, reactor):
+        """Two concurrent PUTs of the same key: one exhausts its PUT
+        budget and fails, the other succeeds — budgets are per-request,
+        and the loser's exhaustion neither cancels nor corrupts the
+        winner still in flight."""
+
+        class KeyedFailures(InMemoryObjectStore):
+            def __init__(self):
+                super().__init__()
+                self.bad_attempts = 0
+
+            def put(self, key, data):
+                if data == b"bad":
+                    self.bad_attempts += 1
+                    raise CloudUnavailable("permanently failing payload")
+                super().put(key, data)
+
+        store = KeyedFailures()
+        bus = EventBus()
+        retries = []
+        bus.subscribe(retries.append, kinds={"retry"})
+        layer = RetryLayer(
+            store, RetryPolicy(max_retries=2, base_backoff=1.0, jitter=0.0),
+            clock=ManualClock(), bus=bus,
+        )
+        reactor.attach("t", window=2)
+        doomed = reactor.submit(layer, "k", b"bad", tenant="t")
+        winner = reactor.submit(layer, "k", b"good", tenant="t")
+        assert doomed.wait(5.0)
+        assert isinstance(doomed.error, CloudUnavailable)
+        assert winner.wait(5.0) and winner.ok
+        # Exhaustion is exact: budget+1 attempts for the poison PUT.
+        assert store.bad_attempts == 3
+        assert len(retries) == 2
+        assert store.get("k") == b"good"
+        # The lane is clean afterwards — the next PUT is unaffected.
+        after = reactor.submit(layer, "k2", b"fine", tenant="t")
+        assert after.wait(5.0) and after.ok
+
+
+class TestHealth:
+    def test_health_shape(self, reactor):
+        reactor.attach("t", window=3)
+        health = reactor.health()
+        assert health["running"] is True
+        assert health["window"] == 4
+        assert health["io_threads"] == 2
+        assert health["inflight"] == 0
+        assert health["queued"] == 0
+        lane = health["tenants"]["t"]
+        assert lane == {
+            "queued": 0, "inflight": 0, "backoffs": 0, "retries": 0,
+            "window": 3,
+        }

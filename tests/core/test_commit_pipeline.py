@@ -11,7 +11,7 @@ import time
 
 import pytest
 
-from repro.common.errors import GinjaError
+from repro.common.errors import CloudUnavailable, GinjaError
 from repro.common.events import EventBus
 from repro.cloud.faults import FaultPolicy
 from repro.cloud.memory import InMemoryObjectStore
@@ -397,6 +397,48 @@ class TestFailureHandling:
         finally:
             with pytest.raises(GinjaError):
                 pipe.stop(drain_timeout=0.1)
+
+    def test_poisoned_drop_path_counts_upload_dropped(self):
+        """Every blob the poisoned uploader abandons must be accounted:
+        the drop path emits ``upload_dropped`` with the byte count, and
+        GinjaStats tallies both the events and the bytes.  Before this
+        event existed, an abort against a dead cloud silently discarded
+        the backlog — RPO triage had no record of what never made it."""
+
+        class DeadStore(InMemoryObjectStore):
+            def put(self, key, data):
+                raise CloudUnavailable("permanently down")
+
+        config = GinjaConfig(batch=1, safety=50, batch_timeout=0.01,
+                             safety_timeout=5.0, uploaders=1,
+                             max_retries=1, retry_backoff=0.001)
+        pipe, _backend, _view, stats = make_pipeline(
+            config, backend=DeadStore()
+        )
+        pipe.start()
+        try:
+            for i in range(20):
+                try:
+                    pipe.submit("seg", i * 512, b"u" * 64)
+                except GinjaError:
+                    break  # poisoned while we were still submitting
+            deadline = time.monotonic() + 5
+            while pipe.failed is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pipe.failed is not None
+        finally:
+            pipe.abort()
+        # The first batch burned its retry budget and poisoned the
+        # pipeline; everything encoded behind it was dropped cold, and
+        # each drop carries its blob size into the counters.
+        deadline = time.monotonic() + 5
+        while stats.uploads_dropped == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert stats.uploads_dropped >= 1
+        assert stats.uploads_dropped_bytes > 0
+        snap = stats.snapshot()
+        assert snap["uploads_dropped"] == stats.uploads_dropped
+        assert snap["uploads_dropped_bytes"] == stats.uploads_dropped_bytes
 
 
 class TestConcurrency:

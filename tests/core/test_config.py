@@ -127,3 +127,64 @@ class TestSharedPolicySplit:
             SharedPoolConfig(downloaders=0)
         with pytest.raises(ConfigError):
             SharedPoolConfig(retry_jitter=2.0)
+
+
+class TestWindowValidationSymmetry:
+    """Both config halves reject zero windows eagerly (the old
+    asymmetry: GinjaConfig validated and TenantPolicy did not, so a
+    bad policy only surfaced at compose time inside add_tenant)."""
+
+    def test_shared_reactor_window_positive(self):
+        with pytest.raises(ConfigError, match="reactor_inflight"):
+            SharedPoolConfig(reactor_inflight=0)
+
+    def test_shared_reactor_io_threads_positive(self):
+        with pytest.raises(ConfigError, match="reactor_io_threads"):
+            SharedPoolConfig(reactor_io_threads=0)
+
+    def test_ginja_reactor_window_positive(self):
+        with pytest.raises(ConfigError, match="reactor_inflight"):
+            GinjaConfig(reactor_inflight=0)
+        with pytest.raises(ConfigError, match="reactor_io_threads"):
+            GinjaConfig(reactor_io_threads=0)
+
+    def test_policy_uploaders_positive(self):
+        with pytest.raises(ConfigError, match="uploaders"):
+            TenantPolicy(uploaders=0)
+
+    def test_policy_batch_and_safety_positive(self):
+        with pytest.raises(ConfigError):
+            TenantPolicy(batch=0)
+        with pytest.raises(ConfigError):
+            TenantPolicy(safety=0, batch=1)
+        with pytest.raises(ConfigError):
+            TenantPolicy(batch=100, safety=50)
+
+    def test_policy_timeouts_positive(self):
+        with pytest.raises(ConfigError):
+            TenantPolicy(batch_timeout=0)
+        with pytest.raises(ConfigError):
+            TenantPolicy(safety_timeout=-1)
+
+    def test_policy_dispatch_and_object_cap(self):
+        with pytest.raises(ConfigError):
+            TenantPolicy(encode_dispatch="telepathy")
+        with pytest.raises(ConfigError):
+            TenantPolicy(max_object_bytes=1024)
+
+    def test_policy_encryption_requires_password(self):
+        with pytest.raises(ConfigError):
+            TenantPolicy(encrypt=True)
+
+    def test_policy_dump_threshold_floor(self):
+        with pytest.raises(ConfigError):
+            TenantPolicy(dump_threshold=0.5)
+
+    def test_valid_policy_still_composes(self):
+        config = GinjaConfig.compose(
+            SharedPoolConfig(reactor_inflight=16, reactor_io_threads=2),
+            TenantPolicy(batch=5, safety=50, uploaders=3),
+        )
+        assert config.reactor_inflight == 16
+        assert config.reactor_io_threads == 2
+        assert config.uploaders == 3

@@ -8,6 +8,9 @@ machine → verify the state.
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from repro.common.errors import GinjaError
@@ -503,5 +506,52 @@ class TestMultiCloud:
         try:
             for i in range(15):
                 assert db2.get("t", f"k{i}") == b"v"
+        finally:
+            ginja2.stop()
+
+
+class TestReactorCrashMidStream:
+    def test_reactor_crash_poisons_pipeline_and_rpo_holds(self, cloud):
+        """Chaos drill: the upload reactor's loop thread dies with work
+        in motion.  The pipeline must poison (no hang, no silent loss of
+        the error), further commits must fail fast, and every batch that
+        was acked before the crash must recover from the cloud alone."""
+        profile = POSTGRES_PROFILE
+        ginja, db = fresh_protected_db(profile, cloud)
+        # Phase 1: acked work — the RPO promise covers exactly this.
+        for i in range(40):
+            db.put("t", f"acked{i}", b"1")
+        assert ginja.drain(timeout=10.0)
+        # Phase 2: more commits in motion, then the loop thread dies.
+        for i in range(10):
+            db.put("t", f"limbo{i}", b"2")
+        boom = RuntimeError("reactor loop died mid-stream")
+        ginja.reactor.crash(boom)
+        assert not ginja.reactor.alive
+        # The lane's on_fatal poisons the pipeline; commits now raise.
+        deadline = time.monotonic() + 5
+        while ginja.pipeline.failed is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert ginja.pipeline.failed is not None
+        with pytest.raises(GinjaError):
+            for i in range(100):
+                db.put("t", f"after{i}", b"3")
+        assert not ginja.drain(timeout=0.5)
+        # Declare the primary lost; a dead reactor must not wedge crash()
+        # or leave its loop/io threads behind.
+        ginja.crash()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline and any(
+            t.name.startswith("ginja-") for t in threading.enumerate()
+        ):
+            time.sleep(0.01)
+        assert not any(
+            t.name.startswith("ginja-") for t in threading.enumerate()
+        )
+        # RPO: everything acked before the crash survives the disaster.
+        ginja2, db2, _ = recover_db(cloud, profile)
+        try:
+            for i in range(40):
+                assert db2.get("t", f"acked{i}") == b"1"
         finally:
             ginja2.stop()

@@ -339,4 +339,39 @@ class TestFleetMetering:
         assert health["tenants"]["h1"]["running"]
         assert "encode_queue_depth" in health
         assert "puts_observed" in health["uploads"]
+        reactor = health["reactor"]
+        assert reactor["running"]
+        assert "h1" in reactor["tenants"]
+        lane = reactor["tenants"]["h1"]
+        assert {"queued", "inflight", "backoffs", "retries"} <= set(lane)
         db.close()
+
+
+class TestReactorOwnership:
+    """The fleet owns ONE upload reactor; tenants get lanes, not threads."""
+
+    def test_upload_threads_stay_constant_as_tenants_scale(self, fleet):
+        def named(prefix):
+            return [
+                t.name for t in threading.enumerate()
+                if t.is_alive() and t.name.startswith(prefix)
+            ]
+
+        tenants = [admit(fleet, f"s{i}") for i in range(6)]
+        for i, (_, db) in enumerate(tenants):
+            commit_rows(db, f"s{i}", 8)
+        for ginja, _ in tenants:
+            assert ginja.drain(timeout=30.0)
+
+        # One event-loop thread drives every tenant's PUTs; the old
+        # design would be holding 6 x uploaders dedicated threads here.
+        reactorish = named("ginja-reactor")
+        assert reactorish.count("ginja-reactor") == 1
+        assert named("ginja-uploader") == []
+        # The executor bridge is bounded by config, not by tenant count
+        # (and idle with a native-async store: workers spawn lazily).
+        io = [n for n in reactorish if n.startswith("ginja-reactor-io")]
+        assert len(io) <= fleet.shared.reactor_io_threads
+
+        for _, db in tenants:
+            db.close()

@@ -35,6 +35,7 @@ from repro.chaos.crashpoints import (
 from repro.chaos.drill import DrillResult, run_drill
 from repro.chaos.oracles import OracleVerdict, run_oracles
 from repro.chaos.scenarios import SCENARIOS, ErrorBurst, Scenario
+from repro.chaos.tuner_drill import TunerDrillResult, run_tuner_drill
 
 __all__ = [
     "CampaignReport",
@@ -49,7 +50,9 @@ __all__ = [
     "run_campaign",
     "run_drill",
     "run_oracles",
+    "run_tuner_drill",
     "Scenario",
     "SCENARIOS",
     "shrink_failure",
+    "TunerDrillResult",
 ]

@@ -390,6 +390,49 @@ def cmd_placement(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_tuner(args: argparse.Namespace) -> int:
+    """Adaptive batch tuner: latency-shift re-convergence drill.
+
+    Runs the :mod:`repro.chaos.tuner_drill` once per seed: converge at
+    the nominal batch size, slow the simulated provider mid-run, and
+    verify the controller shrinks B/S until commit latency re-enters the
+    hysteresis band — with projected spend inside the monthly budget and
+    the recovered database byte-identical (RPO 0).  Exit 0 only if every
+    check of every drill passes.  ``--out`` writes the canonical JSON
+    report, byte-identical across reruns of the same seeds (the CI
+    determinism check relies on this).
+    """
+    from repro.chaos.tuner_drill import run_tuner_drill
+
+    results = []
+    for seed in (args.seed or [0]):
+        result = run_tuner_drill(
+            seed=seed,
+            rows_before=args.rows_before,
+            rows_after=args.rows_after,
+            shift_factor=args.shift_factor,
+        )
+        print(result.summary())
+        for name, detail in sorted(result.details.items()):
+            print(f"    {name}: {detail}", file=sys.stderr)
+        results.append(result)
+
+    report = json.dumps(
+        [result.canonical() for result in results],
+        indent=2, sort_keys=True,
+    )
+    if args.json:
+        print(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"report written to {args.out}")
+    failed = sum(1 for result in results if not result.ok)
+    if failed:
+        print(f"{failed}/{len(results)} drill(s) FAILED", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def cmd_fleet(args: argparse.Namespace) -> int:
     """Drive a simulated multi-tenant fleet over one shared bucket.
 
@@ -795,6 +838,26 @@ def build_parser() -> argparse.ArgumentParser:
                            help="synchronizations for --costs "
                                 "(default 43200: one per minute)")
     placement.set_defaults(func=cmd_placement)
+
+    tuner = sub.add_parser(
+        "tuner",
+        help="adaptive batch tuner: latency-shift re-convergence drill",
+    )
+    tuner.add_argument("--seed", type=int, action="append", default=[],
+                       help="drill seed; repeatable (default one run "
+                            "at seed 0)")
+    tuner.add_argument("--rows-before", type=int, default=64,
+                       help="rows committed before the latency shift "
+                            "(default 64)")
+    tuner.add_argument("--rows-after", type=int, default=192,
+                       help="rows committed after the shift (default 192)")
+    tuner.add_argument("--shift-factor", type=float, default=10.0,
+                       help="mid-run PUT throughput divisor (default 10)")
+    tuner.add_argument("--json", action="store_true",
+                       help="print the canonical JSON report to stdout")
+    tuner.add_argument("--out", default="",
+                       help="write the canonical JSON report to this path")
+    tuner.set_defaults(func=cmd_tuner)
 
     return parser
 

@@ -38,10 +38,14 @@ class PriceBook:
         """Charge for keeping ``gb`` stored for ``months``."""
         return gb * months * self.storage_gb_month
 
-    def put_cost(self, count: int) -> float:
+    def put_cost(self, count: float) -> float:
+        """Charge for ``count`` PUTs.  Accepts fractional counts: rate
+        projections (syncs/hour x hours/month) are rarely whole, and
+        truncating them here made :meth:`BudgetFrontier.affordable` and
+        ``max_syncs_per_hour`` disagree near the frontier."""
         return count * self.put_per_1000 / 1000.0
 
-    def get_cost(self, count: int) -> float:
+    def get_cost(self, count: float) -> float:
         return count * self.get_per_10000 / 10000.0
 
     def egress_cost(self, gb: float, same_region: bool = False) -> float:

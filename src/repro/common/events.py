@@ -67,6 +67,11 @@ ENCODE_DONE = "encode_done"
 #: and pooled encoding; ``detail`` is ``"<from>-><to>: <reason>"`` and
 #: ``key`` the lane (tenant) name.
 ENCODE_MODE = "encode_mode"
+#: The adaptive batch tuner retuned one tenant's effective B/S/T_B;
+#: ``key`` is the lane (tenant) name, ``count`` the new effective B,
+#: ``total`` the new effective S, and ``detail`` a
+#: ``"B a->b S c->d tb xNN%: <reason>"`` narration.
+TUNER_RETUNE = "tuner_retune"
 #
 # Checkpointer events (emitted by repro.core.checkpointer):
 CHECKPOINT_BEGIN = "checkpoint_begin"

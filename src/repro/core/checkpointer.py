@@ -47,6 +47,7 @@ from repro.core.data_model import (
     encode_dump_payload,
 )
 from repro.core.encode_stage import EncodeStage
+from repro.core.tuner import BatchTuner
 from repro.cloud.interface import ObjectStore
 from repro.cloud.reactor import UploadReactor
 from repro.db.profiles import DBMSProfile
@@ -79,8 +80,13 @@ class CheckpointCollector:
         bus: EventBus | None = None,
         encode_stage: EncodeStage | None = None,
         lane: str = "",
+        tuner: BatchTuner | None = None,
     ):
         self._config = config
+        #: The tenant's batch tuner, when one is running: the dump
+        #: threshold consults it, so a budget-limited tenant defers the
+        #: most PUT-expensive object class (full dumps).
+        self._tuner = tuner
         #: Fair-share lane in the (shared) encode stage.
         self._lane = lane
         self._codec = codec
@@ -134,7 +140,10 @@ class CheckpointCollector:
         self._active = False
         local_db_size = self._local_db_bytes()
         cloud_db_size = self._view.total_db_bytes()
-        if cloud_db_size >= self._config.dump_threshold * local_db_size:
+        threshold = self._config.dump_threshold
+        if self._tuner is not None:
+            threshold = self._tuner.dump_threshold(threshold)
+        if cloud_db_size >= threshold * local_db_size:
             pending = self._build_dump()
         else:
             pending = self._build_incremental()
@@ -253,10 +262,14 @@ class CheckpointUploader:
         clock: Clock = SYSTEM_CLOCK,
         reactor: UploadReactor | None = None,
         lane: str = "",
+        tuner: BatchTuner | None = None,
     ):
         self._config = config
         self._cloud = cloud
         self._view = view
+        #: The tenant's batch tuner, when one is running: every DB-object
+        #: PUT is counted toward its monthly spend projection.
+        self._tuner = tuner
         self._bus = bus or NULL_BUS
         self._clock = clock
         #: Shared upload reactor: DB-object PUTs ride the same loop as
@@ -426,6 +439,8 @@ class CheckpointUploader:
                     raise handle.error
                 if handle.cancelled:
                     raise GinjaError(f"checkpoint upload cancelled: {meta.key}")
+                if self._tuner is not None:
+                    self._tuner.observe_put()
                 self._bus.emit(
                     events.DB_OBJECT, key=meta.key, nbytes=handle.nbytes,
                     detail=pending.type,
@@ -435,6 +450,8 @@ class CheckpointUploader:
                 # A CloudError here means the transport's PUT budget is
                 # exhausted; it propagates and kills the checkpointer.
                 self._cloud.put(meta.key, blob)
+                if self._tuner is not None:
+                    self._tuner.observe_put()
                 self._bus.emit(
                     events.DB_OBJECT, key=meta.key, nbytes=len(blob),
                     detail=pending.type,

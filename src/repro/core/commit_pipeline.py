@@ -84,6 +84,7 @@ from repro.core.encode_stage import (
     DispatchController,
     EncodeStage,
 )
+from repro.core.tuner import BatchTuner
 from repro.cloud.interface import ObjectStore
 from repro.cloud.reactor import UploadHandle, UploadReactor
 
@@ -190,6 +191,15 @@ class CommitPipeline:
             clock=clock,
             bus=self._bus,
         )
+        #: Adaptive B/S/T_B controller; ``None`` unless the config sets
+        #: a commit-latency target, in which case the wait/claim limits
+        #: below consult it instead of the frozen policy values.  The
+        #: nominal config stays the ceiling (the tuner only shrinks),
+        #: so the S + B + 1 loss bound is unchanged by any retune.
+        self.tuner: BatchTuner | None = None
+        if config.target_commit_latency is not None:
+            self.tuner = BatchTuner(config, clock=clock, bus=self._bus,
+                                    lane=lane)
 
         self._cond = threading.Condition()
         self._entries: deque[_Entry] = deque()
@@ -336,6 +346,25 @@ class CommitPipeline:
         with self._cond:
             return len(self._entries)
 
+    # Effective knobs: the tuner's view when one is attached, the frozen
+    # policy otherwise.  Callers hold the pipeline condition; the tuner
+    # lock nests inside it (pipeline cond → tuner lock, the same order
+    # as the dispatch controller's).
+
+    def _batch_limit(self) -> int:
+        return self._config.batch if self.tuner is None else self.tuner.batch()
+
+    def _safety_limit(self) -> int:
+        return (
+            self._config.safety if self.tuner is None else self.tuner.safety()
+        )
+
+    def _batch_timeout(self) -> float:
+        timeout = self._config.effective_batch_timeout(self._clock.now())
+        if self.tuner is not None:
+            timeout *= self.tuner.timeout_scale()
+        return timeout
+
     # -- DBMS-side entry point ---------------------------------------------------------
 
     def submit(self, path: str, offset: int, data: bytes) -> None:
@@ -351,6 +380,8 @@ class CommitPipeline:
             if self._fatal is not None:
                 raise GinjaError("commit pipeline failed") from self._fatal
             self._entries.append(entry)
+            if self.tuner is not None:
+                self.tuner.observe_depth(len(self._entries))
             if bus.wants(events.QUEUE_DEPTH):
                 bus.emit(
                     events.QUEUE_DEPTH, key=path, count=len(self._entries), at=now,
@@ -359,7 +390,7 @@ class CommitPipeline:
             while True:
                 if self._fatal is not None:
                     raise GinjaError("commit pipeline failed") from self._fatal
-                over_safety = len(self._entries) > self._config.safety
+                over_safety = len(self._entries) > self._safety_limit()
                 ts_expired = bool(self._entries) and (
                     self._clock.now()
                     >= self._entries[0].enqueued_at + self._config.safety_timeout
@@ -422,16 +453,14 @@ class CommitPipeline:
             with self._cond:
                 while not self._stop:
                     available = len(self._entries) - self._claimed
-                    if available >= self._config.batch:
+                    if available >= self._batch_limit():
                         break
                     if available > 0:
                         # Partial batch: sleep exactly until T_B expires
-                        # (recomputed on every wake, so a schedule change
-                        # or a completed sync moving the anchor is seen).
-                        deadline = (
-                            self._tb_anchor
-                            + self._config.effective_batch_timeout()
-                        )
+                        # (recomputed on every wake, so a schedule change,
+                        # a retune, or a completed sync moving the anchor
+                        # is seen).
+                        deadline = self._tb_anchor + self._batch_timeout()
                         remaining = deadline - self._clock.now()
                         if remaining <= 0:
                             break
@@ -443,7 +472,7 @@ class CommitPipeline:
                 if self._stop:
                     return
                 available = len(self._entries) - self._claimed
-                count = min(self._config.batch, available)
+                count = min(self._batch_limit(), available)
                 self._tb_anchor = self._clock.now()
                 start = self._claimed
                 batch = [self._entries[start + i] for i in range(count)]
@@ -453,6 +482,8 @@ class CommitPipeline:
                 self._batch_sizes[batch_id] = count
                 self._claim_at[batch_id] = self._tb_anchor
             mode = self.dispatch.on_batch()
+            if self.tuner is not None:
+                self.tuner.on_claim()
             tasks = self._plan(batch_id, batch)
             self._bus.emit(
                 events.WAL_BATCH, count=count, nbytes=len(tasks),
@@ -622,6 +653,8 @@ class CommitPipeline:
             except BaseException as exc:  # noqa: BLE001 - callback boundary
                 self._poison(exc)
                 return
+            if self.tuner is not None:
+                self.tuner.observe_put()
             self._ack_q.put(batch_id)
             return
         if handle.cancelled:
@@ -681,10 +714,14 @@ class CommitPipeline:
             self._tb_anchor = self._last_sync_end
             claimed_at = self._claim_at.pop(batch_id, None)
             if claimed_at is not None:
-                # Claim→unlock latency is the end-to-end signal the
-                # dispatch controller tunes against (lock order is
-                # always pipeline cond → controller lock).
+                # Claim→unlock latency is the end-to-end signal both
+                # controllers tune against (lock order is always
+                # pipeline cond → controller lock).
                 self.dispatch.observe_unlock(self._last_sync_end - claimed_at)
+                if self.tuner is not None:
+                    self.tuner.observe_commit(
+                        self._last_sync_end - claimed_at
+                    )
             removed = True
             self._bus.emit(
                 events.BATCH_UNLOCKED, count=count, at=self._last_sync_end,

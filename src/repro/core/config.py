@@ -10,6 +10,39 @@ from repro.core.pitr import RetentionPolicy
 from repro.core.schedule import SyncSchedule
 
 
+def _validate_tuner(
+    target: float | None,
+    budget: float | None,
+    window: int,
+    hysteresis: float,
+    safety_timeout: float,
+) -> None:
+    """Cross-field validation of the adaptive-tuner knobs (shared by
+    :class:`TenantPolicy` and the flat :class:`GinjaConfig`)."""
+    if window < 1:
+        raise ConfigError("tuner_window must be >= 1")
+    if hysteresis < 1.0:
+        raise ConfigError("tuner_hysteresis must be >= 1.0")
+    if target is not None:
+        if target <= 0:
+            raise ConfigError("target_commit_latency must be positive")
+        if target >= safety_timeout:
+            # A commit that takes longer than T_S already blocks the
+            # DBMS; a target beyond it could never be observed as met.
+            raise ConfigError(
+                "target_commit_latency must be below safety_timeout"
+            )
+    if budget is not None:
+        if budget <= 0:
+            raise ConfigError("budget_dollars must be positive")
+        if target is None:
+            # The budget is a ceiling *on* the latency controller; alone
+            # it has no error signal to act against.
+            raise ConfigError(
+                "budget_dollars requires target_commit_latency"
+            )
+
+
 def _validate_placement(providers: int, placement: str) -> None:
     """Shared validation of the two placement knobs: the provider count
     must be sane and the spec must parse against it (the parser raises
@@ -140,6 +173,18 @@ class TenantPolicy:
     dump_threshold: float = 1.5
     retention: RetentionPolicy = field(default_factory=RetentionPolicy.none)
     sync_schedule: SyncSchedule | None = None
+    #: Commit-latency target (seconds) the adaptive batch tuner holds
+    #: for this tenant;
+    #: ``None`` disables the tuner and pins the static B/S/T_B above.
+    target_commit_latency: float | None = None
+    #: Monthly dollar ceiling on projected PUT spend; the tuner refuses
+    #: to shrink batches past it.  Requires ``target_commit_latency``.
+    budget_dollars: float | None = None
+    #: Batch claims the tuner observes between retune decisions.
+    tuner_window: int = 8
+    #: Deadband ratio around the latency target: no retune while the
+    #: commit-latency EWMA stays within ``[target/h, target*h]``.
+    tuner_hysteresis: float = 1.25
 
     def __post_init__(self) -> None:
         # Eager validation, mirroring SharedPoolConfig: a bad policy
@@ -172,6 +217,10 @@ class TenantPolicy:
             raise ConfigError("encryption requires a password")
         if self.dump_threshold < 1.0:
             raise ConfigError("dump_threshold below 1.0 would dump constantly")
+        _validate_tuner(
+            self.target_commit_latency, self.budget_dollars,
+            self.tuner_window, self.tuner_hysteresis, self.safety_timeout,
+        )
 
 
 @dataclass
@@ -296,10 +345,24 @@ class GinjaConfig:
     #: hours sync more often for the same monthly PUT budget.
     sync_schedule: SyncSchedule | None = None
 
-    def effective_batch_timeout(self) -> float:
-        """T_B right now (the schedule wins when configured)."""
+    # -- adaptive batch/safety tuner -------------------------------------------
+    #: Commit-latency target (seconds) for :class:`repro.core.tuner
+    #: .BatchTuner`; ``None`` keeps the static B/S/T_B knobs frozen.
+    target_commit_latency: float | None = None
+    #: Monthly dollar ceiling on the tuner's projected PUT spend.
+    budget_dollars: float | None = None
+    #: Batch claims per tuner decision window.
+    tuner_window: int = 8
+    #: Deadband ratio around the latency target (no retune inside it).
+    tuner_hysteresis: float = 1.25
+
+    def effective_batch_timeout(self, now: float | None = None) -> float:
+        """T_B at session-clock time ``now`` (the schedule wins when
+        configured).  Callers with a clock pass their reading so the
+        hour of day derives from the session clock, not the host's —
+        omitting it falls back to the schedule's ``hour_fn``."""
         if self.sync_schedule is not None:
-            return self.sync_schedule.current_timeout()
+            return self.sync_schedule.current_timeout(now)
         return self.batch_timeout
 
     def resolve_encode_dispatch(self) -> str:
@@ -363,6 +426,10 @@ class GinjaConfig:
             raise ConfigError("reactor_inflight must be >= 1")
         if self.reactor_io_threads < 1:
             raise ConfigError("reactor_io_threads must be >= 1")
+        _validate_tuner(
+            self.target_commit_latency, self.budget_dollars,
+            self.tuner_window, self.tuner_hysteresis, self.safety_timeout,
+        )
         _validate_placement(self.providers, self.placement)
 
     @classmethod
@@ -389,6 +456,8 @@ class GinjaConfig:
         "encode_inline", "encode_dispatch", "max_object_bytes",
         "coalesce_writes", "compress", "encrypt", "password",
         "mac_default_key", "dump_threshold", "retention", "sync_schedule",
+        "target_commit_latency", "budget_dollars", "tuner_window",
+        "tuner_hysteresis",
     )
 
     def shared(self) -> SharedPoolConfig:

@@ -160,7 +160,7 @@ class Ginja:
         )
         self.checkpointer = CheckpointUploader(
             self.config, self.transport, self.view, self.bus, clock=clock,
-            reactor=self.reactor, lane=tenant,
+            reactor=self.reactor, lane=tenant, tuner=self.pipeline.tuner,
         )
         self.collector = CheckpointCollector(
             self.config,
@@ -172,6 +172,7 @@ class Ginja:
             self.bus,
             encode_stage=self.encode_stage,
             lane=tenant,
+            tuner=self.pipeline.tuner,
         )
         self.processor = DatabaseProcessor(profile, self.pipeline, self.collector)
         self._running = False
@@ -304,6 +305,10 @@ class Ginja:
     def health(self) -> dict:
         """One-glance status for operators and tests."""
         failure = self.pipeline.failed or self.checkpointer.failed
+        tuner = self.pipeline.tuner
+        # The tuner snapshot is taken under its own lock, so a retune
+        # concurrent with this health() can never tear the B/S pair.
+        tuner_state = tuner.snapshot() if tuner is not None else None
         return {
             "running": self._running,
             "pending_updates": self.pending_updates(),
@@ -311,6 +316,11 @@ class Ginja:
             "wal_objects": self.view.wal_object_count(),
             "db_bytes_in_cloud": self.view.total_db_bytes(),
             "encode_mode": self.pipeline.encode_mode,
+            "batch": tuner_state["batch"] if tuner_state else self.config.batch,
+            "safety": (
+                tuner_state["safety"] if tuner_state else self.config.safety
+            ),
+            "tuner": tuner_state,
             "reactor": self.reactor.health(),
             "failed": repr(failure) if failure else None,
         }

@@ -25,6 +25,19 @@ def _local_hour() -> int:
     return time.localtime().tm_hour
 
 
+def hour_of(now: float) -> int:
+    """Hour of day (0-23) of a session-clock timestamp.
+
+    Session clocks (:class:`~repro.common.clock.Clock`) count seconds
+    from an arbitrary epoch; the schedule only needs the position within
+    a 24-hour cycle, so the epoch is treated as midnight.  A
+    :class:`~repro.common.clock.ManualClock` started at ``8 * 3600``
+    therefore reads as 8AM and crosses into business hours one virtual
+    hour later — deterministically, whatever the host's wall clock says.
+    """
+    return int(now // 3600) % 24
+
+
 @dataclass(frozen=True)
 class SyncSchedule:
     """Hour-of-day -> T_B seconds.
@@ -33,7 +46,11 @@ class SyncSchedule:
         business_timeout: T_B during business hours.
         off_hours_timeout: T_B outside them.
         business_start/business_end: the busy window, [start, end) hours.
-        hour_fn: injectable clock for tests (returns 0-23).
+        hour_fn: explicit hour source override.  When injected it wins
+            even over a session-clock time passed to
+            :meth:`current_timeout`; the default reads the host's wall
+            clock, and is bypassed whenever the caller supplies its own
+            clock reading.
     """
 
     business_timeout: float = 10.0
@@ -54,9 +71,25 @@ class SyncSchedule:
         hour = self.hour_fn() if hour is None else hour
         return self.business_start <= hour < self.business_end
 
-    def current_timeout(self) -> float:
-        """The T_B to apply right now."""
-        if self.in_business_hours():
+    def current_timeout(self, now: float | None = None) -> float:
+        """The T_B to apply at session-clock time ``now``.
+
+        ``now`` is the configured clock's seconds (the commit pipeline
+        passes its own clock reading), so a ManualClock drives the
+        schedule deterministically.  Before the clock was threaded
+        through, the schedule always read the host's wall clock —
+        virtual-clock drills saw the *host's* hour and
+        ``GinjaConfig.effective_batch_timeout()`` was nondeterministic.
+        An explicitly injected ``hour_fn`` still wins (it is the
+        deliberate override; only the wall-clock *default* is bypassed).
+        """
+        if self.hour_fn is not _local_hour:
+            hour = self.hour_fn()
+        elif now is not None:
+            hour = hour_of(now)
+        else:
+            hour = None  # in_business_hours falls back to the wall clock
+        if self.in_business_hours(hour):
             return self.business_timeout
         return self.off_hours_timeout
 

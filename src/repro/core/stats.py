@@ -52,6 +52,10 @@ class GinjaStats:
     #: climbing count on a steady workload means the hysteresis knobs
     #: are mis-tuned (the controller is flapping).
     encode_mode_switches: int = 0
+    #: B/S/T_B retunes by the adaptive batch tuner.  Same flap
+    #: diagnostic as ``encode_mode_switches``: steady workloads should
+    #: converge and stop.
+    retunes: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -81,7 +85,7 @@ class GinjaStats:
         events.DB_OBJECT, events.DUMP_COMPLETE, events.CHECKPOINT_END,
         events.COMMIT_BLOCKED, events.COMMIT_UNBLOCKED, events.CODEC,
         events.OBJECT_RESTORED, events.RECOVERY_DONE, events.ENCODE_MODE,
-        events.UPLOAD_DROPPED,
+        events.UPLOAD_DROPPED, events.TUNER_RETUNE,
     })
 
     def attach(self, bus: EventBus) -> "GinjaStats":
@@ -121,6 +125,8 @@ class GinjaStats:
             return {"recoveries": 1}
         if kind == events.ENCODE_MODE:
             return {"encode_mode_switches": 1}
+        if kind == events.TUNER_RETUNE:
+            return {"retunes": 1}
         if kind == events.UPLOAD_DROPPED:
             return {"uploads_dropped": 1, "uploads_dropped_bytes": event.nbytes}
         return None

@@ -50,8 +50,11 @@ class BudgetFrontier:
         self._overhead = storage_overhead
 
     def sync_cost_per_month(self, syncs_per_hour: float) -> float:
-        puts = syncs_per_hour * HOURS_PER_MONTH
-        return self._prices.put_cost(int(puts))
+        # Fractional PUT-thousands bill pro rata; truncating with
+        # ``int(puts)`` undercounted them, so a rate this method priced
+        # as affordable could sit *above* the rate max_syncs_per_hour
+        # derived from the same budget.
+        return self._prices.put_cost(syncs_per_hour * HOURS_PER_MONTH)
 
     def max_db_size_gb(self, syncs_per_hour: float) -> float:
         """Largest database affordable at this synchronization rate

@@ -379,6 +379,17 @@ class FleetManager:
                 for tid in sorted(tenants)
             },
             "download_queue_depth": self.download_pool.queue_depth(),
+            #: Each tenant's adaptive B/S controller, where one runs
+            #: (``None`` for tenants without a latency target).  Each
+            #: snapshot is taken under that tuner's lock, so concurrent
+            #: retunes never tear a B/S pair mid-read.
+            "tuners": {
+                tid: (
+                    g.pipeline.tuner.snapshot()
+                    if g.pipeline.tuner is not None else None
+                )
+                for tid, g in sorted(tenants.items())
+            },
             "uploads": self.uploads.snapshot(),
             #: In-flight / queued / backoff counts per tenant lane, from
             #: the shared upload reactor.

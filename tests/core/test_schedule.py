@@ -6,7 +6,7 @@ import pytest
 
 from repro.common.errors import ConfigError
 from repro.core.config import GinjaConfig
-from repro.core.schedule import SyncSchedule
+from repro.core.schedule import SyncSchedule, hour_of
 
 
 def at_hour(hour: int) -> SyncSchedule:
@@ -47,6 +47,50 @@ class TestSchedule:
             SyncSchedule(business_start=-1)
         with pytest.raises(ConfigError):
             SyncSchedule.nine_to_five(0)
+
+
+class TestSessionClock:
+    """Regression: the schedule used to read ``time.localtime()`` even
+    when the caller ran on a :class:`ManualClock`, so virtual-clock
+    drills resolved T_B from the *host's* hour — nondeterministically.
+    ``current_timeout(now=...)`` must derive the hour from the session
+    clock's seconds instead."""
+
+    def test_hour_of_treats_epoch_as_midnight(self):
+        assert hour_of(0.0) == 0
+        assert hour_of(8 * 3600) == 8
+        assert hour_of(23 * 3600 + 3599) == 23
+        assert hour_of(24 * 3600) == 0  # wraps at the day boundary
+
+    def test_manual_clock_crosses_the_9am_boundary(self):
+        schedule = SyncSchedule(business_timeout=10.0,
+                                off_hours_timeout=60.0)
+        # 8:59:59 virtual — still off hours, whatever the host clock says.
+        assert schedule.current_timeout(now=9 * 3600 - 1) == 60.0
+        # One virtual second later the business window opens.
+        assert schedule.current_timeout(now=9 * 3600) == 10.0
+        assert schedule.current_timeout(now=9 * 3600 + 1) == 10.0
+        # ... and closes at 17:00 (end exclusive).
+        assert schedule.current_timeout(now=17 * 3600) == 60.0
+
+    def test_second_virtual_day_repeats_the_cycle(self):
+        schedule = SyncSchedule(business_timeout=10.0,
+                                off_hours_timeout=60.0)
+        day = 24 * 3600
+        assert schedule.current_timeout(now=day + 3 * 3600) == 60.0
+        assert schedule.current_timeout(now=day + 10 * 3600) == 10.0
+
+    def test_explicit_hour_fn_beats_the_session_clock(self):
+        # An injected hour source is the deliberate override; only the
+        # wall-clock *default* is bypassed by ``now``.
+        assert at_hour(10).current_timeout(now=3 * 3600) == 10.0
+        assert at_hour(3).current_timeout(now=10 * 3600) == 60.0
+
+    def test_config_threads_now_through(self):
+        config = GinjaConfig(sync_schedule=SyncSchedule(
+            business_timeout=10.0, off_hours_timeout=60.0))
+        assert config.effective_batch_timeout(now=8 * 3600) == 60.0
+        assert config.effective_batch_timeout(now=9 * 3600 + 1) == 10.0
 
 
 class TestConfigIntegration:

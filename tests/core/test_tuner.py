@@ -1,0 +1,313 @@
+"""Deterministic ManualClock suite for the adaptive batch tuner.
+
+Every test drives :class:`~repro.core.tuner.BatchTuner` directly with
+synthetic signals on a :class:`~repro.common.clock.ManualClock` — no
+pipeline, no threads except the explicit race-regression test — so the
+control law's step response, flap damping, budget ceiling, and
+per-tenant isolation are all byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.errors import GinjaError
+from repro.common import events
+from repro.common.events import EventBus
+from repro.cloud.pricing import S3_STANDARD_2017, SECONDS_PER_MONTH
+from repro.core.config import GinjaConfig
+from repro.core.tuner import BatchTuner
+
+#: $ per PUT under the 2017 S3 book ($0.005 / 1000).
+PUT_DOLLARS = S3_STANDARD_2017.put_per_1000 / 1000.0
+
+
+def make_tuner(clock=None, *, batch=16, safety=64, target=0.1,
+               hysteresis=1.25, window=2, budget=None, lane="",
+               bus=None) -> BatchTuner:
+    config = GinjaConfig(
+        batch=batch, safety=safety,
+        target_commit_latency=target, budget_dollars=budget,
+        tuner_window=window, tuner_hysteresis=hysteresis,
+    )
+    return BatchTuner(config, clock=clock or ManualClock(),
+                      bus=bus, lane=lane)
+
+
+def settle(tuner: BatchTuner, latency: float, samples: int = 12) -> None:
+    """Fold enough identical samples that the EWMA ~equals ``latency``."""
+    for _ in range(samples):
+        tuner.observe_commit(latency)
+
+
+def claims(tuner: BatchTuner, n: int) -> None:
+    for _ in range(n):
+        tuner.on_claim()
+
+
+def project_puts(tuner: BatchTuner, clock: ManualClock,
+                 dollars_per_month: float, elapsed: float = 100.0) -> None:
+    """Advance ``elapsed`` and record exactly the PUT count whose rate
+    extrapolates to ``dollars_per_month``."""
+    rate = dollars_per_month / (PUT_DOLLARS * SECONDS_PER_MONTH)
+    clock.advance(elapsed)
+    for _ in range(round(rate * elapsed)):
+        tuner.observe_put()
+
+
+class TestConstruction:
+    def test_requires_a_latency_target(self):
+        with pytest.raises(GinjaError):
+            BatchTuner(GinjaConfig(batch=16, safety=64))
+
+    def test_starts_at_the_nominal_policy(self):
+        tuner = make_tuner()
+        assert tuner.batch() == 16
+        assert tuner.safety() == 64
+        assert tuner.timeout_scale() == 1.0
+        snap = tuner.snapshot()
+        assert snap["retunes"] == 0
+        assert snap["latency_ewma"] is None
+        assert not snap["budget_limited"]
+
+
+class TestStepResponse:
+    def test_latency_step_shrinks_then_headroom_regrows(self):
+        """The canonical loop: a latency step over the deadband halves B
+        (S and T_B following), and once latency falls back under
+        ``target / hysteresis`` the tuner relaxes to the nominal."""
+        clock = ManualClock()
+        tuner = make_tuner(clock)
+
+        settle(tuner, 0.5)               # 500ms >> 100ms * 1.25
+        claims(tuner, 2)
+        assert tuner.batch() == 8
+        assert tuner.safety() == 32      # s_ratio 4 preserved
+        assert tuner.timeout_scale() == pytest.approx(0.5)
+
+        claims(tuner, 2)                 # still hot: shrink again
+        assert tuner.batch() == 4
+        assert tuner.safety() == 16
+
+        settle(tuner, 0.0)               # EWMA decays under 80ms
+        claims(tuner, 2)
+        assert tuner.batch() == 8        # first grow (reversal)
+        # The reversal froze decisions for window * 2 claims.
+        claims(tuner, 4)
+        assert tuner.batch() == 8
+        claims(tuner, 2)
+        assert tuner.batch() == 16       # back at the nominal ceiling
+        assert tuner.safety() == 64
+        assert tuner.timeout_scale() == 1.0
+
+        log = tuner.transition_log()
+        assert [t["direction"] for t in log] == \
+            ["shrink", "shrink", "grow", "grow"]
+        assert all("latency" in t["reason"] for t in log)
+
+    def test_never_shrinks_below_one_or_grows_past_nominal(self):
+        tuner = make_tuner(window=1)
+        settle(tuner, 5.0)
+        claims(tuner, 30)
+        assert tuner.batch() == 1
+        assert tuner.safety() == 4       # S tracks the ratio, floored at B
+        settle(tuner, 0.0, samples=40)
+        claims(tuner, 200)               # penalties burn off eventually
+        assert tuner.batch() == 16
+        for t in tuner.transition_log():
+            assert 1 <= t["to_batch"] <= 16
+            assert t["to_batch"] <= t["to_safety"] <= 64
+
+    def test_in_band_latency_changes_nothing(self):
+        tuner = make_tuner()
+        settle(tuner, 0.1)               # exactly on target: inside band
+        claims(tuner, 20)
+        assert tuner.batch() == 16
+        assert tuner.transition_log() == []
+
+    def test_retunes_emit_reasoned_events(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds={events.TUNER_RETUNE})
+        tuner = make_tuner(bus=bus, lane="t1")
+        settle(tuner, 0.5)
+        claims(tuner, 2)
+        assert len(seen) == 1
+        assert seen[0].key == "t1"
+        assert seen[0].count == 8        # new B
+        assert seen[0].total == 32       # new S
+        assert "B 16->8" in seen[0].detail
+
+
+class TestFlapDamping:
+    def test_oscillating_latency_does_not_flap(self):
+        """Adversarial input: latency jumps across the whole deadband
+        between every decision window.  The reversal penalty doubles the
+        freeze each flip, so retunes get geometrically rarer instead of
+        tracking the oscillation 1:1."""
+        tuner = make_tuner(window=1)
+        total_claims = 400
+        for i in range(total_claims):
+            settle(tuner, 0.5 if i % 2 == 0 else 0.0, samples=20)
+            claims(tuner, 1)
+        log = tuner.transition_log()
+        # A naive controller would retune ~once per claim (400 times).
+        assert 2 <= len(log) <= 20
+        reversals = sum(
+            1 for a, b in zip(log, log[1:])
+            if a["direction"] != b["direction"]
+        )
+        assert reversals >= 2
+        # Freeze windows grow: the gap (in claims) between late retunes
+        # dwarfs the earliest gap.
+        gaps = [b["claims_in_state"] for b in log[1:]]
+        assert max(gaps) >= 4 * max(1, gaps[0])
+
+
+class TestBudgetCeiling:
+    def test_budget_binds_before_the_latency_target(self):
+        """When holding the latency target would blow the monthly
+        budget, the budget wins: no shrink happens, the tuner re-grows
+        toward the nominal, and ``budget_limited`` says why."""
+        clock = ManualClock()
+        tuner = make_tuner(clock, budget=1.0)
+        # Shrink first on latency alone (no PUTs yet -> no projection).
+        settle(tuner, 0.5)
+        claims(tuner, 2)
+        assert tuner.batch() == 8
+
+        # Now the observed PUT rate projects to $13/month against a $1
+        # budget, while latency still screams "shrink".
+        project_puts(tuner, clock, dollars_per_month=13.0)
+        settle(tuner, 0.5)
+        claims(tuner, 6)                 # reversal penalty burns, then grows
+        assert tuner.batch() > 8
+        snap = tuner.snapshot()
+        assert snap["budget_limited"]
+        assert snap["projected_monthly_dollars"] > 1.0
+        assert any("budget" in t["reason"]
+                   for t in tuner.transition_log())
+
+    def test_shrink_clamps_to_the_budget_feasible_floor(self):
+        # Projected $90 against a $100 budget: spend scales ~1/B, so
+        # B may only shrink to ceil(16 * 90/100) = 15, not to 8.
+        clock = ManualClock()
+        tuner = make_tuner(clock, budget=100.0)
+        project_puts(tuner, clock, dollars_per_month=90.0)
+        settle(tuner, 0.5)
+        claims(tuner, 2)
+        assert tuner.batch() == 15
+        assert not tuner.snapshot()["budget_limited"]
+
+    def test_infeasible_shrink_is_refused_not_taken(self):
+        # Projected $99 of $100: even a one-step shrink would cross the
+        # ceiling, so the tuner holds B and raises the flag instead.
+        clock = ManualClock()
+        tuner = make_tuner(clock, budget=100.0)
+        project_puts(tuner, clock, dollars_per_month=99.0)
+        settle(tuner, 0.5)
+        claims(tuner, 2)
+        assert tuner.batch() == 16
+        assert tuner.snapshot()["budget_limited"]
+        assert tuner.transition_log() == []
+
+    def test_budget_limit_stretches_the_dump_threshold(self):
+        clock = ManualClock()
+        tuner = make_tuner(clock, budget=1.0)
+        assert tuner.dump_threshold(1.5) == 1.5
+        project_puts(tuner, clock, dollars_per_month=13.0)
+        settle(tuner, 0.05)
+        claims(tuner, 2)
+        assert tuner.snapshot()["budget_limited"]
+        assert tuner.dump_threshold(1.5) == pytest.approx(3.0)
+
+
+class TestOverride:
+    def test_override_pins_the_knobs(self):
+        tuner = make_tuner()
+        tuner.set_override(4, reason="maintenance window")
+        assert tuner.batch() == 4
+        assert tuner.safety() == 16
+        settle(tuner, 5.0)
+        claims(tuner, 20)                # automatic retuning is suspended
+        assert tuner.batch() == 4
+        assert tuner.snapshot()["override"]
+        tuner.clear_override()
+        claims(tuner, 2)
+        assert tuner.batch() == 2        # control resumes
+
+    def test_override_validation(self):
+        tuner = make_tuner()
+        with pytest.raises(GinjaError):
+            tuner.set_override(0)
+        with pytest.raises(GinjaError):
+            tuner.set_override(32)       # above the nominal ceiling
+        with pytest.raises(GinjaError):
+            tuner.set_override(8, safety=4)    # S < B
+        with pytest.raises(GinjaError):
+            tuner.set_override(8, safety=128)  # S > nominal S
+
+
+class TestTenantIsolation:
+    def test_three_tenants_retune_independently(self):
+        """A fleet shares one clock but each tenant owns its controller:
+        a latency storm on one lane must not move the others' knobs."""
+        clock = ManualClock()
+        tuners = {
+            lane: make_tuner(clock, lane=lane) for lane in ("a", "b", "c")
+        }
+        settle(tuners["a"], 0.05)
+        settle(tuners["b"], 0.9)         # only b is in trouble
+        settle(tuners["c"], 0.05)
+        for tuner in tuners.values():
+            claims(tuner, 4)
+        assert tuners["a"].batch() == 16
+        assert tuners["b"].batch() == 4
+        assert tuners["c"].batch() == 16
+        assert tuners["b"].snapshot()["lane"] == "b"
+        assert tuners["a"].transition_log() == []
+        assert len(tuners["b"].transition_log()) == 2
+
+
+class TestConcurrentSnapshots:
+    def test_snapshot_never_tears_under_concurrent_retunes(self):
+        """Race regression: health endpoints read ``snapshot()`` and
+        ``transition_log()`` while the pipeline thread retunes.  Both
+        are copy-on-read under the controller lock, so every observed
+        state must satisfy 1 <= B <= S <= nominal S with B <= nominal B
+        — a torn read would expose a (new B, old S) pair violating it."""
+        tuner = make_tuner(window=1, safety=64)
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader():
+            while not stop.is_set():
+                snap = tuner.snapshot()
+                batch, safety = snap["batch"], snap["safety"]
+                if not (1 <= batch <= snap["nominal_batch"]):
+                    failures.append(f"batch {batch} out of range")
+                if not (batch <= safety <= snap["nominal_safety"]):
+                    failures.append(f"torn pair B={batch} S={safety}")
+                for t in tuner.transition_log():
+                    if not t["to_batch"] <= t["to_safety"]:
+                        failures.append(f"torn transition {t}")
+
+        threads = [threading.Thread(target=reader, daemon=True)
+                   for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for i in range(300):
+                settle(tuner, 0.5 if (i // 30) % 2 == 0 else 0.0,
+                       samples=4)
+                tuner.observe_depth(i % 7)
+                tuner.on_claim()
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5.0)
+        assert failures == []
+        assert len(tuner.transition_log()) >= 2

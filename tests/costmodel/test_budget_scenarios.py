@@ -49,6 +49,26 @@ class TestFigure1Frontier:
         rate = frontier.max_syncs_per_hour(20.0)
         assert frontier.max_db_size_gb(rate) == pytest.approx(20.0, rel=0.01)
 
+    @pytest.mark.parametrize("rate", [0.5, 7.0, 49.9, 50.0, 123.456, 240.0])
+    def test_round_trip_preserves_fractional_rates(self, rate):
+        """Regression: ``sync_cost_per_month`` used to truncate the PUT
+        count with ``int(puts)``, so the frontier's two inverse maps
+        disagreed — a rate it priced as affordable could exceed the rate
+        derived from the same budget.  Both directions must now bill
+        fractional PUT-thousands pro rata and round-trip exactly."""
+        frontier = BudgetFrontier(1.0)
+        size = frontier.max_db_size_gb(rate)
+        assert size > 0
+        assert frontier.max_syncs_per_hour(size) == pytest.approx(
+            rate, rel=1e-9)
+
+    def test_sync_cost_is_continuous_in_the_rate(self):
+        # int(puts) made the bill a step function of the rate; a 1%
+        # rate bump must now always cost more, never the same.
+        frontier = BudgetFrontier(1.0)
+        assert frontier.sync_cost_per_month(50.5) > \
+            frontier.sync_cost_per_month(50.0)
+
     def test_rate_saturation_at_zero_budget_left(self):
         frontier = BudgetFrontier(1.0)
         assert frontier.max_db_size_gb(100_000.0) == 0.0
